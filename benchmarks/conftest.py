@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rendered result, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction's report generator.  Simulation sweeps are
+deterministic, so every benchmark runs one round (``pedantic``).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic sweep with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

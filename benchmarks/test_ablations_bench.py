@@ -1,0 +1,11 @@
+"""Benchmark: the Section 5.2 design-choice ablations."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(benchmark, run_ablations)
+    print()
+    print(result.render())
+    assert len({row.study for row in result.rows}) >= 5

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (microbenchmark latency series)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark):
+    result = run_once(benchmark, run_fig2)
+    print()
+    print(result.render())
+    for p in result.platforms:
+        assert p.temporal_locality_demonstrated()
+        assert p.spatial_locality_demonstrated()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (inter-/intra-CTA reuse, 33 apps)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, run_fig3, scale=0.5)
+    print()
+    print(result.render())
+    assert len(result.profiles) == 33
+    assert 0.25 <= result.average_inter_fraction <= 0.60

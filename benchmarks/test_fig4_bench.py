@@ -1,0 +1,13 @@
+"""Benchmark: the Figure-4 taxonomy, quantified and clustered."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_taxonomy import run_fig4
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, run_fig4)
+    print()
+    print(result.render())
+    assert result.row("A").clu_speedup > 1.2
+    assert result.row("B").clu_speedup > 1.3
+    assert 0.9 <= result.row("E").clu_speedup <= 1.1

@@ -1,0 +1,12 @@
+"""Benchmark: the Section-4.4 framework over the whole evaluation set."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.framework_study import run_framework_study
+
+
+def test_framework_study(benchmark):
+    result = run_once(benchmark, run_framework_study)
+    print()
+    print(result.render())
+    assert result.exploitability_accuracy >= 0.7
+    assert result.never_hurts

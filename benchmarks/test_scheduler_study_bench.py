@@ -1,0 +1,13 @@
+"""Benchmark: the Section 3.1-(3) / 5.2-(1) scheduler studies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.scheduler_study import run_scheduler_study
+
+
+def test_scheduler_study(benchmark):
+    study = run_once(benchmark, run_scheduler_study)
+    print()
+    print(study.render())
+    by_name = {s.scheduler: s for s in study.sensitivity}
+    assert by_name["round-robin"].rd_speedup > 1.2
+    assert all(s.clu_speedup > 0.95 for s in study.sensitivity)

@@ -1,0 +1,11 @@
+"""Benchmark: timing-model sensitivity sweep."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_sensitivity(benchmark):
+    result = run_once(benchmark, run_sensitivity)
+    print()
+    print(result.render())
+    assert result.all_hold

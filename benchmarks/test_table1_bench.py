@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (experiment platforms)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    assert len(result.rows) == 4

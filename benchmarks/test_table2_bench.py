@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2 (benchmark characteristics)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.render())
+    assert result.match_fraction >= 0.75

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Extension scenario: inspector-based clustering for data-dependent
+kernels.
+
+Section 4.1 notes that data-related applications could be clustered if
+their access pattern were predicted by a lightweight inspector (the
+paper leaves it to future work).  This example builds a graph-analytics
+kernel whose CTA-to-data assignment is *permuted* — invisible to any
+id-order clustering — lets the inspector recover the hidden community
+structure, and contrasts it with a genuinely random-access kernel
+(B+tree) where, as the paper expects, there is nothing to recover.
+"""
+
+import random
+
+from repro import TESLA_K40, GpuSimulator, run_measured, workload
+from repro.core import X_PARTITION, agent_plan, inspector_plan
+from repro.core.inspector import affinity_order, conserved_affinity, inspect_kernel
+from repro.kernels.access import read
+from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
+
+
+def community_graph_kernel(n_ctas=240, community=16, seed=7):
+    """Each CTA processes one vertex block; blocks of the same graph
+    community share the community's edge pages, but the vertex-id-to-
+    CTA assignment was shuffled by the graph loader."""
+    rng = random.Random(seed)
+    assignment = list(range(n_ctas))
+    rng.shuffle(assignment)
+    space = AddressSpace()
+    pages = space.alloc("edge_pages", (n_ctas // community) * 8, 32)
+
+    def trace(bx, by, bz):
+        block = assignment[bx] // community
+        return [read(pages.addr(block * 8 + r, 0), 4, 32, 4)
+                for r in range(8)]
+
+    return KernelSpec(name="community-bfs", grid=Dim3(n_ctas),
+                      block=Dim3(64), trace=trace,
+                      description="community-structured graph traversal")
+
+
+def report(label, base, metrics):
+    print(f"  {label:<28s} speedup={base.cycles / metrics.cycles:5.2f}x  "
+          f"L1 hit={metrics.l1_hit_rate:6.1%}  "
+          f"L2 trans={metrics.l2_transactions:>7d}")
+
+
+def main():
+    gpu = TESLA_K40
+    sim = GpuSimulator(gpu)
+
+    print("=== hidden community structure (recoverable)")
+    kernel = community_graph_kernel()
+    inspection = inspect_kernel(kernel, line_granularity=gpu.l1_line)
+    order = affinity_order(inspection)
+    print(f"  affinity kept in clusters: id-order "
+          f"{conserved_affinity(inspection, list(range(kernel.n_ctas)), gpu.num_sms):.0%}"
+          f" -> inspector {conserved_affinity(inspection, order, gpu.num_sms):.0%}")
+    base = run_measured(sim, kernel)
+    report("baseline", base, base)
+    report("id-order clustering (CLU)", base,
+           run_measured(sim, kernel, agent_plan(kernel, gpu, X_PARTITION)))
+    plan, _ = inspector_plan(kernel, gpu)
+    report("inspector clustering (INS)", base, run_measured(sim, kernel, plan))
+
+    print("\n=== genuinely random access (B+tree) — nothing to recover")
+    kernel = workload("BTR").kernel(scale=0.5, config=gpu)
+    base = run_measured(sim, kernel)
+    report("baseline", base, base)
+    plan, inspection = inspector_plan(kernel, gpu)
+    report("inspector clustering (INS)", base, run_measured(sim, kernel, plan))
+    print("\nThe inspector pays off exactly when the data has latent "
+          "structure;\nfor accidental locality it is honest noise — the "
+          "paper's §4.1 caveat.")
+
+
+if __name__ == "__main__":
+    main()

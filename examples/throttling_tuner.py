@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Domain scenario: tuning ACTIVE_AGENTS for a linear-algebra service.
+
+The matrix-vector kernels (ATX here) thrash the tiny Fermi/Kepler L1
+when every CTA slot hosts an agent; the dynamic voting scheme
+(Section 4.3-I) finds the throttling degree that keeps the shared x
+vector resident.  The sweep prints every candidate so the tradeoff —
+less latency hiding vs. fewer capacity misses — is visible.
+"""
+
+from repro import TESLA_K40, GpuSimulator, run_measured, workload
+from repro.core import agent_plan, direction, vote_active_agents
+from repro.core.throttling import throttle_candidates
+from repro.gpu.occupancy import max_ctas_per_sm
+
+
+def main():
+    gpu = TESLA_K40
+    wl = workload("ATX")
+    kernel = wl.kernel(config=gpu)
+    part = direction(wl.table2.partition)
+    sim = GpuSimulator(gpu)
+
+    base = run_measured(sim, kernel)
+    max_agents = max_ctas_per_sm(gpu, kernel)
+    print(f"{wl.name} on {gpu.name}: MAX_AGENTS={max_agents}, "
+          f"baseline={base.cycles:.0f} cycles\n")
+    print(f"{'agents':>7s} {'cycles':>10s} {'speedup':>8s} "
+          f"{'L1 hit':>7s} {'L2 trans':>9s}")
+    for degree in throttle_candidates(max_agents):
+        plan = agent_plan(kernel, gpu, part, active_agents=degree)
+        metrics = run_measured(sim, kernel, plan)
+        print(f"{degree:>7d} {metrics.cycles:>10.0f} "
+              f"{base.cycles / metrics.cycles:>7.2f}x "
+              f"{metrics.l1_hit_rate:>7.1%} {metrics.l2_transactions:>9d}")
+
+    vote = vote_active_agents(sim, kernel, part)
+    print(f"\ndynamic vote selects ACTIVE_AGENTS={vote.active_agents} "
+          f"(paper's Table 2 says "
+          f"{wl.table2.opt_agents_for(gpu.architecture)})")
+
+
+if __name__ == "__main__":
+    main()

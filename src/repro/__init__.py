@@ -1,0 +1,79 @@
+"""repro — Locality-Aware CTA Clustering for Modern GPUs (ASPLOS 2017).
+
+A full reproduction of Li et al.'s CTA-Clustering: the software-only
+technique that remaps which GPU thread block (CTA) runs on which SM so
+that blocks with inter-CTA data reuse share an L1 cache — plus the
+trace-driven GPU simulator substrate it is evaluated on, the 40
+workload models, the locality analysis tools and one experiment driver
+per table/figure of the paper.
+
+Quickstart::
+
+    from repro import GTX980, GpuSimulator, agent_plan, workload, Y_PARTITION
+
+    wl = workload("NN")
+    kernel = wl.kernel(config=GTX980)
+    sim = GpuSimulator(GTX980)
+    baseline = sim.run(kernel)
+    clustered = sim.run(kernel, agent_plan(kernel, GTX980, Y_PARTITION))
+    print(clustered.speedup_over(baseline))
+
+The three layers:
+
+* ``repro.gpu`` — platforms (Table 1), caches, GigaThread scheduler
+  models, the cycle-approximate simulator.
+* ``repro.core`` — the contribution: partitioning/inverting/binding,
+  redirection- and agent-based clustering, throttling, bypassing,
+  prefetching, the classifier and the Fig.-11 framework.
+* ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments`` —
+  the evaluation: application models, reuse quantification and the
+  per-table/figure drivers.
+"""
+
+from repro.core import (
+    CtaPartitioner,
+    OptimizationDecision,
+    TileWiseIndexing,
+    X_PARTITION,
+    Y_PARTITION,
+    agent_plan,
+    analyze_direction,
+    classify,
+    optimize,
+    prefetch_plan,
+    redirection_plan,
+    vote_active_agents,
+)
+from repro.gpu import (
+    EVALUATION_PLATFORMS,
+    GTX570,
+    GTX980,
+    GTX1080,
+    GpuSimulator,
+    KernelMetrics,
+    TESLA_K40,
+    baseline_plan,
+    platform,
+)
+from repro.gpu.simulator import run_measured
+from repro.kernels import ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.registry import (
+    all_workloads,
+    by_category,
+    figure3_workloads,
+    table2_workloads,
+    workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CtaPartitioner", "OptimizationDecision", "TileWiseIndexing",
+    "X_PARTITION", "Y_PARTITION", "agent_plan", "analyze_direction",
+    "classify", "optimize", "prefetch_plan", "redirection_plan",
+    "vote_active_agents", "EVALUATION_PLATFORMS", "GTX570", "GTX980",
+    "GTX1080", "GpuSimulator", "KernelMetrics", "TESLA_K40",
+    "baseline_plan", "platform", "run_measured", "ArrayRef", "Dim3",
+    "KernelSpec", "LocalityCategory", "all_workloads", "by_category",
+    "figure3_workloads", "table2_workloads", "workload", "__version__",
+]

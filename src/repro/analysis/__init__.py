@@ -1,0 +1,5 @@
+"""Locality analysis: inter-/intra-CTA reuse quantification (Fig. 3)."""
+
+from repro.analysis.reuse import ReuseProfile, figure3_row, quantify_reuse
+
+__all__ = ["ReuseProfile", "figure3_row", "quantify_reuse"]

@@ -1,0 +1,154 @@
+"""Inter-CTA locality quantification (paper §3.2, Figure 3).
+
+The paper instruments every memory request *before it enters L1* and
+attributes each reuse to intra-CTA locality (the previous toucher was
+the same CTA) or inter-CTA locality (a different CTA).  The
+quantification is data-driven: it depends only on which addresses each
+CTA touches, not on any cache or scheduler — which is why the paper
+could use GPGPU-Sim for it and why we can replay the kernel traces
+directly.
+
+Two complementary metrics are reported, both at 32B-sector request
+granularity:
+
+* ``*_reuse_fraction`` — of all reuse *accesses* (every access beyond
+  an address's first), the share whose previous toucher was the
+  same/a different CTA.
+* ``*_data_fraction`` — of all *addresses that are reused at all*,
+  the share ever touched by more than one CTA (inter) vs. exactly one
+  (intra).  Figure 3 plots this per-datum split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.access import coalesce
+from repro.kernels.kernel import KernelSpec
+
+#: Request granularity: the L2 transaction size shared by every
+#: platform in Table 1.
+SECTOR_BYTES = 32
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Reuse attribution for one kernel."""
+
+    kernel_name: str
+    total_requests: int
+    reuse_requests: int
+    inter_cta_reuses: int
+    intra_cta_reuses: int
+    reused_addresses: int
+    inter_cta_addresses: int
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Share of all requests that are reuses (not cold touches)."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.reuse_requests / self.total_requests
+
+    @property
+    def inter_reuse_fraction(self) -> float:
+        """Inter-CTA share of reuse accesses (0..1)."""
+        if self.reuse_requests == 0:
+            return 0.0
+        return self.inter_cta_reuses / self.reuse_requests
+
+    @property
+    def intra_reuse_fraction(self) -> float:
+        """Intra-CTA share of reuse accesses (0..1)."""
+        if self.reuse_requests == 0:
+            return 0.0
+        return self.intra_cta_reuses / self.reuse_requests
+
+    @property
+    def inter_data_fraction(self) -> float:
+        """Share of reused data touched by multiple CTAs (Figure 3)."""
+        if self.reused_addresses == 0:
+            return 0.0
+        return self.inter_cta_addresses / self.reused_addresses
+
+    @property
+    def intra_data_fraction(self) -> float:
+        """Share of reused data private to a single CTA (Figure 3)."""
+        if self.reused_addresses == 0:
+            return 0.0
+        return 1.0 - self.inter_data_fraction
+
+
+def _lanes_per_sector(access, sector: int) -> int:
+    """How many of a warp access's lanes land in one sector.
+
+    Thread-level requests exist *before* the coalescer merges them;
+    the paper's quantification tracks those raw requests, so the lanes
+    that a single instruction aims at one sector constitute intra-CTA
+    (intra-warp) reuse of that sector.
+    """
+    if access.lanes <= 1:
+        return 1
+    if access.stride <= 0:
+        return access.lanes  # broadcast: every lane reads the sector
+    return max(1, min(access.lanes, sector // access.stride))
+
+
+def quantify_reuse(kernel: KernelSpec, max_ctas: int = None,
+                   sector: int = SECTOR_BYTES) -> ReuseProfile:
+    """Attribute every request's reuse to intra- or inter-CTA locality.
+
+    Requests are the per-lane ``sector``-granular touches of every
+    warp access of every CTA, in canonical CTA order.  The lanes of
+    one instruction that share a sector contribute intra-CTA reuses;
+    later touches are attributed by comparing against the previous
+    touching CTA.  ``max_ctas`` truncates huge grids for quick
+    estimates (the fractions converge quickly).
+    """
+    n = kernel.n_ctas if max_ctas is None else min(max_ctas, kernel.n_ctas)
+    last_toucher: "dict[int, int]" = {}
+    touch_count: "dict[int, int]" = {}
+    multi_cta: "set[int]" = set()
+    first_toucher: "dict[int, int]" = {}
+
+    total = 0
+    reuses = 0
+    inter = 0
+
+    for cta in range(n):
+        for access in kernel.cta_trace(cta):
+            lanes_here = _lanes_per_sector(access, sector)
+            for seg in coalesce(access, sector):
+                total += lanes_here
+                prev = last_toucher.get(seg)
+                if prev is None:
+                    first_toucher[seg] = cta
+                    touch_count[seg] = lanes_here
+                    reuses += lanes_here - 1  # intra-warp lane sharing
+                else:
+                    reuses += lanes_here
+                    touch_count[seg] += lanes_here
+                    if prev != cta:
+                        # the whole warp re-reads data another CTA
+                        # brought in: every lane is an inter-CTA reuse
+                        inter += lanes_here
+                    if first_toucher[seg] != cta:
+                        multi_cta.add(seg)
+                last_toucher[seg] = cta
+
+    reused_addresses = sum(1 for c in touch_count.values() if c > 1)
+    return ReuseProfile(
+        kernel_name=kernel.name,
+        total_requests=total,
+        reuse_requests=reuses,
+        inter_cta_reuses=inter,
+        intra_cta_reuses=reuses - inter,
+        reused_addresses=reused_addresses,
+        inter_cta_addresses=len(multi_cta),
+    )
+
+
+def figure3_row(kernel: KernelSpec, max_ctas: int = None) -> "tuple[float, float]":
+    """The (inter, intra) data-fraction pair plotted in Figure 3."""
+    profile = quantify_reuse(kernel, max_ctas=max_ctas)
+    return profile.inter_data_fraction, profile.intra_data_fraction

@@ -1,0 +1,64 @@
+"""CTA-Clustering: the paper's contribution.
+
+Public surface:
+
+* :func:`~repro.core.redirection.redirection_plan` — Listing 4.
+* :func:`~repro.core.agent.agent_plan` — Listing 5.
+* :func:`~repro.core.prefetch.prefetch_plan` — §4.3-III.
+* :func:`~repro.core.throttling.vote_active_agents` — §4.3-I.
+* :func:`~repro.core.classifier.classify` — §4.4 probes.
+* :func:`~repro.core.framework.optimize` — the Fig. 11 pipeline.
+* :class:`~repro.core.partition.CtaPartitioner` and the indexing
+  methods of Fig. 7 for custom clustering.
+* :mod:`~repro.core.codegen` — emit the Listing-4/5 CUDA artifacts.
+* :mod:`~repro.core.inspector` — inspector-based clustering for
+  data-related kernels (the paper's cited future-work path).
+"""
+
+from repro.core.agent import agent_plan
+from repro.core.binding import rr_binding, sm_binding_overhead
+from repro.core.codegen import (
+    GeneratedSource,
+    generate_agent_source,
+    generate_from_decision,
+    generate_redirection_source,
+)
+from repro.core.bypass import bypass_is_candidate, stream_access_fraction
+from repro.core.classifier import ClassificationReport, classify
+from repro.core.dependence import DirectionAnalysis, analyze_direction
+from repro.core.framework import OptimizationDecision, optimize
+from repro.core.inspector import (
+    InspectionResult,
+    affinity_order,
+    conserved_affinity,
+    inspect_kernel,
+    inspector_plan,
+)
+from repro.core.indexing import (
+    ArbitraryIndexing,
+    ColumnMajorIndexing,
+    PartitionDirection,
+    RowMajorIndexing,
+    TileWiseIndexing,
+    X_PARTITION,
+    Y_PARTITION,
+    direction,
+)
+from repro.core.partition import BalancedPartition, ClusterPosition, CtaPartitioner
+from repro.core.prefetch import prefetch_plan
+from repro.core.redirection import redirection_plan
+from repro.core.throttling import ThrottleVote, throttle_candidates, vote_active_agents
+
+__all__ = [
+    "agent_plan", "rr_binding", "sm_binding_overhead", "bypass_is_candidate",
+    "GeneratedSource", "generate_agent_source", "generate_from_decision",
+    "generate_redirection_source", "InspectionResult", "affinity_order",
+    "conserved_affinity", "inspect_kernel", "inspector_plan",
+    "stream_access_fraction", "ClassificationReport", "classify",
+    "DirectionAnalysis", "analyze_direction", "OptimizationDecision",
+    "optimize", "ArbitraryIndexing", "ColumnMajorIndexing",
+    "PartitionDirection", "RowMajorIndexing", "TileWiseIndexing",
+    "X_PARTITION", "Y_PARTITION", "direction", "BalancedPartition",
+    "ClusterPosition", "CtaPartitioner", "prefetch_plan", "redirection_plan",
+    "ThrottleVote", "throttle_candidates", "vote_active_agents",
+]

@@ -1,0 +1,76 @@
+"""Agent-based clustering (paper §4.2.4-(2), Listing 5).
+
+This scheme circumvents the hardware CTA scheduler entirely: the new
+kernel launches ``num_sms * MAX_AGENTS`` persistent CTAs ("agents"),
+where MAX_AGENTS is the maximum allowable CTAs per SM for the kernel's
+resource usage.  Allocating the maximum forces the GigaThread Engine
+to distribute agents evenly; each agent then discovers its SM through
+SM-based binding and loops over its share of the SM's cluster task
+list.  Throttling (§4.3-I) deactivates agents with
+``agent_id >= ACTIVE_AGENTS`` at runtime instead of shrinking the
+grid, which would break the even distribution.
+
+In the simulator this materializes as a *placed* execution plan:
+per-SM task lists (from the partitioner), a concurrency of
+ACTIVE_AGENTS, and the per-architecture binding/task-loop overheads.
+"""
+
+from __future__ import annotations
+
+from repro.core.binding import sm_binding_overhead, task_overhead
+from repro.core.indexing import IndexingMethod, PartitionDirection, Y_PARTITION
+from repro.core.partition import CtaPartitioner
+from repro.gpu.config import GpuConfig
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.gpu.plan import ExecutionPlan
+from repro.kernels.kernel import KernelSpec
+
+
+def agent_plan(kernel: KernelSpec, config: GpuConfig,
+               partition_direction: PartitionDirection = Y_PARTITION,
+               indexing: IndexingMethod = None,
+               active_agents: int = None,
+               bypass_streams: bool = False,
+               prefetch_depth: int = 0,
+               scheme: str = None) -> ExecutionPlan:
+    """Build the agent-based (CLU family) execution plan.
+
+    ``active_agents`` is the throttling degree (ACTIVE_AGENTS); it
+    defaults to the maximum allowable agents per SM (MAX_AGENTS), which
+    is the plain "CLU" configuration of the evaluation.  ``scheme``
+    defaults to a Figure-12-style label derived from the options.
+    """
+    max_agents = max_ctas_per_sm(config, kernel)
+    if active_agents is None:
+        active_agents = max_agents
+    if not 1 <= active_agents <= max_agents:
+        raise ValueError(
+            f"active_agents must be in [1, {max_agents}] for "
+            f"{kernel.name!r} on {config.name}, got {active_agents}")
+
+    if indexing is None:
+        indexing = partition_direction.build(kernel.grid)
+    partitioner = CtaPartitioner(indexing, config.num_sms)
+
+    if scheme is None:
+        scheme = "CLU" if active_agents == max_agents else "CLU+TOT"
+        if bypass_streams:
+            scheme += "+BPS"
+        if prefetch_depth > 0:
+            scheme = "PFH+TOT" if active_agents != max_agents else "PFH"
+
+    return ExecutionPlan(
+        scheme=scheme,
+        mode="placed",
+        sm_tasks=partitioner.all_cluster_tasks(),
+        active_agents=active_agents,
+        agent_bind_overhead=sm_binding_overhead(config, active_agents),
+        per_task_overhead=task_overhead(config, indexing.index_cost_units),
+        bypass_streams=bypass_streams,
+        prefetch_depth=prefetch_depth,
+        notes={
+            "indexing": indexing.name,
+            "max_agents": max_agents,
+            "active_agents": active_agents,
+        },
+    )

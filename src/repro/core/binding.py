@@ -1,0 +1,64 @@
+"""Step 3 of CTA-Clustering: Binding ``g : N -> C`` (paper §4.2.3).
+
+Two schemes:
+
+* **RR-based binding** (Eq. 8) assumes the GigaThread Engine is strict
+  round-robin, so the new kernel's CTA ``u`` is responsible for
+  ``(w, i) = (u / M, u % M)``.  Cheap, but wrong whenever the real
+  scheduler deviates — which Section 3.1-(3) shows it does.
+
+* **SM-based binding** makes no scheduling assumption: an agent reads
+  its physical SM id from the ``%%smid`` register and derives its
+  position among the agents of that SM — from its static hardware
+  warp-slot id on Fermi/Kepler, or through an ``atomicAdd`` plus a
+  shared-memory broadcast on Maxwell/Pascal where warp slots are
+  dynamically assigned (Listing 5).  :func:`sm_binding_overhead`
+  models the asymmetric cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import ClusterPosition
+from repro.gpu.config import GpuConfig
+
+#: Cycles for the __syncthreads broadcast in the dynamic binding path.
+_SYNC_BROADCAST_CYCLES = 40.0
+
+
+def rr_binding(u: int, n_clusters: int) -> ClusterPosition:
+    """Eq. 8: ``(w, i) = (u / M, u % M)`` under the strict-RR assumption."""
+    if u < 0:
+        raise IndexError(f"new-kernel CTA id must be non-negative, got {u}")
+    w, i = divmod(u, n_clusters)
+    return ClusterPosition(w=w, i=i)
+
+
+def sm_binding_overhead(config: GpuConfig, active_agents: int) -> float:
+    """One-time per-SM binding cost of the agent runtime, in cycles.
+
+    Every agent fetches ``%%smid``.  On Fermi/Kepler the agent id comes
+    from the static warp-slot id (one shift), so the cost is flat; on
+    Maxwell/Pascal each agent's primary thread performs an atomicAdd on
+    a global per-SM counter — serialized across the SM's agents — and
+    broadcasts the result through shared memory behind a barrier.
+    """
+    if active_agents < 1:
+        raise ValueError("active_agents must be >= 1")
+    costs = config.costs
+    base = costs.smid_fetch_cycles
+    if config.static_warp_slot_binding:
+        return base + costs.agent_bind_cycles
+    serialized_atomics = costs.agent_bind_cycles * active_agents
+    return base + serialized_atomics + _SYNC_BROADCAST_CYCLES
+
+
+def redirection_overhead(config: GpuConfig, index_cost_units: int = 0) -> float:
+    """Per-CTA cost of the redirection header (Listing 4) in cycles."""
+    extra = index_cost_units * config.costs.tile_index_cycles
+    return config.costs.redirection_index_cycles + extra
+
+
+def task_overhead(config: GpuConfig, index_cost_units: int = 0) -> float:
+    """Per-task cost of the agent task loop (Listing 5) in cycles."""
+    extra = index_cost_units * config.costs.tile_index_cycles
+    return config.costs.task_loop_cycles + extra

@@ -1,0 +1,44 @@
+"""Cache bypassing (paper §4.3-II).
+
+The complementary bypass optimization routes *streaming* accesses —
+loads the framework knows carry no inter-CTA reuse — around the L1 (or
+L1/Tex unified) cache, the software equivalent of
+``ld.global.cg``/``asm`` bypass in Listing 5, so they stop contending
+for lines with the accesses that do have reuse.  In the simulator the
+streaming accesses are already tagged (``WarpAccess.is_stream``); this
+module provides the analysis of whether bypassing is worth trying.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec
+
+
+def stream_access_fraction(kernel: KernelSpec, sample_ctas: int = 8) -> float:
+    """Fraction of read accesses tagged as streaming, over sample CTAs."""
+    total = 0
+    streaming = 0
+    n = min(sample_ctas, kernel.n_ctas)
+    for v in range(n):
+        for access in kernel.cta_trace(v):
+            if access.is_write:
+                continue
+            total += 1
+            if access.is_stream:
+                streaming += 1
+    if total == 0:
+        return 0.0
+    return streaming / total
+
+
+def bypass_is_candidate(kernel: KernelSpec, min_fraction: float = 0.1,
+                        max_fraction: float = 0.9) -> bool:
+    """Whether the kernel mixes reusable and streaming accesses.
+
+    Bypassing only helps when there *are* streaming accesses to divert
+    and reusable accesses to protect; an all-streaming kernel gains
+    nothing from polluting-avoidance because there is nothing left to
+    keep resident (§5.2-(3)).
+    """
+    fraction = stream_access_fraction(kernel)
+    return min_fraction <= fraction <= max_fraction

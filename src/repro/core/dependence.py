@@ -1,0 +1,94 @@
+"""Dependency analysis over grid coordinates (paper §4.2.1-(A)).
+
+To make partitioning automatic for algorithm-related kernels, the
+framework inspects each array reference's subscripts — the same style
+of analysis compilers run on loop nests — and derives the grid
+direction along which the reference is *reused*:
+
+* a reference whose subscripts never mention ``bx`` is identical for
+  all CTAs in a grid row, so it carries reuse **across X** → cluster
+  row-adjacent CTAs → **Y-partitioning** (row-major indexing);
+* symmetrically, no ``by`` anywhere → reuse across Y →
+  **X-partitioning** (column-major indexing);
+* a reference with both, but with ``bx`` in the last (minor)
+  subscript dimension, shares cache lines between X-adjacent CTAs
+  (the paper's ``A[alpha(by)+bx+eps(tx,ty)]`` pattern) → weak vote for
+  Y-partitioning, and symmetrically for trailing ``by``.
+
+Votes are weighted by each reference's ``weight`` (the paper's
+"directional locality intensity": e.g. in MM, whether A.height beats
+B.width).  1D grids always take X-partitioning, per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.indexing import PartitionDirection, X_PARTITION, Y_PARTITION
+from repro.kernels.kernel import ArrayRef, KernelSpec
+
+_STRONG_VOTE = 2.0
+_WEAK_VOTE = 1.0
+
+
+@dataclass
+class DirectionAnalysis:
+    """Outcome of the dependency analysis for one kernel."""
+
+    direction: PartitionDirection
+    x_votes: float
+    y_votes: float
+    decisive: bool
+    per_ref: "dict[str, str]" = field(default_factory=dict)
+
+
+def _mentions(ref: ArrayRef, var: str) -> bool:
+    return any(var in dim for dim in ref.dims)
+
+
+def ref_vote(ref: ArrayRef) -> "tuple[str, float]":
+    """Vote of one read reference: ('X-P'|'Y-P'|'none', weight)."""
+    has_bx = _mentions(ref, "bx")
+    has_by = _mentions(ref, "by")
+    if not has_bx and not has_by:
+        return "none", 0.0  # broadcast or thread-local: no direction
+    if not has_bx:
+        return "Y-P", _STRONG_VOTE * ref.weight
+    if not has_by:
+        return "X-P", _STRONG_VOTE * ref.weight
+    last = ref.last_dim
+    if "bx" in last:
+        return "Y-P", _WEAK_VOTE * ref.weight
+    if "by" in last:
+        return "X-P", _WEAK_VOTE * ref.weight
+    return "none", 0.0
+
+
+def analyze_direction(kernel: KernelSpec) -> DirectionAnalysis:
+    """Choose the partition direction for a kernel.
+
+    Returns ``decisive=False`` when the votes tie or no reference
+    carries directional information, in which case the framework
+    falls back to an empirical probe (running both directions).
+    """
+    if kernel.grid.y == 1:
+        return DirectionAnalysis(X_PARTITION, 0.0, 0.0, decisive=True,
+                                 per_ref={"<1D grid>": "X-P"})
+    x_votes = 0.0
+    y_votes = 0.0
+    per_ref = {}
+    for ref in kernel.array_refs:
+        if ref.is_write:
+            continue
+        vote, weight = ref_vote(ref)
+        per_ref[ref.name] = vote
+        if vote == "X-P":
+            x_votes += weight
+        elif vote == "Y-P":
+            y_votes += weight
+    if x_votes == y_votes:
+        return DirectionAnalysis(Y_PARTITION, x_votes, y_votes,
+                                 decisive=False, per_ref=per_ref)
+    direction = Y_PARTITION if y_votes > x_votes else X_PARTITION
+    return DirectionAnalysis(direction, x_votes, y_votes, decisive=True,
+                             per_ref=per_ref)

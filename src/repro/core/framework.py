@@ -1,0 +1,158 @@
+"""The integrated inter-CTA locality optimization framework (Fig. 11).
+
+``optimize`` is the front door of the reproduction's public API: given
+a kernel and a platform it (1) establishes the locality category —
+from the kernel's declaration or by probing with the classifier —
+(2) picks the partition direction by dependency analysis (falling back
+to an empirical probe on ties), then (3) builds and evaluates the
+applicable optimization ladder:
+
+* exploitable locality (algorithm / cache-line): agent-based
+  clustering, + throttling vote, + bypassing when the kernel mixes
+  streaming and reusable accesses; the best-performing variant wins.
+* no exploitable locality (data / write / streaming): CTA order
+  reshaping + prefetching with a throttling vote.
+
+The returned :class:`OptimizationDecision` carries the chosen plan,
+every candidate's measured cycles, and the reasoning trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agent import agent_plan
+from repro.core.bypass import bypass_is_candidate
+from repro.core.classifier import ClassificationReport, classify
+from repro.core.dependence import analyze_direction
+from repro.core.indexing import PartitionDirection, X_PARTITION, Y_PARTITION
+from repro.core.prefetch import prefetch_plan
+from repro.core.throttling import vote_active_agents
+from repro.gpu.config import GpuConfig
+from repro.gpu.plan import ExecutionPlan, baseline_plan
+from repro.gpu.simulator import GpuSimulator
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+
+
+@dataclass
+class OptimizationDecision:
+    """What the framework chose for one kernel/platform pair."""
+
+    kernel_name: str
+    gpu_name: str
+    category: LocalityCategory
+    direction: PartitionDirection
+    plan: ExecutionPlan
+    cycles_by_scheme: "dict[str, float]" = field(default_factory=dict)
+    reasoning: "list[str]" = field(default_factory=list)
+    classification: "ClassificationReport | None" = None
+
+    @property
+    def scheme(self) -> str:
+        return self.plan.scheme
+
+    @property
+    def expected_speedup(self) -> float:
+        base = self.cycles_by_scheme.get("BSL")
+        chosen = self.cycles_by_scheme.get(self.plan.scheme)
+        if not base or not chosen:
+            return 1.0
+        return base / chosen
+
+
+def _empirical_direction(sim: GpuSimulator, kernel: KernelSpec,
+                         config: GpuConfig) -> "tuple[PartitionDirection, float, float]":
+    """Probe both partition directions with agent clustering."""
+    x_cycles = sim.run(kernel, agent_plan(kernel, config, X_PARTITION)).cycles
+    y_cycles = sim.run(kernel, agent_plan(kernel, config, Y_PARTITION)).cycles
+    chosen = X_PARTITION if x_cycles < y_cycles else Y_PARTITION
+    return chosen, x_cycles, y_cycles
+
+
+def optimize(kernel: KernelSpec, config: GpuConfig,
+             category: LocalityCategory = None,
+             probe_kernel: KernelSpec = None,
+             seed: int = 0) -> OptimizationDecision:
+    """Run the Figure-11 pipeline and return the chosen transformation.
+
+    ``category`` overrides classification (application-developer hint);
+    ``probe_kernel`` is an optional reduced-size instance used for the
+    classification probes, per the paper's advice to shrink the CTA
+    count before probing.
+    """
+    sim = GpuSimulator(config)
+    reasoning = []
+    classification = None
+
+    if category is None:
+        classification = classify(probe_kernel or kernel, config, seed=seed)
+        category = classification.category
+        reasoning.append(f"classified as {category.value}: "
+                         f"{classification.evidence[-1]}")
+    else:
+        reasoning.append(f"category declared by developer: {category.value}")
+
+    analysis = analyze_direction(kernel)
+    if analysis.decisive:
+        direction = analysis.direction
+        reasoning.append(
+            f"dependency analysis chose {direction.name} "
+            f"(votes X={analysis.x_votes:.1f} Y={analysis.y_votes:.1f})")
+    else:
+        direction, x_cycles, y_cycles = _empirical_direction(sim, kernel, config)
+        reasoning.append(
+            f"dependency analysis tied; empirical probe chose {direction.name} "
+            f"(X {x_cycles:.0f} vs Y {y_cycles:.0f} cycles)")
+
+    baseline = sim.run(kernel, baseline_plan(), seed=seed)
+    cycles = {"BSL": baseline.cycles}
+
+    if category.exploitable:
+        clu = agent_plan(kernel, config, direction)
+        cycles["CLU"] = sim.run(kernel, clu).cycles
+        vote = vote_active_agents(sim, kernel, direction)
+        candidates = {"CLU": clu}
+        if vote.throttled:
+            tot = agent_plan(kernel, config, direction,
+                             active_agents=vote.active_agents)
+            cycles["CLU+TOT"] = vote.cycles_by_candidate[vote.active_agents]
+            candidates["CLU+TOT"] = tot
+            reasoning.append(
+                f"throttling vote: {vote.active_agents}/{vote.max_agents} agents")
+        else:
+            reasoning.append("throttling vote kept maximum agents")
+        if bypass_is_candidate(kernel):
+            bps = agent_plan(kernel, config, direction,
+                             active_agents=vote.active_agents,
+                             bypass_streams=True, scheme="CLU+TOT+BPS")
+            cycles["CLU+TOT+BPS"] = sim.run(kernel, bps).cycles
+            candidates["CLU+TOT+BPS"] = bps
+            reasoning.append("kernel mixes streaming/reusable loads; tried bypass")
+        best_scheme = min(cycles, key=cycles.get)
+        if best_scheme == "BSL":
+            # Clustering did not pay off; ship the cheapest clustered
+            # plan only if it is within noise, otherwise keep baseline.
+            best_scheme = min((s for s in cycles if s != "BSL"),
+                              key=cycles.get)
+            if cycles[best_scheme] > 1.02 * cycles["BSL"]:
+                reasoning.append("clustering regressed; keeping baseline")
+                plan = baseline_plan()
+                return OptimizationDecision(kernel.name, config.name, category,
+                                            direction, plan, cycles, reasoning,
+                                            classification)
+        plan = candidates[best_scheme]
+        reasoning.append(f"selected {best_scheme}")
+    else:
+        vote = vote_active_agents(sim, kernel, direction)
+        plan = prefetch_plan(kernel, config, direction,
+                             active_agents=vote.active_agents)
+        cycles["PFH+TOT"] = sim.run(kernel, plan).cycles
+        reasoning.append(
+            f"no exploitable inter-CTA locality; reshaped order + prefetch "
+            f"with {vote.active_agents}/{vote.max_agents} agents")
+        if cycles["PFH+TOT"] > 1.02 * cycles["BSL"]:
+            reasoning.append("prefetching regressed; keeping baseline")
+            plan = baseline_plan()
+
+    return OptimizationDecision(kernel.name, config.name, category, direction,
+                                plan, cycles, reasoning, classification)

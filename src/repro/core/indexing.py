@@ -1,0 +1,190 @@
+"""CTA indexing methods for 2D grids (paper Figure 7).
+
+Partitioning operates on a linear CTA *order*; the order is produced
+by an indexing method that linearizes grid coordinates.  Row-major
+indexing makes the balanced-chunk partition cluster row-adjacent CTAs
+(the paper's *Y-partitioning*); column-major clusters column-adjacent
+CTAs (*X-partitioning*); tile-wise clusters 2D tiles (both directions,
+at extra index-arithmetic cost, Section 5.2-(6)); and an arbitrary
+permutation supports user-defined clustering.
+
+Every method is a bijection between grid coordinates and
+``[0, grid.count)`` — :func:`repro.core.partition` relies on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.kernel import Dim3
+
+
+class IndexingMethod:
+    """Bijective linearization of a CTA grid."""
+
+    #: Extra per-task index arithmetic relative to row-major, in the
+    #: unit of ClusteringCosts.tile_index_cycles (0 or 1).
+    index_cost_units = 0
+    name = "abstract"
+
+    def __init__(self, grid: Dim3):
+        self.grid = grid
+
+    def linearize(self, bx: int, by: int) -> int:
+        raise NotImplementedError
+
+    def coords(self, v: int) -> "tuple[int, int]":
+        raise NotImplementedError
+
+    def _check(self, bx, by):
+        if not (0 <= bx < self.grid.x and 0 <= by < self.grid.y):
+            raise IndexError(f"CTA ({bx},{by}) outside grid {self.grid}")
+
+
+class RowMajorIndexing(IndexingMethod):
+    """``v = by * gridDim.x + bx`` — CUDA's default; Y-partitioning."""
+
+    name = "row-major"
+
+    def linearize(self, bx, by):
+        self._check(bx, by)
+        return by * self.grid.x + bx
+
+    def coords(self, v):
+        by, bx = divmod(v, self.grid.x)
+        return bx, by
+
+
+class ColumnMajorIndexing(IndexingMethod):
+    """``v = bx * gridDim.y + by`` — X-partitioning."""
+
+    name = "column-major"
+
+    def linearize(self, bx, by):
+        self._check(bx, by)
+        return bx * self.grid.y + by
+
+    def coords(self, v):
+        bx, by = divmod(v, self.grid.y)
+        return bx, by
+
+
+class TileWiseIndexing(IndexingMethod):
+    """2D tiles traversed row-major, row-major inside each tile.
+
+    Partitions CTAs along both dimensions at once, which shortens the
+    inter-CTA reuse distance for kernels like MM but costs extra index
+    arithmetic (Section 5.2-(6)).  Ragged edge tiles are handled by
+    clipping to the grid.
+    """
+
+    index_cost_units = 1
+
+    def __init__(self, grid: Dim3, tile_w: int = 4, tile_h: int = 4):
+        super().__init__(grid)
+        if tile_w < 1 or tile_h < 1:
+            raise ValueError("tile extents must be positive")
+        self.tile_w = tile_w
+        self.tile_h = tile_h
+        self._tiles_x = (grid.x + tile_w - 1) // tile_w
+        self._tiles_y = (grid.y + tile_h - 1) // tile_h
+        # Precompute tile base offsets (ragged tiles have fewer CTAs).
+        self._tile_base = []
+        offset = 0
+        for ty in range(self._tiles_y):
+            for tx in range(self._tiles_x):
+                self._tile_base.append(offset)
+                offset += self._tile_size(tx, ty)
+        self._total = offset
+
+    @property
+    def name(self):  # noqa: D401 - property overrides class attribute
+        return f"tile-{self.tile_w}x{self.tile_h}"
+
+    def _tile_size(self, tx, ty):
+        w = min(self.tile_w, self.grid.x - tx * self.tile_w)
+        h = min(self.tile_h, self.grid.y - ty * self.tile_h)
+        return w * h
+
+    def linearize(self, bx, by):
+        self._check(bx, by)
+        tx, lx = divmod(bx, self.tile_w)
+        ty, ly = divmod(by, self.tile_h)
+        tile = ty * self._tiles_x + tx
+        w = min(self.tile_w, self.grid.x - tx * self.tile_w)
+        return self._tile_base[tile] + ly * w + lx
+
+    def coords(self, v):
+        if not 0 <= v < self._total:
+            raise IndexError(f"linear id {v} outside grid {self.grid}")
+        # binary search over tile bases
+        lo, hi = 0, len(self._tile_base) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._tile_base[mid] <= v:
+                lo = mid
+            else:
+                hi = mid - 1
+        tile = lo
+        ty, tx = divmod(tile, self._tiles_x)
+        local = v - self._tile_base[tile]
+        w = min(self.tile_w, self.grid.x - tx * self.tile_w)
+        ly, lx = divmod(local, w)
+        return tx * self.tile_w + lx, ty * self.tile_h + ly
+
+
+class ArbitraryIndexing(IndexingMethod):
+    """User-supplied permutation of the row-major order.
+
+    ``permutation[v_new] = v_row_major`` — lets application developers
+    express customized clustering (the fourth method in Figure 7).
+    """
+
+    name = "arbitrary"
+
+    def __init__(self, grid: Dim3, permutation):
+        super().__init__(grid)
+        permutation = list(permutation)
+        if sorted(permutation) != list(range(grid.count)):
+            raise ValueError("permutation must be a bijection over the grid")
+        self._perm = permutation
+        self._inverse = [0] * len(permutation)
+        for new, old in enumerate(permutation):
+            self._inverse[old] = new
+
+    def linearize(self, bx, by):
+        self._check(bx, by)
+        return self._inverse[by * self.grid.x + bx]
+
+    def coords(self, v):
+        old = self._perm[v]
+        by, bx = divmod(old, self.grid.x)
+        return bx, by
+
+
+@dataclass(frozen=True)
+class PartitionDirection:
+    """The paper's partition naming: direction + the indexing it implies."""
+
+    name: str
+    indexing_cls: type
+
+    def build(self, grid: Dim3) -> IndexingMethod:
+        return self.indexing_cls(grid)
+
+
+#: Y-partitioning clusters row-adjacent CTAs (row-major indexing).
+Y_PARTITION = PartitionDirection("Y-P", RowMajorIndexing)
+#: X-partitioning clusters column-adjacent CTAs (column-major indexing).
+X_PARTITION = PartitionDirection("X-P", ColumnMajorIndexing)
+
+DIRECTIONS = {"Y-P": Y_PARTITION, "X-P": X_PARTITION}
+
+
+def direction(name: str) -> PartitionDirection:
+    """Look up ``"X-P"`` / ``"Y-P"`` (Table 2's Partition column)."""
+    try:
+        return DIRECTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown partition direction {name!r}; "
+                       f"expected one of {sorted(DIRECTIONS)}") from None

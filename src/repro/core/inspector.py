@@ -1,0 +1,168 @@
+"""Inspector-based clustering for data-related kernels (extension).
+
+Section 4.1 notes that some data-related applications become
+clusterable if their runtime access pattern can be predicted, citing
+inspector-executor work ([38, 39]: profile a lightweight inspector —
+e.g. the first BFS layers — to predict the data organization).  The
+paper leaves this "beyond the scope of this work"; this module
+implements it as the natural extension:
+
+1. **Inspect** — sample a fraction of the kernel's CTAs and record
+   which cache lines each touches (the inspector kernel's job).
+2. **Build the affinity graph** of paper Problem 1: CTAs are vertices,
+   edge weights count shared lines.
+3. **Order** the CTAs by greedy affinity agglomeration so the balanced
+   chunking of :class:`~repro.core.partition.BalancedPartition` keeps
+   heavy edges inside clusters, and hand the order to
+   :class:`~repro.core.indexing.ArbitraryIndexing` — the "customized
+   indexing method" of Figure 7.
+
+The result plugs straight into :func:`~repro.core.agent.agent_plan`
+via the ``indexing`` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import ArbitraryIndexing
+from repro.gpu.config import GpuConfig
+from repro.gpu.plan import ExecutionPlan
+from repro.kernels.access import coalesce
+from repro.kernels.kernel import KernelSpec
+
+
+@dataclass
+class InspectionResult:
+    """The affinity structure recovered by the inspector."""
+
+    kernel_name: str
+    sampled_ctas: int
+    graph: "nx.Graph"
+    line_granularity: int
+
+    @property
+    def affinity_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def total_affinity(self) -> float:
+        return sum(d["weight"] for _, _, d in self.graph.edges(data=True))
+
+
+def inspect_kernel(kernel: KernelSpec, sample_fraction: float = 1.0,
+                   line_granularity: int = 128,
+                   max_lines_per_cta: int = 512) -> InspectionResult:
+    """Record per-CTA line footprints and build the affinity graph.
+
+    ``sample_fraction`` < 1 inspects a strided subset of CTAs (the
+    lightweight-inspector tradeoff); unsampled CTAs keep their
+    canonical position in the final order.
+    """
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    stride = max(1, round(1.0 / sample_fraction))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(kernel.n_ctas))
+    line_owners: "dict[int, list[int]]" = {}
+    sampled = 0
+    for v in range(0, kernel.n_ctas, stride):
+        sampled += 1
+        lines = set()
+        for access in kernel.cta_trace(v):
+            if access.is_write:
+                continue
+            for seg in coalesce(access, line_granularity):
+                lines.add(seg)
+                if len(lines) >= max_lines_per_cta:
+                    break
+        for line in lines:
+            line_owners.setdefault(line, []).append(v)
+    for owners in line_owners.values():
+        if len(owners) < 2:
+            continue
+        # consecutive sharers carry the edge; full cliques explode on
+        # broadcast data and add no ordering information
+        for a, b in zip(owners, owners[1:]):
+            if graph.has_edge(a, b):
+                graph[a][b]["weight"] += 1
+            else:
+                graph.add_edge(a, b, weight=1)
+    return InspectionResult(kernel_name=kernel.name, sampled_ctas=sampled,
+                            graph=graph, line_granularity=line_granularity)
+
+
+def affinity_order(inspection: InspectionResult) -> "list[int]":
+    """Prim-style agglomeration over the affinity graph.
+
+    Components are emitted largest-first; within a component, CTAs
+    join the order by the heaviest edge into the already-placed set —
+    so strongly-sharing CTAs end up adjacent and the balanced chunking
+    conserves their affinity.  Unconnected CTAs keep canonical order.
+    """
+    import heapq
+
+    graph = inspection.graph
+    order: "list[int]" = []
+    placed: "set[int]" = set()
+    for component in sorted(nx.connected_components(graph),
+                            key=len, reverse=True):
+        if len(component) < 2:
+            continue
+        seed = max(component,
+                   key=lambda v: graph.degree(v, weight="weight"))
+        heap = [(0.0, seed)]
+        while heap:
+            _, vertex = heapq.heappop(heap)
+            if vertex in placed:
+                continue
+            order.append(vertex)
+            placed.add(vertex)
+            for neighbor, data in graph[vertex].items():
+                if neighbor not in placed:
+                    heapq.heappush(heap, (-data["weight"], neighbor))
+    for v in range(graph.number_of_nodes()):
+        if v not in placed:
+            order.append(v)
+            placed.add(v)
+    return order
+
+
+def conserved_affinity(inspection: InspectionResult, order: "list[int]",
+                       n_clusters: int) -> float:
+    """Fraction of affinity weight kept inside clusters by an order."""
+    position = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    q, r = divmod(n, n_clusters)
+
+    def cluster_of(index: int) -> int:
+        boundary = r * (q + 1)
+        if index < boundary:
+            return index // (q + 1)
+        return r + (index - boundary) // max(1, q)
+
+    kept = 0.0
+    total = 0.0
+    for a, b, d in inspection.graph.edges(data=True):
+        total += d["weight"]
+        if cluster_of(position[a]) == cluster_of(position[b]):
+            kept += d["weight"]
+    if total == 0:
+        return 1.0
+    return kept / total
+
+
+def inspector_plan(kernel: KernelSpec, config: GpuConfig,
+                   sample_fraction: float = 1.0,
+                   active_agents: int = None) -> "tuple[ExecutionPlan, InspectionResult]":
+    """Inspect, order, and build an agent plan over the custom order."""
+    inspection = inspect_kernel(kernel, sample_fraction=sample_fraction,
+                                line_granularity=config.l1_line)
+    order = affinity_order(inspection)
+    indexing = ArbitraryIndexing(kernel.grid, order)
+    plan = agent_plan(kernel, config, indexing=indexing,
+                      active_agents=active_agents, scheme="CLU+INS")
+    return plan, inspection

@@ -1,0 +1,139 @@
+"""Step 1 & 2 of CTA-Clustering: Partitioning ``f`` and Inverting ``f⁻¹``.
+
+The partitioning problem (paper Problem 1) asks for M balanced
+clusters of the CTA graph maximizing intra-cluster reuse; it is
+NP-complete in general, so the paper's practical solution — which we
+implement here — chunks the CTA *order* produced by an indexing
+method into M balanced contiguous chunks (Equations 3–5) and inverts
+the mapping in closed form (Equations 6–7).  The locality objective is
+met by choosing the indexing (row-major ⇒ Y-partitioning, column-major
+⇒ X-partitioning, …) so that CTAs with reuse are adjacent in the
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.indexing import IndexingMethod
+
+
+@dataclass(frozen=True)
+class ClusterPosition:
+    """``(w, i)``: position ``w`` within cluster ``i`` (paper Eq. 2)."""
+
+    w: int
+    i: int
+
+
+class BalancedPartition:
+    """Balanced chunking of ``n`` ordered CTAs into ``m`` clusters.
+
+    With ``q, r = divmod(n, m)``, the first ``r`` clusters hold
+    ``q + 1`` CTAs and the rest hold ``q`` — the paper's balance
+    constraint (at most one CTA of skew between clusters).
+    """
+
+    def __init__(self, n_ctas: int, n_clusters: int):
+        if n_ctas < 1:
+            raise ValueError("need at least one CTA")
+        if n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.n_ctas = n_ctas
+        self.n_clusters = n_clusters
+        self._q, self._r = divmod(n_ctas, n_clusters)
+
+    def cluster_size(self, i: int) -> int:
+        """Number of CTAs in cluster ``i``."""
+        self._check_cluster(i)
+        return self._q + (1 if i < self._r else 0)
+
+    def assign(self, v: int) -> ClusterPosition:
+        """Partition function ``f(v) -> (w, i)`` (Equations 3–5)."""
+        if not 0 <= v < self.n_ctas:
+            raise IndexError(f"CTA order id {v} outside [0, {self.n_ctas})")
+        q, r = self._q, self._r
+        boundary = r * (q + 1)
+        if v < boundary:
+            i, w = divmod(v, q + 1)
+        else:
+            i_off, w = divmod(v - boundary, q) if q else (0, 0)
+            i = r + i_off
+        return ClusterPosition(w, i)
+
+    def invert(self, w: int, i: int) -> int:
+        """Inverse function ``f⁻¹((w, i)) -> v`` (Equation 7).
+
+        ``v = i*(|V|/M + 1) + w + min(|V|%M - i, 0)``.
+        """
+        self._check_cluster(i)
+        if not 0 <= w < self.cluster_size(i):
+            raise IndexError(
+                f"position {w} outside cluster {i} of size {self.cluster_size(i)}")
+        return i * (self._q + 1) + w + min(self._r - i, 0)
+
+    def cluster_members(self, i: int) -> "list[int]":
+        """All order ids of cluster ``i``, in position order."""
+        return [self.invert(w, i) for w in range(self.cluster_size(i))]
+
+    def _check_cluster(self, i):
+        if not 0 <= i < self.n_clusters:
+            raise IndexError(f"cluster {i} outside [0, {self.n_clusters})")
+
+
+class CtaPartitioner:
+    """Partition a kernel grid under a chosen indexing method.
+
+    Combines the indexing linearization (which encodes the locality-
+    preserving order) with the balanced chunking, and translates
+    between the kernel's canonical row-major CTA ids and cluster task
+    lists — the form the agent-based runtime consumes.
+    """
+
+    def __init__(self, indexing: IndexingMethod, n_clusters: int):
+        self.indexing = indexing
+        self.partition = BalancedPartition(indexing.grid.count, n_clusters)
+
+    @property
+    def n_clusters(self) -> int:
+        return self.partition.n_clusters
+
+    def cluster_of(self, bx: int, by: int) -> ClusterPosition:
+        """Which cluster/position the CTA at grid coords lands in."""
+        return self.partition.assign(self.indexing.linearize(bx, by))
+
+    def task(self, w: int, i: int) -> "tuple[int, int]":
+        """Grid coords of the CTA at position ``w`` of cluster ``i``."""
+        return self.indexing.coords(self.partition.invert(w, i))
+
+    def cluster_tasks(self, i: int) -> "list[int]":
+        """Cluster ``i``'s task list as canonical row-major CTA ids."""
+        gx = self.indexing.grid.x
+        tasks = []
+        for v in self.partition.cluster_members(i):
+            bx, by = self.indexing.coords(v)
+            tasks.append(by * gx + bx)
+        return tasks
+
+    def all_cluster_tasks(self) -> "list[list[int]]":
+        """Task lists for every cluster (index = cluster = SM id)."""
+        return [self.cluster_tasks(i) for i in range(self.n_clusters)]
+
+    def conserved_affinity(self, neighbors) -> float:
+        """Fraction of reuse edges conserved within clusters.
+
+        ``neighbors(v)`` yields the order ids sharing data with order
+        id ``v``; used by tests and the ablation study to compare
+        indexing choices against Problem 1's objective.
+        """
+        total = 0
+        kept = 0
+        for v in range(self.partition.n_ctas):
+            ci = self.partition.assign(v).i
+            for u in neighbors(v):
+                total += 1
+                if self.partition.assign(u).i == ci:
+                    kept += 1
+        if total == 0:
+            return 1.0
+        return kept / total

@@ -1,0 +1,50 @@
+"""CTA prefetching under a reshaped order (paper §4.3-III).
+
+For kernels with *no exploitable* inter-CTA locality, CTA-Clustering
+is still useful as an order-imposing device: once an agent knows which
+task follows its current one, it can preload the successor's data into
+L1 before retiring (the PREFETCH_L1 macros of Listing 5).  This is
+only possible because the L1 preserves data across CTA retirement and
+because clustering replaces the orderless hardware dispatch with a
+deterministic task sequence.
+
+The transform is simply an agent plan with ``prefetch_depth`` set;
+this module chooses the depth and packages the paper's "PFH+TOT"
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import PartitionDirection, Y_PARTITION
+from repro.gpu.config import GpuConfig
+from repro.gpu.plan import ExecutionPlan
+from repro.kernels.kernel import KernelSpec
+
+#: Default number of leading warp accesses of the successor task to
+#: preload.  Deep prefetching repeats more address computation and
+#: risks early eviction (§5.2-(3)); shallow depths match the paper's
+#: modest expectations.
+DEFAULT_PREFETCH_DEPTH = 4
+
+
+def choose_prefetch_depth(kernel: KernelSpec, config: GpuConfig,
+                          max_depth: int = DEFAULT_PREFETCH_DEPTH) -> int:
+    """Bound the prefetch depth by the task's own trace length."""
+    if kernel.n_ctas == 0:
+        return 0
+    head = len(kernel.cta_trace(0))
+    return max(1, min(max_depth, head))
+
+
+def prefetch_plan(kernel: KernelSpec, config: GpuConfig,
+                  partition_direction: PartitionDirection = Y_PARTITION,
+                  active_agents: int = None,
+                  depth: int = None) -> ExecutionPlan:
+    """Build the PFH(+TOT) plan: reshaped order + successor preloading."""
+    if depth is None:
+        depth = choose_prefetch_depth(kernel, config)
+    plan = agent_plan(kernel, config, partition_direction,
+                      active_agents=active_agents, prefetch_depth=depth,
+                      scheme="PFH+TOT")
+    return plan

@@ -1,0 +1,72 @@
+"""CTA throttling (paper §4.3-I): choosing ACTIVE_AGENTS.
+
+Throttling limits the concurrent agents per SM to reduce contention
+for caches and bandwidth.  The paper decides the throttling degree at
+runtime with a dynamic CTA voting scheme (similar to [12]): try
+candidate degrees, keep the fastest.  :func:`vote_active_agents`
+implements that vote against the simulator; callers can shrink the
+kernel first (a "reduced problem size" probe) to keep the vote cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import PartitionDirection, Y_PARTITION
+from repro.gpu.config import GpuConfig
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.gpu.simulator import run_measured
+from repro.kernels.kernel import KernelSpec
+
+
+def throttle_candidates(max_agents: int) -> "list[int]":
+    """Candidate ACTIVE_AGENTS values: powers of two plus the maximum."""
+    if max_agents < 1:
+        raise ValueError("max_agents must be >= 1")
+    candidates = []
+    step = 1
+    while step < max_agents:
+        candidates.append(step)
+        step *= 2
+    candidates.append(max_agents)
+    return candidates
+
+
+@dataclass(frozen=True)
+class ThrottleVote:
+    """Outcome of the dynamic voting scheme."""
+
+    active_agents: int
+    max_agents: int
+    cycles_by_candidate: "dict[int, float]"
+
+    @property
+    def throttled(self) -> bool:
+        return self.active_agents < self.max_agents
+
+
+def vote_active_agents(simulator, kernel: KernelSpec,
+                       partition_direction: PartitionDirection = Y_PARTITION,
+                       bypass_streams: bool = False,
+                       candidates=None) -> ThrottleVote:
+    """Pick the ACTIVE_AGENTS degree that minimizes simulated cycles.
+
+    ``simulator`` is a :class:`~repro.gpu.simulator.GpuSimulator`;
+    its config determines MAX_AGENTS.  Ties go to the larger degree
+    (throttle only when it actually helps, §5.2-(4)).
+    """
+    config: GpuConfig = simulator.config
+    max_agents = max_ctas_per_sm(config, kernel)
+    if candidates is None:
+        candidates = throttle_candidates(max_agents)
+    results = {}
+    for degree in candidates:
+        if not 1 <= degree <= max_agents:
+            raise ValueError(f"candidate {degree} outside [1, {max_agents}]")
+        plan = agent_plan(kernel, config, partition_direction,
+                          active_agents=degree, bypass_streams=bypass_streams)
+        results[degree] = run_measured(simulator, kernel, plan).cycles
+    best = min(sorted(results, reverse=True), key=results.get)
+    return ThrottleVote(active_agents=best, max_agents=max_agents,
+                        cycles_by_candidate=results)

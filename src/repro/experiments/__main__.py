@@ -1,0 +1,90 @@
+"""Command-line entry: regenerate any (or every) paper artifact.
+
+Usage::
+
+    python -m repro.experiments                # everything (slow)
+    python -m repro.experiments table1 fig2    # selected artifacts
+    python -m repro.experiments fig12 --scale 0.5 --platforms Kepler
+
+The figure-12/13 sweep is shared, so asking for both costs one sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.evaluation import run_evaluation
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4_taxonomy import run_fig4
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.scheduler_study import run_scheduler_study
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.gpu.config import EVALUATION_PLATFORMS
+
+ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
+             "scheduler", "ablations")
+
+
+def _select_platforms(names):
+    if not names:
+        return EVALUATION_PLATFORMS
+    chosen = []
+    for gpu in EVALUATION_PLATFORMS:
+        if gpu.name in names or gpu.architecture.value in names:
+            chosen.append(gpu)
+    if not chosen:
+        raise SystemExit(f"no platform matches {names!r}; known: "
+                         f"{[g.name for g in EVALUATION_PLATFORMS]}")
+    return tuple(chosen)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("artifacts", nargs="*", choices=[[], *ARTIFACTS],
+                        help="artifacts to regenerate (default: all)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload problem scale (default 1.0)")
+    parser.add_argument("--platforms", nargs="*", default=None,
+                        help="restrict to platform/architecture names")
+    args = parser.parse_args(argv)
+    wanted = list(args.artifacts) or list(ARTIFACTS)
+    platforms = _select_platforms(args.platforms)
+
+    sweep = None
+    for artifact in wanted:
+        start = time.time()
+        if artifact == "table1":
+            print(run_table1().render())
+        elif artifact == "fig2":
+            print(run_fig2(platforms=platforms).render())
+        elif artifact == "fig3":
+            print(run_fig3(scale=min(args.scale, 0.5)).render())
+        elif artifact == "fig4":
+            print(run_fig4().render())
+        elif artifact == "table2":
+            print(run_table2().render())
+        elif artifact in ("fig12", "fig13"):
+            if sweep is None:
+                sweep = run_evaluation(platforms=platforms,
+                                       scale=args.scale,
+                                       use_paper_agents=True)
+            view = run_fig12 if artifact == "fig12" else run_fig13
+            print(view(sweep=sweep).render())
+        elif artifact == "scheduler":
+            print(run_scheduler_study().render())
+        elif artifact == "ablations":
+            print(run_ablations().render())
+        print(f"[{artifact}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

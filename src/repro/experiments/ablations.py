@@ -1,0 +1,137 @@
+"""Section 5.2 ablations — the design-choice probes the paper discusses.
+
+* **Tile-wise indexing on MM** (observation 6): tile-wise clustering
+  shortens MM's inter-CTA reuse distance — hit rate up, L2 down — but
+  the extra index arithmetic eats the gain.
+* **Throttling degree sweep** (observation 4): per-degree cycles for a
+  contention-bound workload, showing the optimum sits well below the
+  maximum for KMN-like kernels and at the maximum for NN-like ones.
+* **L1 size sensitivity**: Fermi/Kepler let the programmer trade L1
+  against shared memory (Table 1); clustering benefits grow with the
+  larger configuration.
+* **Sectoring** (observation 6-iii): Maxwell with the two-sector
+  L1/Tex vs. a hypothetical unsectored one — the sector split is a
+  real cost for cross-agent reuse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import TileWiseIndexing
+from repro.core.throttling import throttle_candidates
+from repro.experiments.report import format_table
+from repro.experiments.schemes import partition_for
+from repro.gpu.config import GTX570, GTX980, KB, TESLA_K40
+from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.workloads.registry import workload
+
+
+@dataclass
+class AblationRow:
+    study: str
+    configuration: str
+    speedup: float
+    l1_hit_rate: float
+    l2_normalized: float
+
+
+@dataclass
+class AblationResult:
+    rows: "list[AblationRow]" = field(default_factory=list)
+
+    def rows_for(self, study: str) -> "list[AblationRow]":
+        return [r for r in self.rows if r.study == study]
+
+    def render(self) -> str:
+        table_rows = [[r.study, r.configuration, r.speedup,
+                       f"{r.l1_hit_rate:.2f}", r.l2_normalized]
+                      for r in self.rows]
+        return format_table(
+            ["Study", "Configuration", "Speedup", "L1 hit", "L2 norm"],
+            table_rows, title="Section 5.2 ablations")
+
+
+def _measure(sim, kernel, plan, base, study, label, result):
+    metrics = run_measured(sim, kernel, plan)
+    result.rows.append(AblationRow(
+        study=study, configuration=label,
+        speedup=base.cycles / metrics.cycles,
+        l1_hit_rate=metrics.l1_hit_rate,
+        l2_normalized=metrics.l2_transactions_vs(base)))
+
+
+def run_tile_indexing_ablation(result: AblationResult, seed: int = 0) -> None:
+    """MM: row-major vs tile-wise clustering (paper observation 6)."""
+    wl = workload("MM")
+    gpu = TESLA_K40
+    kernel = wl.kernel(config=gpu)
+    sim = GpuSimulator(gpu)
+    base = run_measured(sim, kernel, seed=seed)
+    part = partition_for(wl, kernel)
+    _measure(sim, kernel, agent_plan(kernel, gpu, part, scheme="CLU"),
+             base, "MM indexing", "row-major (Y-P)", result)
+    tile = TileWiseIndexing(kernel.grid, tile_w=4, tile_h=4)
+    _measure(sim, kernel, agent_plan(kernel, gpu, indexing=tile, scheme="CLU"),
+             base, "MM indexing", "tile-wise 4x4", result)
+
+
+def run_throttling_sweep(result: AblationResult, abbrs=("KMN", "NN"),
+                         seed: int = 0) -> None:
+    """Cycles per throttling degree (paper observation 4)."""
+    gpu = TESLA_K40
+    for abbr in abbrs:
+        wl = workload(abbr)
+        kernel = wl.kernel(config=gpu)
+        sim = GpuSimulator(gpu)
+        base = run_measured(sim, kernel, seed=seed)
+        part = partition_for(wl, kernel)
+        from repro.gpu.occupancy import max_ctas_per_sm
+        for degree in throttle_candidates(max_ctas_per_sm(gpu, kernel)):
+            plan = agent_plan(kernel, gpu, part, active_agents=degree)
+            _measure(sim, kernel, plan, base, f"{abbr} throttling",
+                     f"{degree} agents", result)
+
+
+def run_l1_size_ablation(result: AblationResult, abbr: str = "IMD",
+                         seed: int = 0) -> None:
+    """Fermi configurable L1: 16KB vs 48KB under clustering."""
+    wl = workload(abbr)
+    for size in GTX570.l1_configurable_sizes:
+        gpu = GTX570.with_l1_size(size)
+        kernel = wl.kernel(config=gpu)
+        sim = GpuSimulator(gpu)
+        base = run_measured(sim, kernel, seed=seed)
+        plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
+        _measure(sim, kernel, plan, base, f"{abbr} L1 size",
+                 f"{size // KB}KB L1", result)
+
+
+def run_sector_ablation(result: AblationResult, abbr: str = "IMD",
+                        seed: int = 0) -> None:
+    """Maxwell sectored vs hypothetical unsectored L1/Tex."""
+    wl = workload(abbr)
+    for sectors, label in ((2, "2 sectors (real)"), (1, "unsectored")):
+        gpu = dataclasses.replace(GTX980, l1_sectors=sectors)
+        kernel = wl.kernel(config=gpu)
+        sim = GpuSimulator(gpu)
+        base = run_measured(sim, kernel, seed=seed)
+        plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
+        _measure(sim, kernel, plan, base, f"{abbr} L1/Tex sectoring",
+                 label, result)
+
+
+def run_ablations(seed: int = 0) -> AblationResult:
+    """Run every Section-5.2 ablation."""
+    result = AblationResult()
+    run_tile_indexing_ablation(result, seed=seed)
+    run_throttling_sweep(result, seed=seed)
+    run_l1_size_ablation(result, seed=seed)
+    run_sector_ablation(result, seed=seed)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_ablations().render())

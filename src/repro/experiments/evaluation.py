@@ -1,0 +1,73 @@
+"""The shared Figure-12/13 evaluation sweep.
+
+Figures 12 and 13 plot the same experiment matrix — 23 applications x
+4 architectures x 6 configurations — from two angles (normalized
+speedup + achieved occupancy vs. L2 transactions + L1 hit rate), so a
+single sweep feeds both drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.schemes import SchemeResults, run_all_schemes
+from repro.gpu.config import EVALUATION_PLATFORMS, GpuConfig
+from repro.gpu.metrics import geometric_mean
+from repro.workloads.registry import EVALUATION_GROUPS, by_category
+
+#: Group order of the three sub-figures per architecture row.
+GROUP_ORDER = ("algorithm", "cache-line", "no-exploitable")
+
+
+@dataclass
+class EvaluationSweep:
+    """All scheme results, keyed by (gpu name, workload abbr)."""
+
+    scale: float
+    results: "dict[tuple[str, str], SchemeResults]" = field(default_factory=dict)
+    platforms: "tuple[GpuConfig, ...]" = EVALUATION_PLATFORMS
+
+    def result(self, gpu: GpuConfig, abbr: str) -> SchemeResults:
+        return self.results[(gpu.name, abbr)]
+
+    def group_geomean_speedup(self, gpu: GpuConfig, group: str,
+                              scheme: str) -> float:
+        values = [self.result(gpu, wl.abbr).speedup(scheme)
+                  for wl in by_category(group)]
+        return geometric_mean(values)
+
+    def group_geomean_l2(self, gpu: GpuConfig, group: str,
+                         scheme: str) -> float:
+        values = [max(1e-6, self.result(gpu, wl.abbr).l2_normalized(scheme))
+                  for wl in by_category(group)]
+        return geometric_mean(values)
+
+    def best_clustered_speedup(self, gpu: GpuConfig, abbr: str) -> float:
+        """Best of the clustering family for one app (figure annotations)."""
+        result = self.results[(gpu.name, abbr)]
+        return max(result.speedup(s)
+                   for s in ("CLU", "CLU+TOT", "CLU+TOT+BPS"))
+
+
+def run_evaluation(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER,
+                   scale: float = 1.0, seed: int = 0,
+                   use_paper_agents: bool = False) -> EvaluationSweep:
+    """Run the full (or restricted) Figure-12/13 matrix."""
+    sweep = EvaluationSweep(scale=scale, platforms=tuple(platforms))
+    for gpu in platforms:
+        for group in groups:
+            if group not in EVALUATION_GROUPS:
+                raise KeyError(f"unknown group {group!r}")
+            for workload in by_category(group):
+                sweep.results[(gpu.name, workload.abbr)] = run_all_schemes(
+                    workload, gpu, scale=scale, seed=seed,
+                    use_paper_agents=use_paper_agents)
+    return sweep
+
+
+def group_of(abbr: str) -> str:
+    """Which Figure-12 sub-figure an application belongs to."""
+    for group, members in EVALUATION_GROUPS.items():
+        if abbr in members:
+            return group
+    raise KeyError(abbr)

@@ -1,0 +1,65 @@
+"""Figure 3 — percentage of inter- vs intra-CTA reuse, 33 applications.
+
+Replays every Figure-3 workload's request stream through the reuse
+quantifier (:mod:`repro.analysis.reuse`) and reports the stacked
+inter/intra split in the paper's x-axis order, plus the headline
+average (the paper measures 45% inter-CTA on average and argues that
+is "a very significant portion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reuse import ReuseProfile, quantify_reuse
+from repro.experiments.report import bar, format_table
+from repro.workloads.registry import figure3_workloads
+
+#: CTA cap for the quantification: the fractions converge long before
+#: the full grid and the sweep covers 33 applications.
+MAX_CTAS = 250
+
+
+@dataclass
+class Fig3Result:
+    profiles: "list[ReuseProfile]" = field(default_factory=list)
+
+    @property
+    def average_inter_fraction(self) -> float:
+        fractions = [p.inter_reuse_fraction for p in self.profiles]
+        return sum(fractions) / len(fractions)
+
+    def inter_fraction(self, abbr: str) -> float:
+        for profile in self.profiles:
+            if profile.kernel_name == abbr:
+                return profile.inter_reuse_fraction
+        raise KeyError(abbr)
+
+    def render(self) -> str:
+        rows = []
+        for p in self.profiles:
+            rows.append([
+                p.kernel_name,
+                f"{100 * p.inter_reuse_fraction:.1f}%",
+                f"{100 * p.intra_reuse_fraction:.1f}%",
+                bar(p.inter_reuse_fraction),
+            ])
+        table = format_table(
+            ["App", "Inter_CTA", "Intra_CTA", "inter-CTA share"], rows,
+            title="Figure 3: inter- vs intra-CTA share of data reuse")
+        return (table + f"\n AVG inter-CTA reuse: "
+                        f"{100 * self.average_inter_fraction:.1f}% "
+                        f"(paper: 45%)")
+
+
+def run_fig3(scale: float = 0.5, max_ctas: int = MAX_CTAS) -> Fig3Result:
+    """Quantify reuse for the 33 Figure-3 applications."""
+    result = Fig3Result()
+    for workload in figure3_workloads():
+        kernel = workload.kernel(scale=scale)
+        result.profiles.append(quantify_reuse(kernel, max_ctas=max_ctas))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig3().render())

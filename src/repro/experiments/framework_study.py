@@ -1,0 +1,114 @@
+"""Framework fidelity study (Section 4.4 end to end).
+
+Runs the automatic optimization framework — classification probes,
+dependency analysis, throttling vote, scheme selection — over the whole
+Table-2 evaluation set and compares its decisions against the paper's
+ground truth: the declared locality category, the Table-2 partition
+direction, and whether the chosen transformation actually pays off.
+
+The paper presents the framework qualitatively (Figure 11); this study
+is the quantitative scorecard a deployment would care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import OptimizationDecision, optimize
+from repro.experiments.report import format_table
+from repro.gpu.config import GpuConfig, TESLA_K40
+from repro.workloads.base import Workload
+from repro.workloads.registry import table2_workloads
+
+
+@dataclass
+class FrameworkCase:
+    workload: Workload
+    decision: OptimizationDecision
+
+    @property
+    def category_correct(self) -> bool:
+        declared = {self.workload.category}
+        if self.workload.secondary_category is not None:
+            declared.add(self.workload.secondary_category)
+        return self.decision.category in declared
+
+    @property
+    def exploitability_correct(self) -> bool:
+        """The decision that actually matters: which optimization path."""
+        return (self.decision.category.exploitable
+                == self.workload.category.exploitable)
+
+    @property
+    def partition_matches_table2(self) -> bool:
+        if self.workload.table2 is None:
+            return True
+        return self.decision.direction.name == self.workload.table2.partition
+
+
+@dataclass
+class FrameworkStudyResult:
+    gpu_name: str
+    cases: "list[FrameworkCase]" = field(default_factory=list)
+
+    @property
+    def category_accuracy(self) -> float:
+        return sum(c.category_correct for c in self.cases) / len(self.cases)
+
+    @property
+    def exploitability_accuracy(self) -> float:
+        return (sum(c.exploitability_correct for c in self.cases)
+                / len(self.cases))
+
+    @property
+    def partition_accuracy(self) -> float:
+        return (sum(c.partition_matches_table2 for c in self.cases)
+                / len(self.cases))
+
+    @property
+    def never_hurts(self) -> bool:
+        """The framework's contract: it may decline to optimize, but it
+        must not ship a plan slower than the baseline."""
+        return all(c.decision.expected_speedup >= 0.97 for c in self.cases)
+
+    def render(self) -> str:
+        rows = []
+        for case in self.cases:
+            rows.append([
+                case.workload.abbr,
+                case.workload.category.value,
+                case.decision.category.value,
+                "ok" if case.exploitability_correct else "MISS",
+                case.workload.table2.partition,
+                case.decision.direction.name,
+                case.decision.scheme,
+                f"{case.decision.expected_speedup:.2f}x",
+            ])
+        table = format_table(
+            ["App", "Paper category", "Classified", "Path", "Paper part.",
+             "Chosen part.", "Scheme", "Gain"],
+            rows, title=f"Framework study on {self.gpu_name}")
+        return table + (
+            f"\n category accuracy {self.category_accuracy:.0%}, "
+            f"exploitability accuracy {self.exploitability_accuracy:.0%}, "
+            f"partition agreement {self.partition_accuracy:.0%}, "
+            f"never-hurts: {self.never_hurts}")
+
+
+def run_framework_study(config: GpuConfig = TESLA_K40,
+                        scale: float = 0.6,
+                        seed: int = 0) -> FrameworkStudyResult:
+    """Let the framework optimize every Table-2 workload."""
+    result = FrameworkStudyResult(gpu_name=config.name)
+    for workload in table2_workloads():
+        kernel = workload.kernel(scale=scale, config=config)
+        decision = optimize(kernel, config,
+                            probe_kernel=workload.probe_kernel(config),
+                            seed=seed)
+        result.cases.append(FrameworkCase(workload=workload,
+                                          decision=decision))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_framework_study().render())

@@ -1,0 +1,69 @@
+"""Plain-text rendering helpers for the experiment drivers.
+
+Every experiment driver returns a structured result object with a
+``render()`` method built on these helpers, so the same tables appear
+in the example scripts, the benchmark harness output and the tests.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a fixed-width ASCII table.
+
+    ``rows`` is an iterable of sequences; every cell is ``str()``-ed.
+    Numeric-looking cells are right-aligned, everything else left.
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, pad=" "):
+        out = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                out.append(cell.rjust(widths[i]))
+            else:
+                out.append(cell.ljust(widths[i]))
+        return pad + (" | ").join(out)
+
+    sep = "-" * (sum(widths) + 3 * len(widths))
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(sep)
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace("%", "").replace("x", "").replace(".", "", 1)
+    stripped = stripped.lstrip("+-")
+    return stripped.isdigit()
+
+
+def format_percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def bar(value: float, scale: float = 40.0, maximum: float = 1.0) -> str:
+    """A crude horizontal bar for series renderings."""
+    filled = int(round(scale * min(max(value, 0.0), maximum) / maximum))
+    return "#" * filled

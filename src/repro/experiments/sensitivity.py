@@ -1,0 +1,100 @@
+"""Model-sensitivity study: do the conclusions survive the knobs?
+
+The reproduction's timing model has three free parameters that the
+paper cannot pin down (they are microarchitectural details NVIDIA does
+not document): the memory-level-parallelism cap (``hiding_cap``), the
+CTA dispatch stagger (``join_stagger``) and — through the platform
+configs — the DRAM service time.  This study re-runs the three
+headline comparisons across a grid of those parameters and reports
+whether each *conclusion* (not each number) holds in every cell:
+
+* NN (algorithm-related) gains from clustering on Fermi;
+* ATX (cache-line-related) gains on Fermi but not on Maxwell;
+* BS (streaming) is flat everywhere.
+
+A reproduction whose claims flip with an undocumented knob would be
+worthless; this is the guard rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agent import agent_plan
+from repro.experiments.report import format_table
+from repro.experiments.schemes import partition_for
+from repro.gpu.config import GTX570, GTX980
+from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.workloads.registry import workload
+
+HIDING_CAPS = (8.0, 14.0, 20.0)
+JOIN_STAGGERS = (3, 6, 12)
+
+
+@dataclass
+class SensitivityCell:
+    hiding_cap: float
+    join_stagger: int
+    nn_fermi: float
+    atx_fermi: float
+    atx_maxwell: float
+    bs_fermi: float
+
+    @property
+    def conclusions_hold(self) -> bool:
+        return (self.nn_fermi > 1.05
+                and self.atx_fermi > 1.15
+                and 0.9 <= self.atx_maxwell <= 1.1
+                and 0.9 <= self.bs_fermi <= 1.1)
+
+
+@dataclass
+class SensitivityResult:
+    cells: "list[SensitivityCell]" = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(cell.conclusions_hold for cell in self.cells)
+
+    def render(self) -> str:
+        rows = [[c.hiding_cap, c.join_stagger, c.nn_fermi, c.atx_fermi,
+                 c.atx_maxwell, c.bs_fermi,
+                 "yes" if c.conclusions_hold else "NO"]
+                for c in self.cells]
+        table = format_table(
+            ["hiding cap", "join stagger", "NN@Fermi", "ATX@Fermi",
+             "ATX@Maxwell", "BS@Fermi", "conclusions hold?"],
+            rows, title="Timing-model sensitivity (CLU speedup per cell)")
+        return table + f"\n all conclusions hold: {self.all_hold}"
+
+
+def _clu_speedup(gpu, abbr, scale, hiding_cap, join_stagger, seed=0):
+    wl = workload(abbr)
+    kernel = wl.kernel(scale=scale, config=gpu)
+    sim = GpuSimulator(gpu, hiding_cap=hiding_cap,
+                       join_stagger=join_stagger)
+    base = run_measured(sim, kernel, seed=seed)
+    plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
+    clustered = run_measured(sim, kernel, plan, seed=seed)
+    return base.cycles / clustered.cycles
+
+
+def run_sensitivity(scale: float = 0.5,
+                    hiding_caps=HIDING_CAPS,
+                    join_staggers=JOIN_STAGGERS) -> SensitivityResult:
+    """Sweep the model knobs over the three headline comparisons."""
+    result = SensitivityResult()
+    for cap in hiding_caps:
+        for stagger in join_staggers:
+            result.cells.append(SensitivityCell(
+                hiding_cap=cap, join_stagger=stagger,
+                nn_fermi=_clu_speedup(GTX570, "NN", scale, cap, stagger),
+                atx_fermi=_clu_speedup(GTX570, "ATX", scale, cap, stagger),
+                atx_maxwell=_clu_speedup(GTX980, "ATX", scale, cap, stagger),
+                bs_fermi=_clu_speedup(GTX570, "BS", scale, cap, stagger),
+            ))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_sensitivity().render())

@@ -1,0 +1,104 @@
+"""Table 2 — benchmark characteristics.
+
+Regenerates the paper's per-application table: warps per CTA, baseline
+CTAs per SM on each architecture, register/shared-memory footprint,
+partition direction and optimal throttling agents.  Two sources are
+reported side by side:
+
+* the *paper* values stored in the workload registry, and
+* the *model* values our occupancy calculator derives from the same
+  resource numbers — a consistency check of the substrate (small
+  deviations reflect undocumented per-generation allocation
+  granularities; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import format_table
+from repro.gpu.config import EVALUATION_PLATFORMS
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.workloads.base import ARCH_ORDER, Workload
+from repro.workloads.registry import table2_workloads
+
+
+@dataclass
+class Table2Row:
+    workload: Workload
+    model_ctas: "tuple[int, ...]"
+
+    @property
+    def paper_ctas(self) -> "tuple[int, ...]":
+        return self.workload.table2.ctas_per_sm
+
+    @property
+    def ctas_match(self) -> bool:
+        return self.model_ctas == self.paper_ctas
+
+    @property
+    def ctas_close(self) -> bool:
+        """Within one CTA of the paper on every architecture."""
+        return all(abs(m - p) <= 1
+                   for m, p in zip(self.model_ctas, self.paper_ctas))
+
+
+@dataclass
+class Table2Result:
+    rows: "list[Table2Row]" = field(default_factory=list)
+
+    @property
+    def match_fraction(self) -> float:
+        """Share of (app, arch) cells where model == paper exactly."""
+        hits = 0
+        total = 0
+        for row in self.rows:
+            for m, p in zip(row.model_ctas, row.paper_ctas):
+                total += 1
+                hits += (m == p)
+        return hits / total if total else 0.0
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            t2 = row.workload.table2
+            table_rows.append([
+                row.workload.abbr,
+                row.workload.name,
+                row.workload.category.value,
+                t2.warps_per_cta,
+                "/".join(str(v) for v in t2.ctas_per_sm),
+                "/".join(str(v) for v in row.model_ctas),
+                "/".join(str(v) for v in t2.registers),
+                t2.smem_bytes,
+                t2.partition,
+                "/".join(str(v) for v in t2.opt_agents),
+                t2.suite,
+            ])
+        headers = ["abbr", "Application", "Category", "WP",
+                   "CTAs (paper)", "CTAs (model)", "Registers", "SMem",
+                   "Partition", "Opt Agents", "Ref"]
+        table = format_table(headers, table_rows,
+                             title="Table 2: Benchmark Characteristics "
+                                   "(F/K/M/P quadruples)")
+        return table + (f"\n model-vs-paper CTAs/SM exact-match: "
+                        f"{100 * self.match_fraction:.0f}% of cells")
+
+
+def run_table2() -> Table2Result:
+    """Build Table 2 from the registry plus the occupancy model."""
+    result = Table2Result()
+    arch_platforms = {gpu.architecture: gpu for gpu in EVALUATION_PLATFORMS}
+    for workload in table2_workloads():
+        model = []
+        for arch in ARCH_ORDER:
+            gpu = arch_platforms[arch]
+            kernel = workload.kernel(config=gpu)
+            model.append(max_ctas_per_sm(gpu, kernel))
+        result.rows.append(Table2Row(workload=workload,
+                                     model_ctas=tuple(model)))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table2().render())

@@ -1,0 +1,34 @@
+"""GPU simulator substrate: platforms, caches, scheduler, timing."""
+
+from repro.gpu.config import (
+    Architecture,
+    BY_ARCHITECTURE,
+    EVALUATION_PLATFORMS,
+    GTX570,
+    GTX750TI,
+    GTX980,
+    GTX1080,
+    GpuConfig,
+    PLATFORMS,
+    TESLA_K40,
+    platform,
+)
+from repro.gpu.metrics import KernelMetrics, geometric_mean
+from repro.gpu.occupancy import max_ctas_per_sm, occupancy_report
+from repro.gpu.plan import ExecutionPlan, baseline_plan
+from repro.gpu.scheduler import (
+    ObservedScheduler,
+    RandomizedScheduler,
+    RoundRobinScheduler,
+    SCHEDULERS,
+)
+from repro.gpu.simulator import GpuSimulator, run_baseline
+
+__all__ = [
+    "Architecture", "BY_ARCHITECTURE", "EVALUATION_PLATFORMS", "GTX570",
+    "GTX750TI", "GTX980", "GTX1080", "GpuConfig", "PLATFORMS", "TESLA_K40",
+    "platform", "KernelMetrics", "geometric_mean", "max_ctas_per_sm",
+    "occupancy_report", "ExecutionPlan", "baseline_plan", "ObservedScheduler",
+    "RandomizedScheduler", "RoundRobinScheduler", "SCHEDULERS", "GpuSimulator",
+    "run_baseline",
+]

@@ -1,0 +1,100 @@
+"""Kernel-level performance counters, mirroring the nvprof metrics
+the paper reports: elapsed cycles, L1 hit rate, L2 (read) transactions
+and achieved occupancy (Figures 12 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.cache import CacheStats
+
+
+@dataclass
+class CtaRecord:
+    """Per-CTA measurement, used by the Figure-2 microbenchmark study."""
+
+    original_id: int
+    sm_id: int
+    turnaround: int
+    access_cycles: float
+
+
+@dataclass
+class KernelMetrics:
+    """Counters for one simulated kernel launch."""
+
+    gpu_name: str = ""
+    kernel_name: str = ""
+    scheme: str = "BSL"
+    cycles: float = 0.0
+    sm_cycles: "list[float]" = field(default_factory=list)
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    l2_read_transactions: int = 0
+    l2_write_transactions: int = 0
+    dram_transactions: int = 0
+    warp_accesses: int = 0
+    ctas_executed: int = 0
+    overhead_cycles: float = 0.0
+    prefetch_issues: int = 0
+    occupancy_weighted_warps: float = 0.0
+    warp_slots: int = 1
+    cta_records: "list[CtaRecord]" = field(default_factory=list)
+    ctas_per_sm: "list[int]" = field(default_factory=list)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 (or L1/Tex unified) hit rate over read accesses."""
+        return self.l1.hit_rate
+
+    @property
+    def l2_transactions(self) -> int:
+        """Total L2 transactions, the paper's key cache metric."""
+        return self.l2_read_transactions + self.l2_write_transactions
+
+    @property
+    def achieved_occupancy(self) -> float:
+        """Time-weighted resident warps over warp slots (0..1).
+
+        This matches the CUDA profiler definition the paper uses:
+        the ratio of average active warps per active cycle to the
+        maximum number of warps supported on an SM.
+        """
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.occupancy_weighted_warps /
+                   (self.cycles * max(1, self.warp_slots)))
+
+    def speedup_over(self, baseline: "KernelMetrics") -> float:
+        """Wall-time speedup of this run relative to a baseline run."""
+        if self.cycles <= 0:
+            raise ValueError("cannot compute speedup of a zero-cycle run")
+        return baseline.cycles / self.cycles
+
+    def l2_transactions_vs(self, baseline: "KernelMetrics") -> float:
+        """L2 transactions normalized to a baseline run (lower is better)."""
+        if baseline.l2_transactions == 0:
+            return 1.0 if self.l2_transactions == 0 else float("inf")
+        return self.l2_transactions / baseline.l2_transactions
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.kernel_name:>8s} [{self.scheme:>11s}] on {self.gpu_name:<9s} "
+            f"cycles={self.cycles:>12.0f} l1_hit={self.l1_hit_rate:6.1%} "
+            f"l2_trans={self.l2_transactions:>9d} occ={self.achieved_occupancy:5.1%}"
+        )
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (paper's G-M aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

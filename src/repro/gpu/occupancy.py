@@ -1,0 +1,86 @@
+"""Occupancy calculation: how many CTAs fit concurrently on one SM.
+
+This reproduces the resource-bounding rules the paper relies on (the
+"CTAs" column of Table 2): a CTA is resident only while the SM has a
+free CTA slot, free warp slots, enough registers and enough shared
+memory.  Register and shared-memory allocations are rounded up to the
+hardware allocation granularity, which is why e.g. hotspot fits fewer
+CTAs than a naive division suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.kernels.kernel import KernelSpec
+
+#: Registers are allocated per warp in units of this many registers.
+REGISTER_ALLOCATION_UNIT = 256
+
+#: Shared memory is allocated per CTA in units of this many bytes.
+SMEM_ALLOCATION_UNIT = 256
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Breakdown of the per-resource CTA limits for one kernel/GPU pair."""
+
+    ctas_per_sm: int
+    limit_cta_slots: int
+    limit_warp_slots: int
+    limit_registers: int
+    limit_smem: int
+
+    @property
+    def limiting_resource(self) -> str:
+        """Name of the resource that bounds concurrency."""
+        limits = {
+            "cta_slots": self.limit_cta_slots,
+            "warp_slots": self.limit_warp_slots,
+            "registers": self.limit_registers,
+            "shared_memory": self.limit_smem,
+        }
+        return min(limits, key=limits.get)
+
+
+def _round_up(value: int, unit: int) -> int:
+    return (value + unit - 1) // unit * unit
+
+
+def occupancy_report(config: GpuConfig, kernel: KernelSpec) -> OccupancyReport:
+    """Compute the per-resource concurrency limits for a kernel."""
+    warps = kernel.warps_per_cta
+    limit_cta = config.cta_slots
+    limit_warp = config.warp_slots // warps
+    regs_per_warp = _round_up(kernel.regs_per_thread * 32, REGISTER_ALLOCATION_UNIT)
+    regs_per_cta = regs_per_warp * warps
+    limit_regs = config.registers_per_sm // regs_per_cta if regs_per_cta else limit_cta
+    if kernel.smem_per_cta > 0:
+        smem_cta = _round_up(kernel.smem_per_cta, SMEM_ALLOCATION_UNIT)
+        limit_smem = config.smem_per_sm // smem_cta
+    else:
+        limit_smem = limit_cta
+    ctas = max(0, min(limit_cta, limit_warp, limit_regs, limit_smem))
+    return OccupancyReport(ctas, limit_cta, limit_warp, limit_regs, limit_smem)
+
+
+def max_ctas_per_sm(config: GpuConfig, kernel: KernelSpec) -> int:
+    """Maximum concurrently-resident CTAs of this kernel on one SM.
+
+    Raises ``ValueError`` if the kernel cannot run at all (a single CTA
+    exceeds the SM's resources), matching a CUDA launch failure.
+    """
+    ctas = occupancy_report(config, kernel).ctas_per_sm
+    if ctas == 0:
+        raise ValueError(
+            f"kernel {kernel.name!r} cannot be launched on {config.name}: "
+            f"one CTA exceeds SM resources"
+        )
+    return ctas
+
+
+def theoretical_occupancy(config: GpuConfig, kernel: KernelSpec) -> float:
+    """Resident warps over warp slots at maximum residency (0..1)."""
+    ctas = max_ctas_per_sm(config, kernel)
+    return min(1.0, ctas * kernel.warps_per_cta / config.warp_slots)

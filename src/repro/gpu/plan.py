@@ -1,0 +1,59 @@
+"""Execution plans: how a (possibly transformed) kernel reaches the SMs.
+
+A plan is the simulator-facing output of the clustering transforms in
+:mod:`repro.core`.  Two modes mirror the paper's two worlds:
+
+* ``scheduled`` — CTAs flow through the hardware GigaThread Engine
+  model.  ``dispatch_map`` translates the *dispatch position* the
+  scheduler hands out into the original CTA that actually executes;
+  the identity map is the baseline, a non-trivial map is
+  redirection-based clustering (Listing 4).
+
+* ``placed`` — the hardware scheduler is circumvented entirely:
+  ``sm_tasks[s]`` is the ordered task list (original CTA ids) that the
+  persistent agents resident on SM ``s`` consume (Listing 5).
+  ``active_agents`` is the clustering concurrency (and the CTA
+  throttling knob), ``agent_bind_overhead`` the one-time SM-binding
+  cost and ``per_task_overhead`` the task-loop/index arithmetic cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+
+@dataclass
+class ExecutionPlan:
+    """Dispatch description consumed by :class:`~repro.gpu.simulator.GpuSimulator`."""
+
+    scheme: str = "BSL"
+    mode: str = "scheduled"
+    dispatch_map: Optional[Callable[[int], int]] = None
+    per_cta_overhead: float = 0.0
+    sm_tasks: Optional[Sequence[Sequence[int]]] = None
+    active_agents: int = 0
+    agent_bind_overhead: float = 0.0
+    per_task_overhead: float = 0.0
+    bypass_streams: bool = False
+    prefetch_depth: int = 0
+    notes: "dict" = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.mode not in ("scheduled", "placed"):
+            raise ValueError(f"unknown plan mode {self.mode!r}")
+        if self.mode == "placed" and self.sm_tasks is None:
+            raise ValueError("placed plans require sm_tasks")
+        if self.mode == "placed" and self.active_agents < 1:
+            raise ValueError("placed plans require active_agents >= 1")
+
+    def resolve(self, position: int) -> int:
+        """Map a dispatch position to the original CTA id (scheduled mode)."""
+        if self.dispatch_map is None:
+            return position
+        return self.dispatch_map(position)
+
+
+def baseline_plan() -> ExecutionPlan:
+    """The untransformed kernel: identity dispatch, no overheads."""
+    return ExecutionPlan(scheme="BSL", mode="scheduled")

@@ -1,0 +1,432 @@
+"""Trace-driven, cycle-approximate whole-GPU simulator.
+
+The simulator executes a :class:`~repro.kernels.kernel.KernelSpec`
+under an :class:`~repro.gpu.plan.ExecutionPlan` on a
+:class:`~repro.gpu.config.GpuConfig` and returns
+:class:`~repro.gpu.metrics.KernelMetrics`.
+
+Execution model
+---------------
+CTAs run on SMs in *waves* (the paper's "turnarounds"): each SM holds
+up to its occupancy limit of concurrent CTAs, and the traces of
+co-resident CTAs are interleaved chunk-round-robin through the SM's
+private L1 — which is exactly what makes spatial inter-CTA reuse (and
+contention/thrashing between co-resident CTAs) visible to the cache
+model.  SMs advance on a shared event heap ordered by their local
+clock, so the demand-driven scheduler and the shared L2 see requests
+in approximately global time order.
+
+Timing model
+------------
+Every warp access contributes wall time
+``compute_cycles_per_access / issue_width + latency / hiding`` where
+``hiding`` grows with resident warps up to a memory-level-parallelism
+cap.  Latencies honour in-flight fills: a request to a line whose fill
+is still pending waits for it (the "hit reserved" effect of
+Section 3.1-(1)).  The absolute numbers are approximate by design;
+the cache hit/miss/transaction counts that drive the paper's
+conclusions are measured exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+from repro.gpu.cache import make_l1, make_l2
+from repro.gpu.config import GpuConfig
+from repro.gpu.metrics import CtaRecord, KernelMetrics
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.gpu.plan import ExecutionPlan, baseline_plan
+from repro.gpu.scheduler import DEFAULT_SCHEDULER, CtaScheduler
+from repro.kernels.access import coalesce
+from repro.kernels.kernel import KernelSpec
+
+#: Warp accesses taken from each co-resident CTA before rotating.
+INTERLEAVE_CHUNK = 2
+
+#: Fraction of a pending fill's remaining wait that a *reserved hit*
+#: exposes to the wall clock.  The merged request occupies one MSHR
+#: entry, not a new memory round trip: the original miss already paid
+#: the fill's exposure, and most of the waiter's stall overlaps with
+#: other warps' execution.  The Figure-2 microbenchmark, which measures
+#: per-warp *observed* latency rather than throughput, models the full
+#: wait explicitly on the cache models instead.
+RESERVED_EXPOSURE = 0.2
+
+
+class GpuSimulator:
+    """Simulates kernel launches on one GPU platform.
+
+    ``hiding_cap`` bounds how many outstanding memory latencies an SM
+    can overlap (MSHR/LSU limit); it is the knob that keeps memory-
+    bound kernels memory-bound even at full occupancy.
+    """
+
+    def __init__(self, config: GpuConfig, scheduler: CtaScheduler = None,
+                 hiding_cap: float = 14.0, l1_enabled: bool = True,
+                 join_stagger: int = 6):
+        self.config = config
+        self.scheduler = scheduler if scheduler is not None else DEFAULT_SCHEDULER
+        self.hiding_cap = hiding_cap
+        self.l1_enabled = l1_enabled
+        self.join_stagger = join_stagger
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def fresh_caches(self):
+        """New cold per-SM L1s and a cold shared L2."""
+        config = self.config
+        return ([make_l1(config) for _ in range(config.num_sms)],
+                make_l2(config))
+
+    def run(self, kernel: KernelSpec, plan: ExecutionPlan = None,
+            record_per_cta: bool = False, seed: int = 0,
+            caches=None) -> KernelMetrics:
+        """Simulate one kernel launch and return its metrics.
+
+        ``caches`` lets callers carry cache *contents* across launches
+        (GPUs do not flush caches between kernel invocations); counters
+        are reset so the returned metrics cover this launch only.
+        """
+        plan = plan if plan is not None else baseline_plan()
+        config = self.config
+        metrics = KernelMetrics(
+            gpu_name=config.name,
+            kernel_name=kernel.name,
+            scheme=plan.scheme,
+            warp_slots=config.warp_slots * config.num_sms,
+            ctas_per_sm=[0] * config.num_sms,
+        )
+        if caches is None:
+            caches = self.fresh_caches()
+        l1s, l2 = caches
+        # Kernel-launch boundary semantics: the non-coherent per-SM L1s
+        # are invalidated between launches, while the L2 keeps its
+        # contents (with any in-flight fills long since completed).
+        for l1 in l1s:
+            l1.reset_stats()
+            l1.flush()
+        l2.reset_stats()
+        l2.settle()
+        trace_cache: dict = {}
+
+        if plan.mode == "scheduled":
+            self._run_scheduled(kernel, plan, metrics, l1s, l2, trace_cache,
+                                record_per_cta, seed)
+        else:
+            self._run_placed(kernel, plan, metrics, l1s, l2, trace_cache,
+                             record_per_cta)
+
+        for l1 in l1s:
+            metrics.l1.merge(l1.stats)
+        metrics.l2.merge(l2.stats)
+        metrics.cycles = max(metrics.sm_cycles) if metrics.sm_cycles else 0.0
+        return metrics
+
+    # ------------------------------------------------------------------
+    # dispatch loops
+    # ------------------------------------------------------------------
+
+    def _run_scheduled(self, kernel, plan, metrics, l1s, l2, trace_cache,
+                       record_per_cta, seed):
+        config = self.config
+        capacity = max_ctas_per_sm(config, kernel)
+        state = self.scheduler.start(kernel.n_ctas, config.num_sms, capacity, seed)
+        clocks = [0.0] * config.num_sms
+        heap = [(0.0, sm) for sm in range(config.num_sms)]
+        heapify(heap)
+        turnarounds = [0] * config.num_sms
+        # Hardware dispatch trickles CTA by CTA, so the final turnaround
+        # spreads the leftover CTAs evenly instead of letting the first
+        # SMs grab whole waves; the quota is frozen once on entry to the
+        # tail region to avoid progressive starvation.
+        tail_quota = None
+        while heap:
+            now, sm = heappop(heap)
+            if tail_quota is None:
+                remaining = state.remaining()
+                if remaining <= config.num_sms * capacity:
+                    # Fair share of the whole grid minus what each SM
+                    # already ran, so totals equalize.
+                    base, extra = divmod(kernel.n_ctas, config.num_sms)
+                    tail_quota = [
+                        max(0, base + (1 if i < extra else 0)
+                            - metrics.ctas_per_sm[i])
+                        for i in range(config.num_sms)
+                    ]
+            if tail_quota is None:
+                take = capacity
+            else:
+                # At least one CTA per visit: once an SM exhausts its
+                # quota it keeps trickling at CTA granularity, exactly
+                # like per-retire hardware dispatch.
+                take = max(1, min(capacity, tail_quota[sm]))
+            positions = state.take(sm, take)
+            if tail_quota is not None:
+                tail_quota[sm] -= len(positions)
+            if not positions:
+                continue
+            originals = [plan.resolve(u) for u in positions]
+            overhead = plan.per_cta_overhead * len(originals)
+            duration = self._execute_wave(
+                kernel, originals, now + 0.0, l1s[sm], l2, metrics,
+                trace_cache, record_per_cta, sm, turnarounds[sm], None, plan)
+            duration += overhead
+            metrics.overhead_cycles += overhead
+            metrics.ctas_executed += len(originals)
+            metrics.ctas_per_sm[sm] += len(originals)
+            clocks[sm] = now + duration
+            turnarounds[sm] += 1
+            heappush(heap, (clocks[sm], sm))
+        metrics.sm_cycles = clocks
+
+    def _run_placed(self, kernel, plan, metrics, l1s, l2, trace_cache,
+                    record_per_cta):
+        config = self.config
+        agents = plan.active_agents
+        queues = [deque(tasks) for tasks in plan.sm_tasks]
+        clocks = [0.0] * config.num_sms
+        for sm in range(config.num_sms):
+            if queues[sm]:
+                clocks[sm] = plan.agent_bind_overhead
+                metrics.overhead_cycles += plan.agent_bind_overhead
+        heap = [(clocks[sm], sm) for sm in range(config.num_sms) if queues[sm]]
+        heapify(heap)
+        turnarounds = [0] * config.num_sms
+        while heap:
+            now, sm = heappop(heap)
+            queue = queues[sm]
+            if not queue:
+                continue
+            wave = [queue.popleft() for _ in range(min(agents, len(queue)))]
+            prefetch_targets = None
+            if plan.prefetch_depth > 0:
+                prefetch_targets = list(queue)[:len(wave)]
+            overhead = plan.per_task_overhead * len(wave)
+            duration = self._execute_wave(
+                kernel, wave, now, l1s[sm], l2, metrics, trace_cache,
+                record_per_cta, sm, turnarounds[sm], prefetch_targets, plan)
+            duration += overhead
+            metrics.overhead_cycles += overhead
+            metrics.ctas_executed += len(wave)
+            metrics.ctas_per_sm[sm] += len(wave)
+            clocks[sm] = now + duration
+            turnarounds[sm] += 1
+            if queue:
+                heappush(heap, (clocks[sm], sm))
+        metrics.sm_cycles = clocks
+
+    # ------------------------------------------------------------------
+    # wave execution (hot path)
+    # ------------------------------------------------------------------
+
+    def _execute_wave(self, kernel, cta_ids, start, l1, l2, metrics,
+                      trace_cache, record_per_cta, sm_id, turnaround,
+                      prefetch_targets, plan):
+        config = self.config
+        n = len(cta_ids)
+        warps = kernel.warps_per_cta
+        resident_warps = n * warps
+        hiding = max(1.0, min(resident_warps * config.mlp_per_warp,
+                              self.hiding_cap))
+        issue_width = config.issue_width
+        alu_step = kernel.compute_cycles_per_access / issue_width
+        bypass = plan.bypass_streams
+        sectors = config.l1_sectors
+
+        traces = []
+        for v in cta_ids:
+            trace = trace_cache.get(v)
+            if trace is None:
+                trace = kernel.cta_trace(v)
+                trace_cache[v] = trace
+            traces.append(trace)
+
+        cursor = start
+        cta_cycles = [0.0] * n
+        # Chunk-round-robin interleave of the co-resident traces, with a
+        # pipelined start: hardware dispatches CTAs to an SM one after
+        # another, so slot k begins a few accesses behind slot k-1.  The
+        # stagger is what lets a later CTA take *clean* L1 hits on lines
+        # its predecessor requested, instead of hit-reserved waits.
+        indices = [0] * n
+        remaining = sum(len(t) for t in traces)
+        metrics.warp_accesses += remaining
+        active = 1
+        since_join = 0
+        while remaining:
+            progressed = False
+            for slot in range(active):
+                trace = traces[slot]
+                i = indices[slot]
+                if i >= len(trace):
+                    continue
+                progressed = True
+                stop = min(i + INTERLEAVE_CHUNK, len(trace))
+                # CTA-slot -> L1/Tex sector mapping: contiguous halves,
+                # so neighbouring co-resident CTAs mostly share a sector
+                sector = (slot * sectors) // n
+                for j in range(i, stop):
+                    access = trace[j]
+                    use_l1 = self.l1_enabled and not (bypass and access.is_stream)
+                    latency, service = self._do_access(access, l1, l2, cursor,
+                                                       sector, use_l1, metrics)
+                    step = alu_step + latency / hiding + service
+                    cursor += step
+                    cta_cycles[slot] += step
+                taken = stop - i
+                indices[slot] = stop
+                remaining -= taken
+                since_join += taken
+            if active < n and (since_join >= self.join_stagger
+                               or not progressed):
+                # join the next CTA on schedule — or immediately, when
+                # every already-active CTA has retired (short traces)
+                active += 1
+                since_join = 0
+
+        # prefetch the head of each agent's next task (Section 4.3-III)
+        if prefetch_targets:
+            cursor += self._issue_prefetches(kernel, prefetch_targets, l1, l2,
+                                             cursor, metrics, trace_cache,
+                                             hiding, plan)
+
+        fixed = kernel.fixed_compute_cycles * n / issue_width
+        duration = (cursor - start) + fixed
+        metrics.occupancy_weighted_warps += resident_warps * duration
+        if record_per_cta:
+            for slot, v in enumerate(cta_ids):
+                metrics.cta_records.append(CtaRecord(
+                    original_id=v, sm_id=sm_id, turnaround=turnaround,
+                    access_cycles=cta_cycles[slot]))
+        return duration
+
+    def _do_access(self, access, l1, l2, now, sector, use_l1, metrics):
+        """Route one warp access through the hierarchy.
+
+        Returns ``(latency, service)``: the load-to-use latency the warp
+        must hide, and the bandwidth service time its L2/DRAM traffic
+        occupies (the SM's share of the shared interconnect/DRAM
+        throughput, which cannot be hidden by multithreading).
+        """
+        config = self.config
+        if access.is_write:
+            service = 0.0
+            # L1 is write-evict: invalidate locally, write through to L2.
+            if use_l1:
+                for seg in coalesce(access, config.l1_line):
+                    l1.access(seg, now, 0.0, is_write=True, sector=sector)
+            for seg in coalesce(access, config.l2_line):
+                hit, _ = l2.access(seg, now, config.dram_latency - config.l2_latency,
+                                   is_write=True)
+                metrics.l2_write_transactions += 1
+                service += config.l2_service_cycles
+                if not hit:
+                    metrics.dram_transactions += 1
+                    service += config.dram_service_cycles
+            return 0.0, service  # stores do not stall the warp
+
+        if not use_l1:
+            worst = config.l2_latency
+            service = 0.0
+            for seg in coalesce(access, config.l2_line):
+                hit, ready = l2.access(seg, now,
+                                       config.dram_latency - config.l2_latency)
+                metrics.l2_read_transactions += 1
+                service += config.l2_service_cycles
+                if not hit:
+                    metrics.dram_transactions += 1
+                    service += config.dram_service_cycles
+                    worst = max(worst, config.dram_latency)
+                else:
+                    wait = max(0.0, ready - now) * RESERVED_EXPOSURE
+                    worst = max(worst, config.l2_latency + wait)
+            return worst, service
+
+        worst = config.l1_latency
+        service = 0.0
+        sub_per_line = config.l2_transactions_per_l1_miss
+        l2_line = config.l2_line
+        for seg in coalesce(access, config.l1_line):
+            hit, ready = l1.access(seg, now, 0.0, sector=sector)
+            if hit:
+                wait = max(0.0, ready - now) * RESERVED_EXPOSURE
+                worst = max(worst, config.l1_latency + wait)
+                continue
+            # L1 miss: fetch the full L1 line as l2-line-sized transactions
+            line_latency = config.l2_latency
+            for k in range(sub_per_line):
+                sub = seg + k * l2_line
+                l2_hit, _ = l2.access(sub, now,
+                                      config.dram_latency - config.l2_latency)
+                metrics.l2_read_transactions += 1
+                service += config.l2_service_cycles
+                if not l2_hit:
+                    metrics.dram_transactions += 1
+                    service += config.dram_service_cycles
+                    line_latency = config.dram_latency
+            l1.install(seg, now + line_latency, sector=sector)
+            worst = max(worst, line_latency)
+        return worst, service
+
+    def _issue_prefetches(self, kernel, targets, l1, l2, cursor, metrics,
+                          trace_cache, hiding, plan):
+        """Preload the first accesses of upcoming tasks into L1."""
+        config = self.config
+        cost = 0.0
+        issue = config.costs.prefetch_issue_cycles / config.issue_width
+        for slot, v in enumerate(targets):
+            trace = trace_cache.get(v)
+            if trace is None:
+                trace = kernel.cta_trace(v)
+                trace_cache[v] = trace
+            sector = (slot * config.l1_sectors) // max(1, len(targets))
+            for access in trace[:plan.prefetch_depth]:
+                if access.is_write:
+                    continue
+                for seg in coalesce(access, config.l1_line):
+                    if l1.contains(seg, sector=sector):
+                        continue
+                    line_latency = config.l2_latency
+                    for k in range(config.l2_transactions_per_l1_miss):
+                        sub = seg + k * config.l2_line
+                        l2_hit, _ = l2.access(
+                            sub, cursor,
+                            config.dram_latency - config.l2_latency)
+                        metrics.l2_read_transactions += 1
+                        cost += config.l2_service_cycles
+                        if not l2_hit:
+                            metrics.dram_transactions += 1
+                            cost += config.dram_service_cycles
+                            line_latency = config.dram_latency
+                    l1.install(seg, cursor + line_latency, sector=sector)
+                    metrics.prefetch_issues += 1
+                    cost += issue
+        return cost
+
+
+def run_baseline(config: GpuConfig, kernel: KernelSpec,
+                 seed: int = 0) -> KernelMetrics:
+    """Convenience: simulate the untransformed kernel on a platform."""
+    return GpuSimulator(config).run(kernel, baseline_plan(), seed=seed)
+
+
+def run_measured(simulator: GpuSimulator, kernel: KernelSpec,
+                 plan: ExecutionPlan = None, seed: int = 0,
+                 warmups: int = 1,
+                 record_per_cta: bool = False) -> KernelMetrics:
+    """Run warm-up launches, then measure — the paper's methodology.
+
+    The evaluation reports "the average of multiple runs"; on real
+    hardware the L2 (and L1) contents survive between launches, so the
+    measured runs see a warm memory hierarchy.  Each warm-up uses a
+    distinct scheduler seed, the measurement another.
+    """
+    caches = simulator.fresh_caches()
+    for i in range(warmups):
+        simulator.run(kernel, plan, seed=seed + i, caches=caches)
+    return simulator.run(kernel, plan, record_per_cta=record_per_cta,
+                         seed=seed + warmups, caches=caches)

@@ -1,0 +1,17 @@
+"""Kernel abstraction: access traces, grids and the microbenchmark."""
+
+from repro.kernels.access import WarpAccess, coalesce, coalescing_degree, read, write
+from repro.kernels.kernel import (
+    AddressSpace,
+    ArrayRef,
+    ArraySpec,
+    Dim3,
+    KernelSpec,
+    LocalityCategory,
+)
+
+__all__ = [
+    "WarpAccess", "coalesce", "coalescing_degree", "read", "write",
+    "AddressSpace", "ArrayRef", "ArraySpec", "Dim3", "KernelSpec",
+    "LocalityCategory",
+]

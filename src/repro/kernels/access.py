@@ -1,0 +1,103 @@
+"""Memory-access primitives for kernel traces.
+
+A kernel trace is a sequence of :class:`WarpAccess` records, one per
+warp-level load/store instruction.  Each record is a compact strided
+description (``base + lane*stride`` for ``lanes`` active lanes) because
+almost every GPU access pattern the paper's workloads exhibit is
+strided at warp granularity; irregular patterns are expressed as
+``lanes=1`` records per distinct address.
+
+:func:`coalesce` converts a warp access into the set of aligned memory
+segments it touches, exactly as the hardware coalescer does — at 128B
+granularity for the Fermi/Kepler L1, 32B for the Maxwell/Pascal
+L1/Tex unified cache and for the L2.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class WarpAccess(NamedTuple):
+    """One warp-level memory instruction.
+
+    ``base`` is the byte address of lane 0, ``stride`` the byte
+    distance between consecutive lanes, ``lanes`` the number of active
+    lanes (1..32) and ``size`` the per-lane element size in bytes.
+    ``is_write`` marks stores; ``is_stream`` marks accesses the
+    programmer/framework knows carry no inter-CTA reuse (candidates
+    for cache bypassing, Section 4.3-II).
+    """
+
+    base: int
+    stride: int
+    lanes: int
+    size: int
+    is_write: bool = False
+    is_stream: bool = False
+
+
+def read(base: int, stride: int = 4, lanes: int = 32, size: int = 4,
+         stream: bool = False) -> WarpAccess:
+    """Convenience constructor for a warp load."""
+    return WarpAccess(base, stride, lanes, size, False, stream)
+
+
+def write(base: int, stride: int = 4, lanes: int = 32, size: int = 4,
+          stream: bool = False) -> WarpAccess:
+    """Convenience constructor for a warp store."""
+    return WarpAccess(base, stride, lanes, size, True, stream)
+
+
+def coalesce(access: WarpAccess, segment: int) -> "list[int]":
+    """Return the aligned segment base addresses a warp access touches.
+
+    For dense strides (``stride <= segment``) the touched region is
+    contiguous and every segment between the first and last byte is
+    returned.  For scattered strides each lane hits its own segment
+    (deduplicated, in first-touch order).
+    """
+    base, stride, lanes, size = access.base, access.stride, access.lanes, access.size
+    if lanes <= 0:
+        return []
+    if lanes == 1:
+        first = (base // segment) * segment
+        last = ((base + size - 1) // segment) * segment
+        if first == last:
+            return [first]
+        return list(range(first, last + segment, segment))
+    if 0 <= stride <= segment:
+        lo = base
+        hi = base + (lanes - 1) * stride + size - 1
+        first = (lo // segment) * segment
+        last = (hi // segment) * segment
+        return list(range(first, last + segment, segment))
+    # Scattered: one segment per lane, deduplicated preserving order.
+    seen = {}
+    for lane in range(lanes):
+        addr = base + lane * stride
+        seg = (addr // segment) * segment
+        if seg not in seen:
+            seen[seg] = None
+        tail = ((addr + size - 1) // segment) * segment
+        if tail != seg and tail not in seen:
+            seen[tail] = None
+    return list(seen)
+
+
+def coalescing_degree(accesses, segment: int = 128) -> float:
+    """Average lanes served per memory segment (profiler-style metric).
+
+    A perfectly coalesced float32 warp load scores 32 lanes over a
+    128B segment; fully scattered accesses score close to 1.  The
+    automatic framework (Section 4.4) uses this to separate streaming
+    kernels from data-related ones.
+    """
+    total_lanes = 0
+    total_segments = 0
+    for access in accesses:
+        total_lanes += access.lanes
+        total_segments += len(coalesce(access, segment))
+    if total_segments == 0:
+        return 0.0
+    return total_lanes / total_segments

@@ -1,0 +1,138 @@
+"""The Listing-3 microbenchmark: is inter-CTA reuse exploitable on L1?
+
+The paper's probe launches one-warp CTAs — enough to fill every CTA
+slot for several turnarounds — where only the primary thread issues a
+single global load to an SM-specific address (``32 * smid``), so every
+CTA landing on the same SM reads the *same* data.  Timing that load
+per CTA reveals:
+
+* **temporal locality** (Figure 2-A): CTAs of later turnarounds hit in
+  L1 at L1 latency; first-turnaround CTAs see miss-or-hit-reserved
+  latency;
+* **spatial locality** (Figure 2-B): with staggered starts
+  (``DELAY * bid`` spin), only the very first CTA on the SM pays the
+  miss — its contemporaries arrive after the fill completed.
+
+This module reproduces the probe directly against the cache and
+scheduler models (the measurement is about *observed latency*, so it
+bypasses the throughput-oriented wave executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cache import make_l1, make_l2
+from repro.gpu.config import GpuConfig
+from repro.gpu.metrics import CtaRecord
+from repro.gpu.scheduler import CtaScheduler, ObservedScheduler
+
+#: Cycles of staggering per CTA id in the staggered variant (Listing 3
+#: sets DELAY long enough for the previous fill to land; the paper
+#: quotes e.g. 1200 cycles).
+STAGGER_DELAY = 1200.0
+
+#: Turnarounds per SM used in Listing 3 for each architecture family
+#: (4 on Fermi/Kepler, 2 on Maxwell/Pascal).
+def turnarounds_for(config: GpuConfig) -> int:
+    return 4 if config.static_warp_slot_binding else 2
+
+
+def cta_count(config: GpuConfig) -> int:
+    """Listing 3 line 18-21: SMs x CTA slots x turnarounds."""
+    return config.num_sms * config.cta_slots * turnarounds_for(config)
+
+
+@dataclass
+class MicrobenchResult:
+    """Per-CTA access latencies of one probe run."""
+
+    gpu_name: str
+    staggered: bool
+    records: "list[CtaRecord]"
+
+    def sm_records(self, sm_id: int) -> "list[CtaRecord]":
+        """Records of the CTAs dispatched to one SM, in dispatch order."""
+        return [r for r in self.records if r.sm_id == sm_id]
+
+    def sm_of_cta(self, cta_id: int) -> int:
+        for record in self.records:
+            if record.original_id == cta_id:
+                return record.sm_id
+        raise KeyError(f"CTA {cta_id} not found")
+
+    def figure2_series(self) -> "list[CtaRecord]":
+        """The paper's plotted series: the SM holding CTA-0."""
+        return self.sm_records(self.sm_of_cta(0))
+
+
+def run_microbench(config: GpuConfig, staggered: bool = False,
+                   scheduler: CtaScheduler = None,
+                   seed: int = 0) -> MicrobenchResult:
+    """Execute the Listing-3 probe on one platform.
+
+    Each CTA issues one 4-byte load to ``input[32 * smid]``; the
+    observed latency is recorded exactly as the CUDA ``clock()`` pair
+    would see it, including hit-reserved waits on in-flight fills.
+    """
+    scheduler = scheduler if scheduler is not None else ObservedScheduler()
+    n_ctas = cta_count(config)
+    capacity = config.cta_slots
+    state = scheduler.start(n_ctas, config.num_sms, capacity, seed)
+
+    l1s = [make_l1(config) for _ in range(config.num_sms)]
+    l2 = make_l2(config)
+    records = []
+    clocks = [0.0] * config.num_sms
+    turnaround = [0] * config.num_sms
+
+    # Per-SM virtual address: 32 floats * smid, padded so SMs never share.
+    def probe_addr(sm: int) -> int:
+        return 0x2000_0000 + sm * 32 * 4
+
+    active = True
+    while active:
+        active = False
+        for sm in range(config.num_sms):
+            wave = state.take(sm, capacity)
+            if not wave:
+                continue
+            active = True
+            base_time = clocks[sm]
+            finish = base_time
+            for position, cta in enumerate(wave):
+                if staggered:
+                    issue_time = base_time + STAGGER_DELAY * position
+                else:
+                    issue_time = base_time + 2.0 * position  # back-to-back issue
+                addr = probe_addr(sm)
+                sector = (position * config.l1_sectors) // max(1, len(wave))
+                hit, ready = l1s[sm].access(addr, issue_time, 0.0,
+                                            sector=sector)
+                if hit:
+                    latency = config.l1_latency + max(0.0, ready - issue_time)
+                else:
+                    l2_hit, _ = l2.access(
+                        addr, issue_time,
+                        config.dram_latency - config.l2_latency)
+                    fill = config.l2_latency if l2_hit else config.dram_latency
+                    l1s[sm].install(addr, issue_time + fill, sector=sector)
+                    latency = fill
+                records.append(CtaRecord(
+                    original_id=cta, sm_id=sm,
+                    turnaround=turnaround[sm], access_cycles=latency))
+                finish = max(finish, issue_time + latency)
+            clocks[sm] = finish + 50.0  # CTA retire/redispatch gap
+            turnaround[sm] += 1
+
+    return MicrobenchResult(gpu_name=config.name, staggered=staggered,
+                            records=records)
+
+
+def summarize_turnarounds(result: MicrobenchResult) -> "dict[int, float]":
+    """Mean observed latency per turnaround on the SM holding CTA-0."""
+    series = result.figure2_series()
+    sums: "dict[int, list[float]]" = {}
+    for record in series:
+        sums.setdefault(record.turnaround, []).append(record.access_cycles)
+    return {t: sum(v) / len(v) for t, v in sorted(sums.items())}

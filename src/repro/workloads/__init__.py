@@ -1,0 +1,5 @@
+"""Benchmark application models (Table 2's 23 + Figure 3's extras)."""
+
+from repro.workloads.base import Table2Row, Workload
+
+__all__ = ["Table2Row", "Workload"]

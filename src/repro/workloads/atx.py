@@ -1,0 +1,31 @@
+"""ATX — atax, matrix-transpose-and-vector multiply (Polybench) —
+cache-line-related.
+
+``y = A'(Ax)``: the transposed pass walks 32B column chunks of A
+(shared 128B lines across X-adjacent CTAs) while every CTA re-reads
+the full x vector.  Keeping the vector resident is what drives the
+paper's optimal throttling degree of a single agent per SM.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload
+from repro.workloads.cacheline_common import build_column_chunk_kernel
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    return build_column_chunk_kernel(
+        "ATX", scale, base_ctas=480, row_blocks=2, vector_rows=16, regs=13,
+        description="A'(Ax): column chunks plus a shared x vector")
+
+
+WORKLOAD = Workload(
+    abbr="ATX", name="atax", description="Matrix transpose and vector multiply",
+    category=LocalityCategory.CACHE_LINE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(13, 17, 17, 22), smem_bytes=0, partition="X-P",
+        opt_agents=(1, 1, 1, 1), suite="Polybench"),
+)

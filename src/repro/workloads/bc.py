@@ -1,0 +1,31 @@
+"""BC — bicg, BiCGStab linear solver kernel (Polybench) —
+cache-line-related.
+
+``q = A p; s = A' r``: the A-transpose pass walks 32B column chunks
+and both passes share the p/r vectors across every CTA.  Table 2
+throttles BC to one agent on Fermi/Kepler/Maxwell but leaves Pascal
+unthrottled — our voting reproduces the decision dynamically.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload
+from repro.workloads.cacheline_common import build_column_chunk_kernel
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    return build_column_chunk_kernel(
+        "BC", scale, base_ctas=480, row_blocks=2, vector_rows=16, regs=13,
+        description="BiCG kernels: column chunks plus shared p/r vectors")
+
+
+WORKLOAD = Workload(
+    abbr="BC", name="bicg", description="BiCGStab linear solver",
+    category=LocalityCategory.CACHE_LINE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(13, 16, 17, 22), smem_bytes=0, partition="X-P",
+        opt_agents=(1, 1, 1, 8), suite="Polybench"),
+)

@@ -1,0 +1,66 @@
+"""BFS — breadth-first search (Rodinia) — data- and write-related.
+
+Frontier nodes stream in coalesced, but the neighbour expansion
+follows the CSR edge lists wherever the graph points, and the level
+updates scatter-write the visited array.  Locality between CTAs is an
+accident of graph structure (hub vertices are hot); the paper notes
+such kernels can only be clustered with inspector-style prediction,
+which is out of scope — so BFS takes the reshaping + prefetch path.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.access import write
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import (
+    Table2Row, Workload, irregular_reads, scaled, stream_rows)
+
+BASE_CTAS = 560
+GRAPH_ROWS = 32768
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    frontier = space.alloc("frontier", n_ctas * warps, 32)
+    edges = space.alloc("edges", GRAPH_ROWS, 32)
+    levels = space.alloc("levels", GRAPH_ROWS, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        for warp in range(warps):
+            accesses.extend(stream_rows(frontier, bx * warps + warp, 1, 32))
+            # hub vertices make a hot region; the tail scatters
+            accesses.extend(irregular_reads(edges, seed=bx * warps + warp,
+                                            count=4, hot_fraction=0.35,
+                                            hot_rows=96))
+            state = (bx * warps + warp) * 2654435761 & 0xFFFFFFFF
+            accesses.append(write(levels.addr((state >> 8) % GRAPH_ROWS, 0),
+                                  0, 1, 4))
+        return accesses
+
+    return KernelSpec(
+        name="BFS", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=17, smem_per_cta=0,
+        category=LocalityCategory.DATA,
+        secondary_category=LocalityCategory.WRITE,
+        array_refs=(
+            ArrayRef("frontier", (("bx", "tx"),)),
+            ArrayRef("edges", (("ptr",),)),
+            ArrayRef("levels", (("ptr",),), is_write=True),
+        ),
+        description="frontier BFS over CSR: hub-hot irregular expansion",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="BFS", name="bfs", description="Breadth first search",
+    category=LocalityCategory.DATA, builder=build,
+    secondary_category=LocalityCategory.WRITE,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(17, 18, 19, 20), smem_bytes=0, partition="X-P",
+        opt_agents=(2, 6, 6, 7), suite="Rodinia"),
+)

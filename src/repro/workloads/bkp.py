@@ -1,0 +1,61 @@
+"""BKP — backprop (Rodinia) — algorithm-related.
+
+The forward layer kernel: each CTA multiplies its block of the
+input-to-hidden weight matrix against the input-unit slice of its
+layer block, which it shares with the neighbouring CTAs of the same
+block.  The weight rows stream exactly once; the input slices are the
+algorithm-related inter-CTA reuse.  The grid is effectively 1D
+(Rodinia launches (1, N)), so the paper partitions along X.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, stream_rows, tile_reads
+
+GROUP = 32                  # CTAs per input block: they share a slice
+SLICE_ROWS = 32             # shared input slice: 32 x 128B = 4KB
+BASE_CTAS = 840
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    weights = space.alloc("weights", n_ctas * warps * 2, 32)
+    groups = max(1, n_ctas // GROUP)
+    inputs = space.alloc("inputs", groups * SLICE_ROWS, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        # the input-unit slice for this CTA's block of the layer,
+        # shared with the neighbouring GROUP CTAs
+        slice0 = (bx // GROUP) * SLICE_ROWS
+        for warp in range(warps):
+            accesses.extend(stream_rows(weights, (bx * warps + warp) * 2, 2, 32))
+            first = slice0 + (warp % 8) * (SLICE_ROWS // 8)
+            accesses.extend(tile_reads(inputs, first, SLICE_ROWS // 8, 0, 32))
+        return accesses
+
+    return KernelSpec(
+        name="BKP", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=11, smem_per_cta=1092,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("weights", (("bx", "tx"), ("j",))),
+            ArrayRef("inputs", (("j",),), weight=2.0),
+            ArrayRef("hidden_partial", (("bx", "tx"),), is_write=True),
+        ),
+        description="perceptron forward pass: shared input-unit vector",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="BKP", name="backprop", description="Perception back propagation",
+    category=LocalityCategory.ALGORITHM, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(11, 11, 16, 18), smem_bytes=1092, partition="X-P",
+        opt_agents=(6, 8, 8, 8), suite="Rodinia"),
+)

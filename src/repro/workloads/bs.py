@@ -1,0 +1,61 @@
+"""BS — BlackScholes option pricing (CUDA SDK) — streaming.
+
+The canonical GPU streaming kernel: three input arrays read once,
+two result arrays written once, perfectly coalesced, zero reuse of
+any kind beyond the registers.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, stream_rows
+
+BASE_CTAS = 1240
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 4
+    space = AddressSpace()
+    price = space.alloc("price", n_ctas * warps, 32)
+    strike = space.alloc("strike", n_ctas * warps, 32)
+    years = space.alloc("years", n_ctas * warps, 32)
+    call = space.alloc("call", n_ctas * warps, 32)
+    put = space.alloc("put", n_ctas * warps, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        for warp in range(warps):
+            row = bx * warps + warp
+            accesses.extend(stream_rows(price, row, 1, 32))
+            accesses.extend(stream_rows(strike, row, 1, 32))
+            accesses.extend(stream_rows(years, row, 1, 32))
+            accesses.extend(stream_rows(call, row, 1, 32, is_write=True))
+            accesses.extend(stream_rows(put, row, 1, 32, is_write=True))
+        return accesses
+
+    return KernelSpec(
+        name="BS", grid=Dim3(n_ctas), block=Dim3(128), trace=trace,
+        regs_per_thread=23, smem_per_cta=0,
+        compute_cycles_per_access=12.0,
+        category=LocalityCategory.STREAMING,
+        array_refs=(
+            ArrayRef("price", (("bx", "tx"),)),
+            ArrayRef("strike", (("bx", "tx"),)),
+            ArrayRef("years", (("bx", "tx"),)),
+            ArrayRef("call", (("bx", "tx"),), is_write=True),
+            ArrayRef("put", (("bx", "tx"),), is_write=True),
+        ),
+        description="Black-Scholes: 3 arrays in, 2 out, no reuse",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="BS", name="BlackScholes", description="Black-Scholes option pricing",
+    category=LocalityCategory.STREAMING, builder=build,
+    table2=Table2Row(
+        warps_per_cta=4, ctas_per_sm=(8, 16, 16, 16),
+        registers=(23, 25, 21, 19), smem_bytes=0, partition="X-P",
+        opt_agents=(8, 16, 16, 12), suite="CUDA SDK"),
+)

@@ -1,0 +1,56 @@
+"""BTR — B+tree query batch (Rodinia) — data-related.
+
+Each warp walks the tree root → internal node → leaf for its query
+keys.  The root and the top internal level are hot (shared by every
+query, by accident of the tree shape), the leaves scatter; how much of
+this locality lands on one SM depends on which queries the data placed
+together — the paper's definition of data-related reuse.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, irregular_reads, scaled, tile_reads
+
+BASE_CTAS = 520
+LEAF_ROWS = 32768
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    nodes = space.alloc("nodes", LEAF_ROWS, 16)
+
+    def trace(bx, by, bz):
+        accesses = []
+        # root node: shared by every query in every CTA
+        accesses.extend(tile_reads(nodes, 0, 1, 0, 16))
+        for warp in range(warps):
+            # internal level: hot top of the tree; leaves: scattered
+            accesses.extend(irregular_reads(
+                nodes, seed=bx * warps + warp, count=3,
+                hot_fraction=0.4, hot_rows=64))
+        return accesses
+
+    return KernelSpec(
+        name="BTR", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=22, smem_per_cta=0,
+        category=LocalityCategory.DATA,
+        array_refs=(
+            ArrayRef("nodes", (("ptr",),)),
+            ArrayRef("results", (("bx", "tx"),), is_write=True),
+        ),
+        description="B+tree queries: hot root/top levels, scattered leaves",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="BTR", name="B+tree", description="B+tree operations",
+    category=LocalityCategory.DATA, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(5, 8, 8, 8),
+        registers=(22, 27, 29, 30), smem_bytes=0, partition="X-P",
+        opt_agents=(5, 8, 8, 8), suite="Rodinia"),
+)

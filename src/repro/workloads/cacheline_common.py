@@ -1,0 +1,69 @@
+"""Shared trace shape for the Polybench cache-line-related kernels.
+
+SYK, S2K, ATX, MVT and BC all exhibit the Fig. 4-(B) pattern in the
+same way: each CTA's 256 threads are laid out 8-wide, so every warp
+access covers a 32-byte column chunk of the matrix — exactly one
+quarter of a Fermi/Kepler 128B L1 line.  Four X-adjacent CTAs
+therefore pull the *same* L1 line, and each redundantly re-fetches it
+unless they are clustered onto one SM.  On Maxwell/Pascal the 32B
+L1/Tex line matches the chunk exactly, so there is no line sharing to
+recover — the architecture asymmetry at the heart of the paper's
+Figure 12/13 middle columns.
+
+The matrix-vector kernels (ATX, MVT, BC) additionally re-read a shared
+input vector per CTA, whose survival in L1 is what the aggressive
+throttling (optimal agents = 1 on Fermi/Kepler) protects.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import scaled, tile_reads
+
+CHUNK_WORDS = 8             # 32B column chunk per warp access
+ROWS_PER_CTA = 32           # rows each CTA walks down its column chunk
+
+
+def build_column_chunk_kernel(name: str, scale: float, base_ctas: int,
+                              row_blocks: int = 2,
+                              vector_rows: int = 0,
+                              regs: int = 16,
+                              description: str = "") -> KernelSpec:
+    """Build a narrow-column-chunk kernel, optionally with a shared vector.
+
+    ``row_blocks`` repeats the column walk (more reuse rounds);
+    ``vector_rows`` > 0 adds a shared x-vector of that many 128B rows,
+    re-read by every CTA (the matrix-vector variants).
+    """
+    n_ctas = scaled(base_ctas, scale)
+    space = AddressSpace()
+    # Pitch-pad each row by one 128B line (cudaMallocPitch style) so the
+    # column walk spreads over all L1 sets instead of conflict-thrashing
+    # a handful of them.
+    matrix = space.alloc("A", ROWS_PER_CTA * row_blocks,
+                         n_ctas * CHUNK_WORDS + 32)
+    vector = space.alloc("x", max(1, vector_rows), 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        col = bx * CHUNK_WORDS
+        for block in range(row_blocks):
+            for row in range(block * ROWS_PER_CTA, (block + 1) * ROWS_PER_CTA, 4):
+                # one warp covers 4 rows x 8 columns; emit per-row chunks
+                accesses.extend(tile_reads(matrix, row, 4, col, CHUNK_WORDS))
+            if vector_rows:
+                accesses.extend(tile_reads(vector, 0, vector_rows, 0, 32))
+        return accesses
+
+    refs = [ArrayRef("A", (("i",), ("bx", "tx")))]
+    if vector_rows:
+        refs.append(ArrayRef("x", (("j",),), weight=2.0))
+    refs.append(ArrayRef("y", (("bx", "tx"),), is_write=True))
+
+    return KernelSpec(
+        name=name, grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=regs, smem_per_cta=0,
+        category=LocalityCategory.CACHE_LINE,
+        array_refs=tuple(refs),
+        description=description,
+    )

@@ -1,0 +1,60 @@
+"""3CV — 3DCONV, 3D convolution (Polybench/SDK) — cache-line-related.
+
+A 3-deep stencil: each CTA reads three z-planes of its tile with a
+one-row halo.  The 64B tile rows straddle Fermi/Kepler 128B lines
+shared with the X-neighbour, and the halo rows are re-read by the
+Y-neighbours; the output plane streams out once.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+TILE_ROWS = 4
+TILE_WORDS = 16             # 64B-wide tile rows: half a Fermi L1 line
+PLANES = 3
+BASE_GRID_X = 32
+BASE_GRID_Y = 32
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_GRID_X, scale, minimum=2)
+    gy = scaled(BASE_GRID_Y, scale, minimum=2)
+    space = AddressSpace()
+    volume = space.alloc("volume", PLANES * (gy * TILE_ROWS + 2), gx * TILE_WORDS)
+    out = space.alloc("out", gy * TILE_ROWS, gx * TILE_WORDS)
+
+    def trace(bx, by, bz):
+        accesses = []
+        plane_rows = gy * TILE_ROWS + 2
+        for plane in range(PLANES):
+            row0 = plane * plane_rows + by * TILE_ROWS
+            accesses.extend(tile_reads(volume, row0, TILE_ROWS + 2,
+                                       bx * TILE_WORDS, TILE_WORDS))
+        accesses.extend(tile_reads(out, by * TILE_ROWS, TILE_ROWS,
+                                   bx * TILE_WORDS, TILE_WORDS,
+                                   is_write=True, stream=True))
+        return accesses
+
+    return KernelSpec(
+        name="3CV", grid=Dim3(gx, gy), block=Dim3(256), trace=trace,
+        regs_per_thread=18, smem_per_cta=0,
+        category=LocalityCategory.CACHE_LINE,
+        array_refs=(
+            ArrayRef("volume", (("z",), ("by", "ty"), ("bx", "tx")), weight=1.5),
+            ArrayRef("out", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ),
+        description="3D convolution: z-plane tiles with shared halo lines",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="3CV", name="3DCONV", description="3D convolution",
+    category=LocalityCategory.CACHE_LINE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(18, 9, 18, 19), smem_bytes=0, partition="Y-P",
+        opt_agents=(6, 8, 8, 8), suite="Polybench"),
+)

@@ -1,0 +1,57 @@
+"""DCT — dct8x8 (CUDA SDK) — algorithm-related.
+
+Every CTA transforms 8x8 pixel blocks by multiplying with the *same*
+DCT basis matrix: the basis (and the quantization table) is the
+algorithm-related inter-CTA reuse, the pixel blocks stream through
+once.  The shared tables are tiny, so nearly all agents can stay
+active (optimal agents close to the maximum in Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+BASIS_ROWS = 4              # DCT basis + quant tables: 4 x 128B
+BASE_GRID_X = 40
+BASE_GRID_Y = 30
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_GRID_X, scale, minimum=2)
+    gy = scaled(BASE_GRID_Y, scale, minimum=2)
+    space = AddressSpace()
+    image = space.alloc("image", gy * 8, gx * 16)
+    basis = space.alloc("basis", BASIS_ROWS, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        # two warps, each handling an 8x8 block: 8 rows x 16 words,
+        # streamed once; the shared basis table carries the reuse
+        accesses.extend(tile_reads(image, by * 8, 8, bx * 16, 16, stream=True))
+        accesses.extend(tile_reads(basis, 0, BASIS_ROWS, 0, 32))
+        accesses.extend(tile_reads(image, by * 8, 4, bx * 16, 16, is_write=True))
+        return accesses
+
+    return KernelSpec(
+        name="DCT", grid=Dim3(gx, gy), block=Dim3(8, 8), trace=trace,
+        regs_per_thread=14, smem_per_cta=512,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("image", (("by", "ty"), ("bx", "tx"))),
+            ArrayRef("basis", (("j",),), weight=2.0),
+            ArrayRef("image", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ),
+        description="8x8 block DCT against a shared basis matrix",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="DCT", name="dct8x8", description="Discrete cosine transform",
+    category=LocalityCategory.ALGORITHM, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=2, ctas_per_sm=(8, 16, 32, 32),
+        registers=(14, 17, 22, 19), smem_bytes=512, partition="X-P",
+        opt_agents=(8, 16, 32, 24), suite="CUDA SDK"),
+)

@@ -1,0 +1,49 @@
+"""DXT — dxtc, DXT texture compression (CUDA SDK) — streaming.
+
+Each CTA compresses its own 4x4 pixel blocks: block pixels in, codes
+out, nothing shared between CTAs.  Heavy register pressure (89+ regs
+per thread on Maxwell/Pascal) bounds occupancy, not memory behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, stream_rows
+
+BASE_CTAS = 760
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    space = AddressSpace()
+    pixels = space.alloc("pixels", n_ctas * 8, 32)
+    codes = space.alloc("codes", n_ctas * 2, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        accesses.extend(stream_rows(pixels, bx * 8, 8, 32))
+        accesses.extend(stream_rows(codes, bx * 2, 2, 32, is_write=True))
+        return accesses
+
+    return KernelSpec(
+        name="DXT", grid=Dim3(n_ctas), block=Dim3(64), trace=trace,
+        regs_per_thread=63, smem_per_cta=2048,
+        compute_cycles_per_access=18.0,
+        category=LocalityCategory.STREAMING,
+        array_refs=(
+            ArrayRef("pixels", (("bx", "tx"), ("j",))),
+            ArrayRef("codes", (("bx", "tx"),), is_write=True),
+        ),
+        description="DXT compression: private pixel blocks in, codes out",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="DXT", name="dxtc", description="High quality DXT compression",
+    category=LocalityCategory.STREAMING, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=2, ctas_per_sm=(8, 8, 10, 10),
+        registers=(63, 89, 89, 91), smem_bytes=2048, partition="X-P",
+        opt_agents=(8, 8, 10, 10), suite="CUDA SDK"),
+)

@@ -1,0 +1,325 @@
+"""The additional applications of Figure 3's reuse quantification.
+
+Figure 3 characterizes 33 applications; beyond Table 2's evaluation
+set it includes 17 more kernels from Rodinia, Parboil, Polybench and
+the CUDA SDK.  They participate only in the inter-/intra-CTA reuse
+quantification (and are available to the framework as extra material),
+so their models are deliberately compact: each captures the *sharing
+structure* of the original kernel — which addresses are touched by
+one CTA vs. many — at modest problem sizes.
+
+Abbreviations follow the figure's x-axis: COR LUD FWT PFD STD MRI SRD
+LIB SR2 NE SP BNO SLA FTD LPS GES HRT.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import (
+    Workload, irregular_reads, scaled, skewed_read_write, stream_rows, tile_reads)
+
+
+def _simple(name, grid, block, trace, category, refs=(), description=""):
+    return KernelSpec(name=name, grid=grid, block=block, trace=trace,
+                      category=category, array_refs=tuple(refs),
+                      description=description)
+
+
+# ----------------------------------------------------------------------
+# Algorithm-related extras
+# ----------------------------------------------------------------------
+
+def build_cor(scale: float) -> KernelSpec:
+    """COR — correlation (Polybench): every CTA pairs its column block
+    against all columns, re-reading the shared data matrix."""
+    n = scaled(320, scale)
+    space = AddressSpace()
+    data = space.alloc("data", 48, 32)
+    out = space.alloc("corr", n, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(data, (bx % 6) * 8, 16, 0, 32)
+        accesses += stream_rows(out, bx, 1, 32, is_write=True)
+        return accesses
+
+    return _simple("COR", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("data", (("j",),), weight=2.0),
+                         ArrayRef("corr", (("bx", "tx"),), is_write=True)),
+                   description="correlation matrix: shared column blocks")
+
+
+def build_lud(scale: float) -> KernelSpec:
+    """LUD — LU decomposition (Rodinia): the step's pivot row/column is
+    read by every CTA of the trailing submatrix update."""
+    n = scaled(300, scale)
+    space = AddressSpace()
+    pivot = space.alloc("pivot", 16, 32)
+    block = space.alloc("block", n * 4, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(pivot, 0, 16, 0, 32)
+        accesses += stream_rows(block, bx * 4, 4, 32)
+        accesses += stream_rows(block, bx * 4, 2, 32, is_write=True)
+        return accesses
+
+    return _simple("LUD", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("pivot", (("j",),), weight=2.0),
+                         ArrayRef("block", (("bx", "tx"), ("j",))),
+                         ArrayRef("block", (("bx", "tx"), ("j",)), is_write=True)),
+                   description="LU trailing update against a shared pivot")
+
+
+def build_fwt(scale: float) -> KernelSpec:
+    """FWT — fast Walsh transform (SDK): butterfly strides make CTAs
+    revisit lines their stride-partners fetched."""
+    n = scaled(320, scale)
+    space = AddressSpace()
+    data = space.alloc("data", n * 2, 32)
+
+    def trace(bx, by, bz):
+        partner = bx ^ 1
+        accesses = stream_rows(data, bx * 2, 2, 32)
+        accesses += tile_reads(data, partner * 2, 2, 0, 32)
+        accesses += stream_rows(data, bx * 2, 2, 32, is_write=True)
+        return accesses
+
+    return _simple("FWT", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("data", (("bx", "tx"),)),
+                         ArrayRef("data", (("bx^1", "tx"),)),
+                         ArrayRef("data", (("bx", "tx"),), is_write=True)),
+                   description="Walsh butterflies across partner CTAs")
+
+
+def build_mri(scale: float) -> KernelSpec:
+    """MRI — mri-q (Parboil): the k-space trajectory table is walked by
+    every CTA (classic broadcast reuse)."""
+    n = scaled(300, scale)
+    space = AddressSpace()
+    kspace = space.alloc("kspace", 24, 32)
+    voxels = space.alloc("voxels", n * 2, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(kspace, 0, 24, 0, 32)
+        accesses += stream_rows(voxels, bx * 2, 2, 32)
+        return accesses
+
+    return _simple("MRI", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("kspace", (("j",),), weight=2.0),
+                         ArrayRef("voxels", (("bx", "tx"),)),
+                         ArrayRef("q", (("bx", "tx"),), is_write=True)),
+                   description="MRI Q computation over a shared trajectory")
+
+
+def build_ges(scale: float) -> KernelSpec:
+    """GES — Gaussian elimination (Rodinia): pivot row broadcast to the
+    whole elimination step."""
+    n = scaled(280, scale)
+    space = AddressSpace()
+    pivot_row = space.alloc("pivot_row", 8, 32)
+    rows = space.alloc("rows", n * 3, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(pivot_row, 0, 8, 0, 32)
+        accesses += stream_rows(rows, bx * 3, 3, 32)
+        accesses += stream_rows(rows, bx * 3, 3, 32, is_write=True)
+        return accesses
+
+    return _simple("GES", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("pivot_row", (("j",),), weight=2.0),
+                         ArrayRef("rows", (("bx", "tx"), ("j",))),
+                         ArrayRef("rows", (("bx", "tx"), ("j",)), is_write=True)),
+                   description="Gaussian elimination against a shared pivot row")
+
+
+def build_bno(scale: float) -> KernelSpec:
+    """BNO — binomialOptions (SDK): each CTA prices one option; only a
+    small parameter table is shared."""
+    n = scaled(300, scale)
+    space = AddressSpace()
+    params = space.alloc("params", 2, 32)
+    tree = space.alloc("tree", n * 6, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(params, 0, 2, 0, 32)
+        accesses += stream_rows(tree, bx * 6, 6, 32)
+        accesses += stream_rows(tree, bx * 6, 2, 32, is_write=True)
+        return accesses
+
+    return _simple("BNO", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("params", (("j",),)),
+                         ArrayRef("tree", (("bx", "tx"), ("j",))),
+                         ArrayRef("tree", (("bx", "tx"), ("j",)), is_write=True)),
+                   description="binomial option trees, tiny shared parameters")
+
+
+def build_lib(scale: float) -> KernelSpec:
+    """LIB — libor (SDK-era benchmark): Monte Carlo paths with a shared
+    forward-rate table."""
+    n = scaled(300, scale)
+    space = AddressSpace()
+    rates = space.alloc("rates", 10, 32)
+    paths = space.alloc("paths", n * 5, 32)
+
+    def trace(bx, by, bz):
+        accesses = tile_reads(rates, 0, 10, 0, 32)
+        accesses += stream_rows(paths, bx * 5, 5, 32)
+        return accesses
+
+    return _simple("LIB", Dim3(n), Dim3(256), trace, LocalityCategory.ALGORITHM,
+                   refs=(ArrayRef("rates", (("j",),), weight=2.0),
+                         ArrayRef("paths", (("bx", "tx"), ("j",))),
+                         ArrayRef("payoff", (("bx", "tx"),), is_write=True)),
+                   description="LIBOR paths over a shared rate table")
+
+
+# ----------------------------------------------------------------------
+# Stencil / cache-line extras
+# ----------------------------------------------------------------------
+
+def _stencil_builder(name, description, base_gx=20, base_gy=16, halo=1,
+                     tile_rows=4, tile_words=16):
+    def build(scale: float) -> KernelSpec:
+        gx = scaled(base_gx, scale, minimum=2)
+        gy = scaled(base_gy, scale, minimum=2)
+        space = AddressSpace()
+        grid_in = space.alloc("grid_in", gy * tile_rows + 2 * halo,
+                              gx * tile_words)
+        grid_out = space.alloc("grid_out", gy * tile_rows, gx * tile_words)
+
+        def trace(bx, by, bz):
+            accesses = tile_reads(grid_in, by * tile_rows,
+                                  tile_rows + 2 * halo, bx * tile_words,
+                                  tile_words)
+            accesses += tile_reads(grid_out, by * tile_rows, tile_rows,
+                                   bx * tile_words, tile_words,
+                                   is_write=True, stream=True)
+            return accesses
+
+        return _simple(name, Dim3(gx, gy), Dim3(256), trace,
+                       LocalityCategory.CACHE_LINE,
+                       refs=(ArrayRef("grid_in", (("by", "ty"), ("bx", "tx"))),
+                             ArrayRef("grid_out", (("by", "ty"), ("bx", "tx")),
+                                      is_write=True)),
+                       description=description)
+    return build
+
+
+build_srd = _stencil_builder("SRD", "SRAD diffusion stencil, pass 1")
+build_sr2 = _stencil_builder("SR2", "SRAD diffusion stencil, pass 2", halo=2)
+build_ftd = _stencil_builder("FTD", "FDTD-2D field update stencil")
+build_lps = _stencil_builder("LPS", "3D Laplace solver plane stencil",
+                             tile_rows=6)
+
+
+def build_pfd(scale: float) -> KernelSpec:
+    """PFD — pathfinder (Rodinia): wavefront row read/written with a
+    one-cell skew (write-related, like NW but 1D)."""
+    n = scaled(320, scale)
+    space = AddressSpace()
+    wall = space.alloc("wall", n + 1, 40)
+
+    def trace(bx, by, bz):
+        return skewed_read_write(wall, bx, 32, skew_words=2)
+
+    return _simple("PFD", Dim3(n), Dim3(256), trace, LocalityCategory.WRITE,
+                   refs=(ArrayRef("wall", (("bx", "tx"),)),
+                         ArrayRef("wall", (("bx+1", "tx"),), is_write=True)),
+                   description="pathfinder wavefront with skewed writes")
+
+
+# ----------------------------------------------------------------------
+# Data-related extras
+# ----------------------------------------------------------------------
+
+def build_hrt(scale: float) -> KernelSpec:
+    """HRT — heartwall (Rodinia): tracking points read irregular image
+    regions; overlap between points is data-dependent."""
+    n = scaled(280, scale)
+    space = AddressSpace()
+    image = space.alloc("image", 2048, 32)
+
+    def trace(bx, by, bz):
+        return irregular_reads(image, seed=bx, count=24,
+                               hot_fraction=0.3, hot_rows=128)
+
+    return _simple("HRT", Dim3(n), Dim3(256), trace, LocalityCategory.DATA,
+                   refs=(ArrayRef("image", (("ptr",),)),
+                         ArrayRef("track", (("bx",),), is_write=True)),
+                   description="heartwall tracking over irregular regions")
+
+
+# ----------------------------------------------------------------------
+# Streaming extras
+# ----------------------------------------------------------------------
+
+def _streaming_builder(name, description, reads=4, writes=1, base_ctas=360):
+    def build(scale: float) -> KernelSpec:
+        n = scaled(base_ctas, scale)
+        space = AddressSpace()
+        src = space.alloc("src", n * reads, 32)
+        dst = space.alloc("dst", n * max(1, writes), 32)
+
+        def trace(bx, by, bz):
+            accesses = stream_rows(src, bx * reads, reads, 32)
+            accesses += stream_rows(dst, bx * writes, writes, 32,
+                                    is_write=True)
+            return accesses
+
+        return _simple(name, Dim3(n), Dim3(256), trace,
+                       LocalityCategory.STREAMING,
+                       refs=(ArrayRef("src", (("bx", "tx"),)),
+                             ArrayRef("dst", (("bx", "tx"),), is_write=True)),
+                       description=description)
+    return build
+
+
+build_std = _streaming_builder("STD", "column standard deviation, one pass")
+build_ne = _streaming_builder("NE", "nearest-neighbour distance scan",
+                              reads=5)
+build_sp = _streaming_builder("SP", "dot product partial sums", reads=6)
+build_sla = _streaming_builder("SLA", "scan of a large array", reads=3,
+                               writes=3)
+
+
+def _wl(abbr, name, description, category, builder, secondary=None):
+    return Workload(abbr=abbr, name=name, description=description,
+                    category=category, builder=builder,
+                    secondary_category=secondary, table2=None)
+
+
+EXTRA_WORKLOADS = (
+    _wl("COR", "correlation", "Correlation computation",
+        LocalityCategory.ALGORITHM, build_cor),
+    _wl("LUD", "lud", "LU decomposition",
+        LocalityCategory.ALGORITHM, build_lud),
+    _wl("FWT", "fastWalshTransform", "Fast Walsh transform",
+        LocalityCategory.ALGORITHM, build_fwt),
+    _wl("PFD", "pathfinder", "Dynamic-programming path search",
+        LocalityCategory.WRITE, build_pfd),
+    _wl("STD", "stddev", "Column standard deviation",
+        LocalityCategory.STREAMING, build_std),
+    _wl("MRI", "mri-q", "MRI Q-matrix computation",
+        LocalityCategory.ALGORITHM, build_mri),
+    _wl("SRD", "srad", "Speckle-reducing anisotropic diffusion",
+        LocalityCategory.CACHE_LINE, build_srd),
+    _wl("LIB", "libor", "LIBOR Monte Carlo paths",
+        LocalityCategory.ALGORITHM, build_lib),
+    _wl("SR2", "srad2", "SRAD second stencil pass",
+        LocalityCategory.CACHE_LINE, build_sr2),
+    _wl("NE", "nearestNeighbor", "Nearest-neighbour search",
+        LocalityCategory.STREAMING, build_ne),
+    _wl("SP", "scalarProd", "Scalar product partial sums",
+        LocalityCategory.STREAMING, build_sp),
+    _wl("BNO", "binomialOptions", "Binomial option pricing",
+        LocalityCategory.ALGORITHM, build_bno),
+    _wl("SLA", "scanLargeArray", "Prefix scan of a large array",
+        LocalityCategory.STREAMING, build_sla),
+    _wl("FTD", "fdtd2d", "FDTD electromagnetic stencil",
+        LocalityCategory.CACHE_LINE, build_ftd),
+    _wl("LPS", "laplace3d", "3D Laplace solver",
+        LocalityCategory.CACHE_LINE, build_lps),
+    _wl("GES", "gaussian", "Gaussian elimination",
+        LocalityCategory.ALGORITHM, build_ges),
+    _wl("HRT", "heartwall", "Heart wall tracking",
+        LocalityCategory.DATA, build_hrt),
+)

@@ -1,0 +1,62 @@
+"""HS — hotspot (Rodinia) — algorithm-related.
+
+The thermal stencil: each CTA reads its 16x16 temperature tile plus a
+one-row halo above and below (shared with the Y-neighbour CTAs) and
+the corresponding power tile (streamed once).  The pyramidal Rodinia
+implementation re-reads the halo generously, which is the inter-CTA
+reuse clustering captures; Y-partitioning keeps the horizontally
+adjacent CTAs — which share the halo *lines* — together.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+TILE = 16
+HALO = 2
+BASE_GRID_X = 24
+BASE_GRID_Y = 24
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_GRID_X, scale, minimum=2)
+    gy = scaled(BASE_GRID_Y, scale, minimum=2)
+    space = AddressSpace()
+    temp = space.alloc("temp", gy * TILE + 2 * HALO, gx * TILE)
+    power = space.alloc("power", gy * TILE, gx * TILE)
+
+    def trace(bx, by, bz):
+        accesses = []
+        # pyramidal expanded tile: the apron extends into all four
+        # neighbours, so the X-neighbours (co-clustered under Y-P)
+        # re-read each other's edge columns and the 64B-wide rows also
+        # share 128B lines on Fermi/Kepler
+        accesses.extend(tile_reads(temp, by * TILE, TILE + 2 * HALO,
+                                   bx * TILE - HALO, TILE + 2 * HALO))
+        accesses.extend(tile_reads(power, by * TILE, TILE,
+                                   bx * TILE, TILE, stream=True))
+        return accesses
+
+    return KernelSpec(
+        name="HS", grid=Dim3(gx, gy), block=Dim3(16, 16), trace=trace,
+        regs_per_thread=35, smem_per_cta=3072,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("temp", (("by", "ty"), ("bx", "tx")), weight=1.5),
+            ArrayRef("power", (("by", "ty"), ("bx", "tx"))),
+            ArrayRef("temp_out", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ),
+        description="2D thermal stencil with halo rows shared across CTAs",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="HS", name="hotspot", description="Estimate processor temperature",
+    category=LocalityCategory.ALGORITHM, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(3, 5, 6, 6),
+        registers=(35, 38, 36, 38), smem_bytes=3072, partition="Y-P",
+        opt_agents=(3, 5, 6, 6), suite="Rodinia"),
+)

@@ -1,0 +1,56 @@
+"""HST — histogram64 (CUDA SDK) — data-related.
+
+The input stream is perfectly coalesced, but the bin updates scatter
+according to the *data values*: any inter-CTA locality in the bin
+array arises by accident of the input distribution (Fig. 4-(C)) and
+cannot be predicted before runtime, so the framework routes HST to
+order-reshaping + prefetching rather than locality clustering.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import (
+    Table2Row, Workload, irregular_reads, scaled, stream_rows)
+
+BASE_CTAS = 600
+BIN_ROWS = 64
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    data = space.alloc("data", n_ctas * warps * 4, 32)
+    bins = space.alloc("bins", BIN_ROWS, 16)
+
+    def trace(bx, by, bz):
+        accesses = []
+        for warp in range(warps):
+            accesses.extend(stream_rows(data, (bx * warps + warp) * 4, 4, 32))
+        accesses.extend(irregular_reads(bins, seed=bx, count=16,
+                                        hot_fraction=0.5, hot_rows=16))
+        return accesses
+
+    return KernelSpec(
+        name="HST", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=15, smem_per_cta=1024,
+        category=LocalityCategory.DATA,
+        array_refs=(
+            ArrayRef("data", (("bx", "tx"),)),
+            ArrayRef("bins", (("value",),)),
+            ArrayRef("bins", (("value",),), is_write=True),
+        ),
+        description="64-bin histogram: value-driven scattered bin traffic",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="HST", name="histogram", description="64-bin histogramming",
+    category=LocalityCategory.DATA, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(15, 19, 20, 15), smem_bytes=1024, partition="X-P",
+        opt_agents=(5, 5, 6, 7), suite="CUDA SDK"),
+)

@@ -1,0 +1,55 @@
+"""IMD — imageDenoising, NLM method (CUDA SDK) — algorithm-related.
+
+Non-local-means denoising: every CTA reads a search window around its
+8x8 pixel tile that extends several pixels beyond the tile in all
+directions, so X-adjacent CTAs re-read most of each other's window
+(the windows overlap by ~70%).  The reuse is inherent to the
+algorithm's window geometry — exactly Fig. 4-(A) — and row-adjacent
+clustering (Y-partitioning) keeps the overlapping rows hot in L1.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+TILE = 8
+APRON = 6                   # search-window apron in pixels
+BASE_GRID_X = 40
+BASE_GRID_Y = 24
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_GRID_X, scale, minimum=2)
+    gy = scaled(BASE_GRID_Y, scale, minimum=2)
+    space = AddressSpace()
+    image = space.alloc("image", gy * TILE + 2 * APRON, gx * TILE + 2 * APRON)
+
+    def trace(bx, by, bz):
+        row0 = by * TILE
+        col0 = bx * TILE
+        # 2 warps sweep the (TILE+2*APRON)^2 window, row by row
+        return tile_reads(image, row0, TILE + 2 * APRON, col0, TILE + 2 * APRON)
+
+    return KernelSpec(
+        name="IMD", grid=Dim3(gx, gy), block=Dim3(8, 8), trace=trace,
+        regs_per_thread=63, smem_per_cta=0,
+        compute_cycles_per_access=14.0,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("image", (("by", "ty"), ("bx", "tx"))),
+            ArrayRef("out", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ),
+        description="NLM denoising with heavily overlapping search windows",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="IMD", name="imageDenoising", description="NLM method for image denoising",
+    category=LocalityCategory.ALGORITHM, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=2, ctas_per_sm=(8, 16, 18, 18),
+        registers=(63, 61, 49, 55), smem_bytes=0, partition="Y-P",
+        opt_agents=(8, 16, 14, 16), suite="CUDA SDK"),
+)

@@ -1,0 +1,63 @@
+"""KMN — kmeans clustering (Rodinia) — algorithm-related.
+
+Every CTA streams through its slice of the point set while repeatedly
+walking the *shared centroid table*; the centroids are the
+algorithm-related inter-CTA reuse (every CTA reads all of them, every
+iteration).  The point stream is large and perfectly disposable, which
+is why KMN is the paper's poster child for throttling (optimal agents
+= 1 on every architecture) and for bypassing: unthrottled, the
+streaming reads thrash the centroid working set out of the tiny L1.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import (
+    Table2Row, Workload, scaled, stream_rows, tile_reads)
+
+N_CENTROIDS = 64           # 64 x 128B = 8KB shared centroid working set
+POINT_ROWS_PER_WARP = 4    # each warp streams 4 x 128B of point data
+BASE_CTAS = 560
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    points = space.alloc("points", n_ctas * warps * POINT_ROWS_PER_WARP, 32)
+    centroids = space.alloc("centroids", N_CENTROIDS, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        rows_per_warp = N_CENTROIDS // warps
+        for warp in range(warps):
+            row0 = (bx * warps + warp) * POINT_ROWS_PER_WARP
+            accesses.extend(stream_rows(points, row0, POINT_ROWS_PER_WARP, 32))
+            # the warps jointly walk the centroid table exactly once per
+            # CTA, so centroid reuse lives *between* CTAs, not inside one
+            accesses.extend(tile_reads(centroids, warp * rows_per_warp,
+                                       rows_per_warp, 0, 32))
+        return accesses
+
+    return KernelSpec(
+        name="KMN", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=14, smem_per_cta=0,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("points", (("bx", "tx"), ("j",))),
+            ArrayRef("centroids", (("c",), ("j",)), weight=2.0),
+            ArrayRef("membership", (("bx", "tx"),), is_write=True),
+        ),
+        description="k-means point assignment over a shared centroid table",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="KMN", name="kmeans", description="Clustering algorithm",
+    category=LocalityCategory.ALGORITHM, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(14, 17, 16, 18), smem_bytes=0, partition="X-P",
+        opt_agents=(1, 1, 1, 1), suite="Rodinia"),
+)

@@ -1,0 +1,51 @@
+"""MON — MonteCarlo option pricing (CUDA SDK) — streaming.
+
+Path samples stream through once, partial sums stream out; the only
+reuse is within a CTA through shared memory.  No inter-CTA locality
+to exploit (Fig. 4-(E)).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, stream_rows
+
+BASE_CTAS = 420
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    warps = 8
+    space = AddressSpace()
+    samples = space.alloc("samples", n_ctas * warps * 6, 32)
+    sums = space.alloc("sums", n_ctas, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        for warp in range(warps):
+            accesses.extend(stream_rows(samples, (bx * warps + warp) * 6, 6, 32))
+        accesses.extend(stream_rows(sums, bx, 1, 32, is_write=True))
+        return accesses
+
+    return KernelSpec(
+        name="MON", grid=Dim3(n_ctas), block=Dim3(256), trace=trace,
+        regs_per_thread=28, smem_per_cta=4096,
+        compute_cycles_per_access=14.0,
+        category=LocalityCategory.STREAMING,
+        array_refs=(
+            ArrayRef("samples", (("bx", "tx"), ("j",))),
+            ArrayRef("sums", (("bx",),), is_write=True),
+        ),
+        description="Monte Carlo option pricing: pure sample streaming",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="MON", name="MonteCarlo", description="Option call price via MonteCarlo",
+    category=LocalityCategory.STREAMING, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(4, 4, 8, 8),
+        registers=(28, 28, 28, 28), smem_bytes=4096, partition="X-P",
+        opt_agents=(4, 4, 8, 8), suite="CUDA SDK"),
+)

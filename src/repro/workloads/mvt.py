@@ -1,0 +1,31 @@
+"""MVT — mvt, matrix-vector product and transpose (Polybench) —
+cache-line-related.
+
+``x1 = x1 + A y1; x2 = x2 + A' y2``: the transposed half walks 32B
+column chunks (shared L1 lines across X-adjacent CTAs) and both halves
+re-read shared y vectors — the same shape as ATX, and the same
+single-agent optimal throttling.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload
+from repro.workloads.cacheline_common import build_column_chunk_kernel
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    return build_column_chunk_kernel(
+        "MVT", scale, base_ctas=480, row_blocks=2, vector_rows=16, regs=13,
+        description="Ay and A'y: column chunks plus shared y vectors")
+
+
+WORKLOAD = Workload(
+    abbr="MVT", name="mvt", description="Matrix vector product and transpose",
+    category=LocalityCategory.CACHE_LINE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+        registers=(13, 17, 17, 22), smem_bytes=0, partition="X-P",
+        opt_agents=(1, 1, 1, 1), suite="Polybench"),
+)

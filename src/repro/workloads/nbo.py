@@ -1,0 +1,53 @@
+"""NBO — nbody, all-pairs gravitational simulation (CUDA SDK) —
+cache-line-related.
+
+Every CTA tiles through the *entire* body array (float4 positions),
+so the whole array is inter-CTA-shared; the paper files it under
+cache-line because the 16B body records make each warp load span
+multiple L1 lines whose leftovers feed neighbouring CTAs' tiles.  The
+body set is sized near L1 capacity, which is why the paper's results
+are good on Kepler but regress on the sectored Maxwell/Pascal caches.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+BODY_ROWS = 96              # 96 x 128B = 12KB of float4 body positions
+BASE_CTAS_X = 16
+BASE_CTAS_Y = 16
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_CTAS_X, scale, minimum=2)
+    gy = scaled(BASE_CTAS_Y, scale, minimum=2)
+    space = AddressSpace()
+    bodies = space.alloc("bodies", BODY_ROWS, 32)
+
+    def trace(bx, by, bz):
+        # every CTA walks the full body array, 128B rows
+        return tile_reads(bodies, 0, BODY_ROWS, 0, 32)
+
+    return KernelSpec(
+        name="NBO", grid=Dim3(gx, gy), block=Dim3(256), trace=trace,
+        regs_per_thread=24, smem_per_cta=0,
+        compute_cycles_per_access=16.0,
+        category=LocalityCategory.CACHE_LINE,
+        array_refs=(
+            ArrayRef("bodies", (("j",),), weight=2.0),
+            ArrayRef("accel", (("by",), ("bx", "tx")), is_write=True),
+        ),
+        description="all-pairs n-body: full body array tiled by every CTA",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="NBO", name="nbody", description="All-pairs gravitational n-body simulation",
+    category=LocalityCategory.CACHE_LINE, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(2, 4, 6, 6),
+        registers=(24, 38, 35, 46), smem_bytes=0, partition="Y-P",
+        opt_agents=(2, 4, 5, 2), suite="CUDA SDK"),
+)

@@ -1,0 +1,58 @@
+"""NW — Needleman-Wunsch DNA alignment (Rodinia) — write-related.
+
+The wavefront dynamic program reads and writes the same score matrix
+with references skewed by one cell.  The data one CTA writes *would*
+be reused by the next diagonal's CTA, but the write-evict L1 discards
+the line on every store (Fig. 4-(D)) — locality exists and is
+systematically destroyed, which is why NW gains nothing from
+clustering and is handled by the reshaping + prefetch path.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, skewed_read_write, tile_reads
+
+ROWS_PER_CTA = 8
+BASE_CTAS = 480
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    space = AddressSpace()
+    score = space.alloc("score", n_ctas * ROWS_PER_CTA + 1, 72)
+    reference = space.alloc("reference", n_ctas * ROWS_PER_CTA, 72)
+
+    def trace(bx, by, bz):
+        accesses = []
+        base_row = bx * ROWS_PER_CTA
+        for r in range(ROWS_PER_CTA):
+            # read the reference row (stream) then the skewed DP update
+            accesses.extend(tile_reads(reference, base_row + r, 1, 0, 64,
+                                       stream=True))
+            accesses.extend(skewed_read_write(score, base_row + r, 64,
+                                              skew_words=1))
+        return accesses
+
+    return KernelSpec(
+        name="NW", grid=Dim3(n_ctas), block=Dim3(32), trace=trace,
+        regs_per_thread=28, smem_per_cta=2180,
+        category=LocalityCategory.WRITE,
+        array_refs=(
+            ArrayRef("reference", (("bx", "tx"), ("j",))),
+            ArrayRef("score", (("bx", "tx"), ("j",))),
+            ArrayRef("score", (("bx", "tx"), ("j+1",)), is_write=True),
+        ),
+        description="wavefront DP: skewed read/write on one matrix",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="NW", name="nw", description="DNA sequence alignment algorithm",
+    category=LocalityCategory.WRITE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=1, ctas_per_sm=(8, 16, 32, 32),
+        registers=(28, 27, 39, 40), smem_bytes=2180, partition="X-P",
+        opt_agents=(8, 16, 16, 8), suite="Rodinia"),
+)

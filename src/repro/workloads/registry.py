@@ -1,0 +1,82 @@
+"""Workload registry: the paper's application sets in paper order.
+
+* :func:`table2_workloads` — the 23 evaluated applications, in the
+  row order of Table 2.
+* :func:`figure3_workloads` — the 33 applications of the reuse
+  quantification, in the x-axis order of Figure 3.
+* :func:`workload` — lookup by abbreviation (e.g. ``"MM"``).
+* :func:`by_category` — the evaluation grouping of Figure 12's three
+  sub-columns (algorithm / cache-line / no-exploitable).
+"""
+
+from __future__ import annotations
+
+from repro.workloads import (atx, bc, bfs, bkp, bs, btr, cv3, dct, dxt, hs,
+                             hst, imd, kmn, mm, mon, mvt, nbo, nn, nw, s2k,
+                             sad, sgm, syk)
+from repro.workloads.base import Workload
+from repro.workloads.extras import EXTRA_WORKLOADS
+
+#: Table 2's 23 applications, in row order.
+TABLE2_ORDER = ("KMN", "MM", "NN", "IMD", "BKP", "DCT", "SGM", "HS",
+                "SYK", "S2K", "ATX", "MVT", "NBO", "3CV", "BC",
+                "HST", "BTR", "NW", "BFS", "MON", "DXT", "SAD", "BS")
+
+#: Figure 3's 33 applications, in x-axis order.
+FIGURE3_ORDER = ("MM", "NN", "BS", "3CV", "BC", "HST", "BTR", "NW", "BFS",
+                 "SAD", "HS", "ATX", "BKP", "SGM", "MVT", "COR", "LUD",
+                 "FWT", "PFD", "STD", "MRI", "SRD", "LIB", "SR2", "NE",
+                 "SP", "BNO", "SLA", "FTD", "LPS", "GES", "HRT", "KMN")
+
+_TABLE2_MODULES = (kmn, mm, nn, imd, bkp, dct, sgm, hs, syk, s2k, atx, mvt,
+                   nbo, cv3, bc, hst, btr, nw, bfs, mon, dxt, sad, bs)
+
+REGISTRY: "dict[str, Workload]" = {}
+for _module in _TABLE2_MODULES:
+    REGISTRY[_module.WORKLOAD.abbr] = _module.WORKLOAD
+for _extra in EXTRA_WORKLOADS:
+    REGISTRY[_extra.abbr] = _extra
+
+
+def workload(abbr: str) -> Workload:
+    """Look up a workload by its paper abbreviation."""
+    try:
+        return REGISTRY[abbr]
+    except KeyError:
+        raise KeyError(f"unknown workload {abbr!r}; "
+                       f"known: {sorted(REGISTRY)}") from None
+
+
+def table2_workloads() -> "list[Workload]":
+    """The evaluation set, in Table 2 row order."""
+    return [REGISTRY[abbr] for abbr in TABLE2_ORDER]
+
+
+def figure3_workloads() -> "list[Workload]":
+    """The reuse-quantification set, in Figure 3 x-axis order."""
+    return [REGISTRY[abbr] for abbr in FIGURE3_ORDER]
+
+
+def all_workloads() -> "list[Workload]":
+    """Every modeled application, Table-2 apps first."""
+    seen = list(TABLE2_ORDER)
+    seen += [w.abbr for w in EXTRA_WORKLOADS if w.abbr not in seen]
+    return [REGISTRY[abbr] for abbr in seen]
+
+
+#: Figure 12's three evaluation groups, in sub-figure order.
+EVALUATION_GROUPS = {
+    "algorithm": ("KMN", "MM", "NN", "IMD", "BKP", "DCT", "SGM", "HS"),
+    "cache-line": ("SYK", "S2K", "ATX", "MVT", "NBO", "3CV", "BC"),
+    "no-exploitable": ("HST", "BTR", "NW", "BFS", "MON", "DXT", "SAD", "BS"),
+}
+
+
+def by_category(group: str) -> "list[Workload]":
+    """Workloads of one Figure-12 evaluation group."""
+    try:
+        abbrs = EVALUATION_GROUPS[group]
+    except KeyError:
+        raise KeyError(f"unknown group {group!r}; "
+                       f"known: {sorted(EVALUATION_GROUPS)}") from None
+    return [REGISTRY[abbr] for abbr in abbrs]

@@ -1,0 +1,29 @@
+"""S2K — syr2k, symmetric rank-2k update (Polybench) — cache-line-related.
+
+Like SYK but updating with two matrices, so twice the column-chunk
+traffic per CTA; the heavier footprint is why the paper throttles it
+down to a single agent on Fermi/Kepler.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload
+from repro.workloads.cacheline_common import build_column_chunk_kernel
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    return build_column_chunk_kernel(
+        "S2K", scale, base_ctas=400, row_blocks=3, vector_rows=0, regs=33,
+        description="symmetric rank-2k update; double column-chunk traffic")
+
+
+WORKLOAD = Workload(
+    abbr="S2K", name="syr2k", description="Symmetric rank-2k operations",
+    category=LocalityCategory.CACHE_LINE, builder=build,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(6, 6, 8, 8),
+        registers=(33, 38, 33, 19), smem_bytes=0, partition="X-P",
+        opt_agents=(1, 1, 6, 6), suite="Polybench"),
+)

@@ -1,0 +1,52 @@
+"""SAD — sum of absolute differences, MPEG encoder stage (Parboil) —
+streaming.
+
+Current- and reference-frame macroblocks stream in, SAD values stream
+out; reuse of the reference window is fully captured inside the CTA
+(shared memory), so nothing crosses CTA boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, stream_rows
+
+BASE_CTAS = 820
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    n_ctas = scaled(BASE_CTAS, scale)
+    space = AddressSpace()
+    frame = space.alloc("frame", n_ctas * 4, 32)
+    reference = space.alloc("reference", n_ctas * 4, 32)
+    sads = space.alloc("sads", n_ctas * 2, 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        accesses.extend(stream_rows(frame, bx * 4, 4, 32))
+        accesses.extend(stream_rows(reference, bx * 4, 4, 32))
+        accesses.extend(stream_rows(sads, bx * 2, 2, 32, is_write=True))
+        return accesses
+
+    return KernelSpec(
+        name="SAD", grid=Dim3(n_ctas), block=Dim3(64), trace=trace,
+        regs_per_thread=43, smem_per_cta=0,
+        category=LocalityCategory.STREAMING,
+        array_refs=(
+            ArrayRef("frame", (("bx", "tx"),)),
+            ArrayRef("reference", (("bx", "tx"),)),
+            ArrayRef("sads", (("bx", "tx"),), is_write=True),
+        ),
+        description="macroblock SAD: frame and reference stream once",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="SAD", name="sad", description="Sum of abs differences in MPEG encoder",
+    category=LocalityCategory.STREAMING, builder=build,
+    table2=Table2Row(
+        warps_per_cta=2, ctas_per_sm=(8, 16, 20, 20),
+        registers=(43, 44, 46, 40), smem_bytes=0, partition="X-P",
+        opt_agents=(8, 16, 20, 20), suite="Parboil"),
+)

@@ -1,0 +1,57 @@
+"""SGM — sgemm (Parboil) — algorithm-related.
+
+Parboil's register-tiled SGEMM: CTA (bx, by) streams its private A
+row stripe but re-reads the B column band shared with every CTA in
+grid column ``bx``.  Clustering along X (column-major order) keeps a
+column's CTAs on one SM so the B band survives in L1 between tasks.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload, scaled, tile_reads
+
+K_STEPS = 8
+BASE_GRID_X = 16
+BASE_GRID_Y = 16
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    gx = scaled(BASE_GRID_X, scale, minimum=2)
+    gy = scaled(BASE_GRID_Y, scale, minimum=2)
+    space = AddressSpace()
+    a = space.alloc("A", gy * 4, K_STEPS * 32)
+    b = space.alloc("B", K_STEPS * 4, gx * 32)
+
+    def trace(bx, by, bz):
+        accesses = []
+        for k in range(K_STEPS):
+            # private A stripe: 4 rows x 32 words, streamed once
+            accesses.extend(tile_reads(a, by * 4, 4, k * 32, 32, stream=True))
+            # shared B band: every CTA in column bx walks the same rows
+            accesses.extend(tile_reads(b, k * 4, 4, bx * 32, 32))
+        return accesses
+
+    return KernelSpec(
+        name="SGM", grid=Dim3(gx, gy), block=Dim3(128), trace=trace,
+        regs_per_thread=33, smem_per_cta=512,
+        compute_cycles_per_access=10.0,
+        category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("A", (("by", "ty"), ("k",))),
+            ArrayRef("B", (("k",), ("bx", "tx")), weight=2.0),
+            ArrayRef("C", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ),
+        description="register-tiled SGEMM with a shared B column band",
+    )
+
+
+WORKLOAD = Workload(
+    abbr="SGM", name="sgemm", description="Dense matrix-matrix multiplication",
+    category=LocalityCategory.ALGORITHM, builder=build,
+    table2=Table2Row(
+        warps_per_cta=4, ctas_per_sm=(7, 9, 12, 8),
+        registers=(33, 53, 41, 46), smem_bytes=512, partition="X-P",
+        opt_agents=(7, 9, 8, 8), suite="Parboil"),
+)

@@ -1,0 +1,29 @@
+"""SYK — syrk, symmetric rank-k update (Polybench) — cache-line-related.
+
+``C = alpha*A*A' + beta*C`` walks A both row-wise and column-wise; the
+column walk gives each CTA a 32B-wide chunk of every row, so four
+X-adjacent CTAs share each 128B Fermi/Kepler L1 line (Fig. 4-(B)).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.kernel import KernelSpec, LocalityCategory
+from repro.workloads.base import Table2Row, Workload
+from repro.workloads.cacheline_common import build_column_chunk_kernel
+
+
+def build(scale: float) -> KernelSpec:
+    """Build the kernel at the given problem scale (1.0 = evaluation size)."""
+    return build_column_chunk_kernel(
+        "SYK", scale, base_ctas=480, row_blocks=2, vector_rows=0, regs=21,
+        description="symmetric rank-k update; column chunks straddle L1 lines")
+
+
+WORKLOAD = Workload(
+    abbr="SYK", name="syrk", description="Symmetric rank-k operations",
+    category=LocalityCategory.CACHE_LINE, builder=build, in_figure3=False,
+    table2=Table2Row(
+        warps_per_cta=8, ctas_per_sm=(5, 8, 8, 8),
+        registers=(21, 26, 21, 28), smem_bytes=0, partition="X-P",
+        opt_agents=(3, 2, 8, 8), suite="Polybench"),
+)

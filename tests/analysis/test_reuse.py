@@ -1,0 +1,111 @@
+"""Reuse quantification tests (Section 3.2 / Figure 3)."""
+
+import pytest
+
+from repro.analysis.reuse import figure3_row, quantify_reuse
+from repro.kernels.access import read
+from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
+
+
+def kernel_from_traces(traces, grid=None):
+    grid = grid if grid is not None else Dim3(len(traces))
+    return KernelSpec(name="t", grid=grid, block=Dim3(32),
+                      trace=lambda bx, by, bz: traces[by * grid.x + bx])
+
+
+class TestHandBuiltCases:
+    def test_broadcast_is_pure_inter_cta(self):
+        # every CTA reads the same sector with a single lane
+        traces = [[read(0, 0, 1, 4)] for _ in range(5)]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        assert profile.total_requests == 5
+        assert profile.reuse_requests == 4
+        assert profile.inter_cta_reuses == 4
+        assert profile.intra_cta_reuses == 0
+        assert profile.inter_reuse_fraction == 1.0
+
+    def test_private_rereads_are_intra_cta(self):
+        # each CTA reads its own sector twice
+        traces = [[read(i * 64, 0, 1, 4), read(i * 64, 0, 1, 4)]
+                  for i in range(4)]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        assert profile.inter_cta_reuses == 0
+        assert profile.intra_cta_reuses == 4
+        assert profile.intra_reuse_fraction == 1.0
+
+    def test_streaming_has_no_reuse(self):
+        traces = [[read(i * 64, 0, 1, 4)] for i in range(4)]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        assert profile.reuse_requests == 0
+        assert profile.inter_reuse_fraction == 0.0
+        assert profile.intra_reuse_fraction == 0.0
+
+    def test_lane_sharing_counts_as_intra(self):
+        # one warp of 8 lanes in one 32B sector: 7 intra-warp reuses
+        traces = [[read(0, 4, 8, 4)]]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        assert profile.total_requests == 8
+        assert profile.intra_cta_reuses == 7
+        assert profile.inter_cta_reuses == 0
+
+    def test_foreign_warp_touch_counts_all_lanes_inter(self):
+        # CTA 0 then CTA 1 read the same sector with 8 lanes each
+        traces = [[read(0, 4, 8, 4)], [read(0, 4, 8, 4)]]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        assert profile.inter_cta_reuses == 8
+        assert profile.intra_cta_reuses == 7
+
+    def test_alternating_ctas_all_inter(self):
+        traces = [[read(0, 0, 1, 4)], [read(0, 0, 1, 4)]]
+        kernel = kernel_from_traces(traces)
+        profile = quantify_reuse(kernel)
+        assert profile.inter_reuse_fraction == 1.0
+
+    def test_per_datum_split(self):
+        space = AddressSpace()
+        shared = space.alloc("shared", 1, 8)
+        private = space.alloc("private", 4, 8)
+        traces = [[read(shared.addr(0, 0), 0, 1, 4),
+                   read(private.addr(i, 0), 0, 1, 4),
+                   read(private.addr(i, 0), 0, 1, 4)]
+                  for i in range(4)]
+        profile = quantify_reuse(kernel_from_traces(traces))
+        # 5 reused sectors: 1 multi-CTA (shared) + 4 single-CTA
+        assert profile.reused_addresses == 5
+        assert profile.inter_cta_addresses == 1
+        assert profile.inter_data_fraction == pytest.approx(0.2)
+        assert profile.intra_data_fraction == pytest.approx(0.8)
+
+    def test_max_ctas_truncation(self):
+        traces = [[read(0, 0, 1, 4)] for _ in range(10)]
+        profile = quantify_reuse(kernel_from_traces(traces), max_ctas=3)
+        assert profile.total_requests == 3
+
+
+class TestWorkloadExpectations:
+    def test_streaming_apps_have_zero_inter(self):
+        from repro.workloads.registry import workload
+        for abbr in ("BS", "SAD", "SP", "NE", "SLA", "STD"):
+            kernel = workload(abbr).kernel(scale=0.5)
+            profile = quantify_reuse(kernel, max_ctas=120)
+            assert profile.inter_reuse_fraction == 0.0, abbr
+
+    def test_algorithm_apps_have_substantial_inter(self):
+        from repro.workloads.registry import workload
+        for abbr in ("MM", "NN", "KMN", "SGM", "COR", "MRI"):
+            kernel = workload(abbr).kernel(scale=0.5)
+            profile = quantify_reuse(kernel, max_ctas=120)
+            assert profile.inter_reuse_fraction > 0.4, abbr
+
+    def test_figure3_row_helper(self):
+        from repro.workloads.registry import workload
+        inter, intra = figure3_row(workload("BS").kernel(0.5), max_ctas=60)
+        assert inter == 0.0
+        assert intra == pytest.approx(1.0)
+
+    def test_average_inter_fraction_near_paper(self):
+        """The paper reports 45% average inter-CTA reuse over the 33
+        applications; the reproduction should land in the same band."""
+        from repro.experiments.fig3 import run_fig3
+        result = run_fig3(scale=0.4, max_ctas=120)
+        assert 0.25 <= result.average_inter_fraction <= 0.60

@@ -1,0 +1,85 @@
+"""Agent-based clustering tests (Listing 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import X_PARTITION, Y_PARTITION
+from repro.gpu.config import GTX570, GTX980, TESLA_K40
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.kernels.kernel import Dim3, KernelSpec
+
+
+def kernel_of(grid, block=256, regs=16):
+    return KernelSpec(name="k", grid=grid, block=Dim3(block),
+                      trace=lambda bx, by, bz: [], regs_per_thread=regs)
+
+
+class TestAgentPlan:
+    def test_mode_and_scheme(self):
+        plan = agent_plan(kernel_of(Dim3(64)), TESLA_K40)
+        assert plan.mode == "placed"
+        assert plan.scheme == "CLU"
+
+    def test_task_lists_partition_the_grid(self):
+        kernel = kernel_of(Dim3(9, 7))
+        plan = agent_plan(kernel, TESLA_K40, Y_PARTITION)
+        flat = sorted(t for tasks in plan.sm_tasks for t in tasks)
+        assert flat == list(range(kernel.n_ctas))
+        assert len(plan.sm_tasks) == TESLA_K40.num_sms
+
+    def test_task_lists_balanced(self):
+        kernel = kernel_of(Dim3(100))
+        plan = agent_plan(kernel, TESLA_K40, X_PARTITION)
+        sizes = [len(tasks) for tasks in plan.sm_tasks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_default_agents_is_maximum(self):
+        kernel = kernel_of(Dim3(64))
+        plan = agent_plan(kernel, TESLA_K40)
+        assert plan.active_agents == max_ctas_per_sm(TESLA_K40, kernel)
+        assert plan.notes["max_agents"] == plan.active_agents
+
+    def test_throttled_scheme_label(self):
+        kernel = kernel_of(Dim3(64))
+        plan = agent_plan(kernel, TESLA_K40, active_agents=1)
+        assert plan.scheme == "CLU+TOT"
+        assert plan.active_agents == 1
+
+    def test_invalid_agent_counts(self):
+        kernel = kernel_of(Dim3(64))
+        limit = max_ctas_per_sm(TESLA_K40, kernel)
+        with pytest.raises(ValueError):
+            agent_plan(kernel, TESLA_K40, active_agents=0)
+        with pytest.raises(ValueError):
+            agent_plan(kernel, TESLA_K40, active_agents=limit + 1)
+
+    def test_maxwell_bind_overhead_exceeds_kepler(self):
+        kernel = kernel_of(Dim3(64))
+        kep = agent_plan(kernel, TESLA_K40)
+        mxw = agent_plan(kernel, GTX980)
+        assert mxw.agent_bind_overhead > kep.agent_bind_overhead
+
+    def test_bypass_and_prefetch_flags(self):
+        kernel = kernel_of(Dim3(64))
+        plan = agent_plan(kernel, GTX570, bypass_streams=True,
+                          prefetch_depth=3, scheme="custom")
+        assert plan.bypass_streams
+        assert plan.prefetch_depth == 3
+        assert plan.scheme == "custom"
+
+    def test_scheme_autonaming_with_bypass(self):
+        kernel = kernel_of(Dim3(64))
+        plan = agent_plan(kernel, GTX570, active_agents=1,
+                          bypass_streams=True)
+        assert plan.scheme == "CLU+TOT+BPS"
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 400))
+def test_property_tasks_always_cover_grid(n):
+    kernel = kernel_of(Dim3(n))
+    plan = agent_plan(kernel, GTX570, X_PARTITION)
+    flat = sorted(t for tasks in plan.sm_tasks for t in tasks)
+    assert flat == list(range(n))

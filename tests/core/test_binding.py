@@ -1,0 +1,57 @@
+"""Binding tests: RR binding (Eq. 8) and the SM-binding cost model."""
+
+import pytest
+
+from repro.core.binding import (
+    redirection_overhead, rr_binding, sm_binding_overhead, task_overhead)
+from repro.gpu.config import GTX570, GTX980, GTX1080, TESLA_K40
+
+
+class TestRrBinding:
+    def test_equation8(self):
+        # (w, i) = (u/M, u%M); paper example: u=4, M=2 -> (2, 0)
+        pos = rr_binding(4, 2)
+        assert (pos.w, pos.i) == (2, 0)
+
+    def test_first_wave_covers_all_clusters(self):
+        assert [rr_binding(u, 4).i for u in range(4)] == [0, 1, 2, 3]
+        assert all(rr_binding(u, 4).w == 0 for u in range(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(IndexError):
+            rr_binding(-1, 4)
+
+
+class TestSmBindingOverhead:
+    def test_static_binding_is_flat(self):
+        # Fermi/Kepler derive agent ids from static warp slots
+        assert sm_binding_overhead(GTX570, 1) == \
+            sm_binding_overhead(GTX570, 8)
+
+    def test_dynamic_binding_scales_with_agents(self):
+        # Maxwell/Pascal serialize an atomicAdd per agent (Listing 5)
+        low = sm_binding_overhead(GTX980, 1)
+        high = sm_binding_overhead(GTX980, 16)
+        assert high > low
+
+    def test_maxwell_costs_more_than_kepler(self):
+        # Section 5.2: M/P "endure the atomic and synchronization
+        # overhead for SM-based binding"
+        assert sm_binding_overhead(GTX980, 8) > sm_binding_overhead(TESLA_K40, 8)
+        assert sm_binding_overhead(GTX1080, 8) > sm_binding_overhead(GTX570, 8)
+
+    def test_invalid_agents(self):
+        with pytest.raises(ValueError):
+            sm_binding_overhead(GTX980, 0)
+
+
+class TestPerTaskOverheads:
+    def test_redirection_cheaper_than_tile(self):
+        plain = redirection_overhead(GTX570, index_cost_units=0)
+        tiled = redirection_overhead(GTX570, index_cost_units=1)
+        assert tiled > plain
+
+    def test_task_overhead_tile_cost(self):
+        plain = task_overhead(GTX570, 0)
+        tiled = task_overhead(GTX570, 1)
+        assert tiled - plain == GTX570.costs.tile_index_cycles

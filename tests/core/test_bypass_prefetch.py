@@ -1,0 +1,53 @@
+"""Bypassing (Section 4.3-II) and prefetching (Section 4.3-III) tests."""
+
+import pytest
+
+from repro.core.bypass import bypass_is_candidate, stream_access_fraction
+from repro.core.prefetch import (
+    DEFAULT_PREFETCH_DEPTH, choose_prefetch_depth, prefetch_plan)
+from repro.core.indexing import X_PARTITION
+from repro.gpu.config import TESLA_K40
+
+from tests.conftest import (
+    make_shared_table_kernel, make_streaming_kernel)
+
+
+class TestStreamFraction:
+    def test_pure_stream_kernel(self):
+        kernel = make_streaming_kernel()
+        assert stream_access_fraction(kernel) == pytest.approx(1.0)
+
+    def test_mixed_kernel(self):
+        kernel = make_shared_table_kernel(stream_rows_per_cta=2,
+                                          table_rows=8)
+        fraction = stream_access_fraction(kernel)
+        assert 0.0 < fraction < 1.0
+        assert fraction == pytest.approx(2 / 10)
+
+    def test_bypass_candidate_requires_a_mix(self):
+        assert bypass_is_candidate(make_shared_table_kernel())
+        assert not bypass_is_candidate(make_streaming_kernel())
+
+
+class TestPrefetch:
+    def test_depth_bounded_by_trace(self):
+        kernel = make_streaming_kernel()  # 3 accesses per CTA
+        assert choose_prefetch_depth(kernel, TESLA_K40) == 3
+
+    def test_depth_default_cap(self):
+        kernel = make_shared_table_kernel()  # 10 accesses per CTA
+        assert choose_prefetch_depth(kernel, TESLA_K40) == \
+            DEFAULT_PREFETCH_DEPTH
+
+    def test_plan_shape(self):
+        kernel = make_streaming_kernel()
+        plan = prefetch_plan(kernel, TESLA_K40, X_PARTITION)
+        assert plan.scheme == "PFH+TOT"
+        assert plan.mode == "placed"
+        assert plan.prefetch_depth >= 1
+
+    def test_plan_respects_throttle(self):
+        kernel = make_streaming_kernel()
+        plan = prefetch_plan(kernel, TESLA_K40, X_PARTITION,
+                             active_agents=2)
+        assert plan.active_agents == 2

@@ -1,0 +1,59 @@
+"""Classifier tests (Section 4.4): category recovery from probes."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.gpu.config import TESLA_K40
+from repro.kernels.kernel import LocalityCategory
+
+from tests.conftest import make_row_band_kernel, make_streaming_kernel
+
+
+class TestSyntheticKernels:
+    def test_algorithm_kernel_classified_exploitable(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        report = classify(kernel, TESLA_K40)
+        assert report.category in (LocalityCategory.ALGORITHM,
+                                   LocalityCategory.CACHE_LINE)
+        assert report.category.exploitable
+
+    def test_streaming_kernel_classified_streaming(self):
+        report = classify(make_streaming_kernel(n_ctas=90), TESLA_K40)
+        assert report.category is LocalityCategory.STREAMING
+
+    def test_report_carries_evidence(self):
+        report = classify(make_streaming_kernel(n_ctas=60), TESLA_K40)
+        assert len(report.evidence) >= 4
+        assert report.coalescing > 0
+
+
+class TestWorkloadCategories:
+    """The probes recover the declared category (or at least its
+    exploitability) for representative evaluation workloads."""
+
+    @pytest.mark.parametrize("abbr", ["NN", "IMD"])
+    def test_algorithm_apps_exploitable(self, abbr):
+        from repro.workloads.registry import workload
+        wl = workload(abbr)
+        report = classify(wl.probe_kernel(TESLA_K40), TESLA_K40)
+        assert report.category.exploitable, report.evidence
+
+    @pytest.mark.parametrize("abbr", ["BS", "SAD", "MON"])
+    def test_streaming_apps_not_exploitable(self, abbr):
+        from repro.workloads.registry import workload
+        wl = workload(abbr)
+        report = classify(wl.probe_kernel(TESLA_K40), TESLA_K40)
+        assert not report.category.exploitable, report.evidence
+
+    def test_write_related_detected_for_nw(self):
+        from repro.workloads.registry import workload
+        wl = workload("NW")
+        report = classify(wl.probe_kernel(TESLA_K40), TESLA_K40)
+        assert report.write_related_hint
+        assert not report.category.exploitable
+
+    def test_data_related_detected_for_btr(self):
+        from repro.workloads.registry import workload
+        wl = workload("BTR")
+        report = classify(wl.probe_kernel(TESLA_K40), TESLA_K40)
+        assert not report.category.exploitable

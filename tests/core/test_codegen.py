@@ -1,0 +1,111 @@
+"""CUDA code generation tests (Listings 4/5, Figures 9/10)."""
+
+import pytest
+
+from repro.core.codegen import (
+    generate_agent_source, generate_from_decision,
+    generate_redirection_source)
+from repro.core.framework import optimize
+from repro.core.indexing import TileWiseIndexing, X_PARTITION, Y_PARTITION
+from repro.gpu.config import GTX570, GTX980, TESLA_K40
+from repro.gpu.occupancy import max_ctas_per_sm
+from repro.kernels.kernel import Dim3, KernelSpec, LocalityCategory
+
+from tests.conftest import make_row_band_kernel, make_streaming_kernel
+
+
+def kernel_of(grid=Dim3(16, 8)):
+    return KernelSpec(name="MyKernel", grid=grid, block=Dim3(128),
+                      trace=lambda bx, by, bz: [], regs_per_thread=16)
+
+
+class TestRedirectionSource:
+    def test_header_structure(self):
+        src = generate_redirection_source(kernel_of(), TESLA_K40, Y_PARTITION)
+        assert src.header_name == "Redirection_Clustering.cuh"
+        assert f"#define SM {TESLA_K40.num_sms}" in src.header
+        assert "#define REDIRECTION" in src.header
+        # the Eq.-7 closed form from Listing 4
+        assert "min(0, (_ctas % SM) - (_u % SM))" in src.header
+
+    def test_kernel_uses_row_indexing_for_y_partition(self):
+        src = generate_redirection_source(kernel_of(), TESLA_K40, Y_PARTITION)
+        assert "ROW_INDEXING;" in src.kernel
+        assert "mykernel_clustered" in src.kernel
+
+    def test_col_indexing_for_x_partition(self):
+        src = generate_redirection_source(kernel_of(), TESLA_K40, X_PARTITION)
+        assert "COL_INDEXING;" in src.kernel
+
+    def test_files_bundle(self):
+        src = generate_redirection_source(kernel_of(), GTX570, Y_PARTITION)
+        files = src.files()
+        assert "Redirection_Clustering.cuh" in files
+        assert any(name.endswith(".cu") for name in files)
+
+
+class TestAgentSource:
+    def test_header_has_both_binding_paths(self):
+        src = generate_agent_source(kernel_of(), GTX980, Y_PARTITION)
+        assert "__CUDA_ARCH__ < 500" in src.header
+        assert "%%warpid" in src.header          # static F/K path
+        assert "atomicAdd(&_global_counters" in src.header  # dynamic M/P
+        assert "__syncthreads()" in src.header
+
+    def test_throttling_macros(self):
+        kernel = kernel_of()
+        limit = max_ctas_per_sm(GTX980, kernel)
+        src = generate_agent_source(kernel, GTX980, Y_PARTITION,
+                                    active_agents=2)
+        assert "#define ACTIVE_AGENTS 2" in src.header
+        assert f"#define MAX_AGENTS {limit}" in src.header
+        assert "_agent_id >= ACTIVE_AGENTS" in src.header
+
+    def test_launch_bounds_and_params(self):
+        src = generate_agent_source(kernel_of(), TESLA_K40, Y_PARTITION)
+        assert "__launch_bounds__" in src.header
+        assert "PARAM_CALL" in src.header
+        assert "SM * MAX_AGENTS" in src.kernel
+
+    def test_bypass_and_prefetch_macros_present(self):
+        src = generate_agent_source(kernel_of(), GTX570, Y_PARTITION)
+        assert "ld.global.cg" in src.header
+        assert "prefetch.global.L1" in src.header
+        assert "__ldg" in src.header
+
+    def test_invalid_agents(self):
+        with pytest.raises(ValueError):
+            generate_agent_source(kernel_of(), GTX570, Y_PARTITION,
+                                  active_agents=0)
+
+    def test_tile_indexing_unsupported(self):
+        kernel = kernel_of()
+        with pytest.raises(ValueError, match="hand-written"):
+            generate_redirection_source(
+                kernel, GTX570,
+                direction=type("D", (), {
+                    "build": lambda self, grid: TileWiseIndexing(grid)})())
+
+
+class TestFromDecision:
+    def test_clustered_decision_emits_agent_bundle(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        src = generate_from_decision(kernel, TESLA_K40, decision)
+        if decision.plan.scheme == "BSL":
+            assert src is None
+        else:
+            assert src.header_name == "Agent_Clustering.cuh"
+            assert f"ACTIVE_AGENTS {decision.plan.active_agents}" \
+                in src.header
+
+    def test_streaming_decision(self):
+        kernel = make_streaming_kernel(n_ctas=60)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        src = generate_from_decision(kernel, TESLA_K40, decision)
+        if decision.plan.scheme == "BSL":
+            assert src is None
+        else:
+            assert "Agent_Clustering" in src.header_name

@@ -1,0 +1,106 @@
+"""Dependency analysis tests (Section 4.2.1-A)."""
+
+from repro.core.dependence import analyze_direction, ref_vote
+from repro.core.indexing import X_PARTITION, Y_PARTITION
+from repro.kernels.kernel import ArrayRef, Dim3, KernelSpec
+
+
+def kernel_with_refs(refs, grid=Dim3(8, 8)):
+    return KernelSpec(name="k", grid=grid, block=Dim3(64),
+                      trace=lambda bx, by, bz: [], array_refs=tuple(refs))
+
+
+class TestRefVotes:
+    def test_bx_free_ref_votes_y_partition(self):
+        # A[f(by)][k]: identical for all bx -> reuse across X
+        vote, weight = ref_vote(ArrayRef("A", (("by", "ty"), ("k",))))
+        assert vote == "Y-P"
+        assert weight == 2.0
+
+    def test_by_free_ref_votes_x_partition(self):
+        vote, _ = ref_vote(ArrayRef("B", (("k",), ("bx", "tx"))))
+        assert vote == "X-P"
+
+    def test_trailing_bx_weak_y_vote(self):
+        vote, weight = ref_vote(ArrayRef("A", (("by", "ty"), ("bx", "tx"))))
+        assert vote == "Y-P"
+        assert weight == 1.0
+
+    def test_trailing_by_weak_x_vote(self):
+        vote, _ = ref_vote(ArrayRef("A", (("bx",), ("by",))))
+        assert vote == "X-P"
+
+    def test_broadcast_ref_no_vote(self):
+        vote, weight = ref_vote(ArrayRef("T", (("j",),)))
+        assert vote == "none"
+        assert weight == 0.0
+
+    def test_weight_scales_vote(self):
+        _, light = ref_vote(ArrayRef("A", (("by",), ("k",)), weight=1.0))
+        _, heavy = ref_vote(ArrayRef("A", (("by",), ("k",)), weight=3.0))
+        assert heavy == 3 * light
+
+
+class TestDirectionAnalysis:
+    def test_1d_grid_always_x_partition(self):
+        # "If a kernel grid is 1D, we simply perform X-partitioning"
+        kernel = kernel_with_refs([ArrayRef("A", (("by",), ("k",)))],
+                                  grid=Dim3(100))
+        analysis = analyze_direction(kernel)
+        assert analysis.direction is X_PARTITION
+        assert analysis.decisive
+
+    def test_mm_picks_y_partition_via_weights(self):
+        # the paper's MM: A (weight-boosted) wins over B
+        kernel = kernel_with_refs([
+            ArrayRef("A", (("by", "ty"), ("k",)), weight=1.5),
+            ArrayRef("B", (("k",), ("bx", "tx")), weight=1.0),
+            ArrayRef("C", (("by", "ty"), ("bx", "tx")), is_write=True),
+        ])
+        analysis = analyze_direction(kernel)
+        assert analysis.direction is Y_PARTITION
+        assert analysis.decisive
+
+    def test_writes_do_not_vote(self):
+        kernel = kernel_with_refs([
+            ArrayRef("A", (("by",), ("k",))),
+            ArrayRef("C", (("k",), ("bx",)), is_write=True, weight=10.0),
+        ])
+        analysis = analyze_direction(kernel)
+        assert analysis.direction is Y_PARTITION
+
+    def test_tie_is_not_decisive(self):
+        kernel = kernel_with_refs([
+            ArrayRef("A", (("by",), ("k",))),
+            ArrayRef("B", (("k",), ("bx",))),
+        ])
+        analysis = analyze_direction(kernel)
+        assert not analysis.decisive
+
+    def test_no_refs_not_decisive(self):
+        analysis = analyze_direction(kernel_with_refs([]))
+        assert not analysis.decisive
+
+    def test_per_ref_report(self):
+        kernel = kernel_with_refs([ArrayRef("A", (("by",), ("k",)))])
+        analysis = analyze_direction(kernel)
+        assert analysis.per_ref == {"A": "Y-P"}
+
+
+class TestTable2Directions:
+    def test_workload_analysis_matches_table2_for_2d_algorithm_apps(self):
+        """The analysis recovers Table 2's direction for the 2D
+        algorithm-related applications that drove the paper's rule."""
+        from repro.workloads.registry import workload
+        for abbr in ("MM", "NN", "IMD", "HS"):
+            wl = workload(abbr)
+            kernel = wl.kernel(scale=0.25)
+            analysis = analyze_direction(kernel)
+            assert analysis.direction.name == wl.table2.partition, abbr
+
+    def test_1d_apps_get_x_partition(self):
+        from repro.workloads.registry import workload
+        for abbr in ("KMN", "BKP", "SYK", "ATX", "MVT", "BC", "BS"):
+            wl = workload(abbr)
+            kernel = wl.kernel(scale=0.25)
+            assert analyze_direction(kernel).direction is X_PARTITION, abbr

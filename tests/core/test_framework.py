@@ -1,0 +1,72 @@
+"""Framework tests (Figure 11): the end-to-end optimization pipeline."""
+
+from repro.core.framework import optimize
+from repro.gpu.config import TESLA_K40
+from repro.kernels.kernel import LocalityCategory
+
+from tests.conftest import make_row_band_kernel, make_streaming_kernel
+
+
+class TestExploitablePath:
+    def test_algorithm_kernel_gets_clustered(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        assert decision.plan.scheme.startswith("CLU") or \
+            decision.plan.scheme == "BSL"
+        assert "BSL" in decision.cycles_by_scheme
+        assert "CLU" in decision.cycles_by_scheme
+
+    def test_chosen_plan_not_slower_than_baseline(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        assert decision.expected_speedup >= 0.98
+
+    def test_direction_from_dependency_analysis(self):
+        kernel = make_row_band_kernel(grid_x=12, grid_y=12)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        # the band ref is bx-free -> Y-partitioning
+        assert decision.direction.name == "Y-P"
+        assert any("dependency analysis" in r for r in decision.reasoning)
+
+
+class TestNonExploitablePath:
+    def test_streaming_kernel_gets_prefetch_or_baseline(self):
+        kernel = make_streaming_kernel(n_ctas=90)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        assert decision.plan.scheme in ("PFH+TOT", "BSL")
+        assert "PFH+TOT" in decision.cycles_by_scheme
+
+    def test_reasoning_mentions_no_exploitable(self):
+        kernel = make_streaming_kernel(n_ctas=60)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        assert any("no exploitable" in r for r in decision.reasoning)
+
+
+class TestClassificationIntegration:
+    def test_auto_classification_populates_report(self):
+        kernel = make_streaming_kernel(n_ctas=60)
+        decision = optimize(kernel, TESLA_K40)
+        assert decision.classification is not None
+        assert decision.category is decision.classification.category
+
+    def test_developer_hint_skips_classification(self):
+        kernel = make_streaming_kernel(n_ctas=60)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        assert decision.classification is None
+        assert any("declared by developer" in r for r in decision.reasoning)
+
+
+class TestDecisionObject:
+    def test_expected_speedup_without_data(self):
+        kernel = make_streaming_kernel(n_ctas=30)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        assert decision.expected_speedup > 0
+        assert decision.kernel_name == kernel.name
+        assert decision.gpu_name == TESLA_K40.name

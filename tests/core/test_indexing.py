@@ -1,0 +1,126 @@
+"""Indexing method tests: every Figure-7 linearization is a bijection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import (
+    ArbitraryIndexing, ColumnMajorIndexing, DIRECTIONS, RowMajorIndexing,
+    TileWiseIndexing, X_PARTITION, Y_PARTITION, direction)
+from repro.kernels.kernel import Dim3
+
+GRID = Dim3(4, 4)
+
+
+class TestRowMajor:
+    def test_figure7_example(self):
+        # Figure 7 row-major: v = y*nx + x
+        idx = RowMajorIndexing(GRID)
+        assert idx.linearize(0, 0) == 0
+        assert idx.linearize(3, 0) == 3
+        assert idx.linearize(0, 1) == 4
+        assert idx.linearize(3, 3) == 15
+
+    def test_coords_roundtrip(self):
+        idx = RowMajorIndexing(GRID)
+        for v in range(16):
+            assert idx.linearize(*idx.coords(v)) == v
+
+    def test_out_of_grid(self):
+        with pytest.raises(IndexError):
+            RowMajorIndexing(GRID).linearize(4, 0)
+
+
+class TestColumnMajor:
+    def test_figure7_example(self):
+        # Figure 7 column-major: v = x*ny + y
+        idx = ColumnMajorIndexing(GRID)
+        assert idx.linearize(0, 0) == 0
+        assert idx.linearize(0, 3) == 3
+        assert idx.linearize(1, 0) == 4
+
+    def test_on_1d_grid_equals_row_major(self):
+        grid = Dim3(10)
+        col = ColumnMajorIndexing(grid)
+        row = RowMajorIndexing(grid)
+        for bx in range(10):
+            assert col.linearize(bx, 0) == row.linearize(bx, 0)
+
+
+class TestTileWise:
+    def test_figure7_example(self):
+        # Figure 7 tile-wise on a 4x4 grid with 2x2 tiles:
+        # 0 1 | 4 5 / 2 3 | 6 7 / ...
+        idx = TileWiseIndexing(GRID, tile_w=2, tile_h=2)
+        assert idx.linearize(0, 0) == 0
+        assert idx.linearize(1, 0) == 1
+        assert idx.linearize(0, 1) == 2
+        assert idx.linearize(1, 1) == 3
+        assert idx.linearize(2, 0) == 4
+
+    def test_ragged_grid(self):
+        idx = TileWiseIndexing(Dim3(5, 3), tile_w=2, tile_h=2)
+        seen = {idx.linearize(x, y) for x in range(5) for y in range(3)}
+        assert seen == set(range(15))
+
+    def test_coords_roundtrip_ragged(self):
+        idx = TileWiseIndexing(Dim3(7, 5), tile_w=3, tile_h=2)
+        for v in range(35):
+            bx, by = idx.coords(v)
+            assert idx.linearize(bx, by) == v
+
+    def test_has_index_cost(self):
+        assert TileWiseIndexing(GRID).index_cost_units == 1
+        assert RowMajorIndexing(GRID).index_cost_units == 0
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            TileWiseIndexing(GRID, tile_w=0)
+
+    def test_out_of_range_linear_id(self):
+        with pytest.raises(IndexError):
+            TileWiseIndexing(GRID).coords(16)
+
+
+class TestArbitrary:
+    def test_custom_permutation(self):
+        perm = list(reversed(range(16)))
+        idx = ArbitraryIndexing(GRID, perm)
+        assert idx.coords(0) == (3, 3)
+        assert idx.linearize(3, 3) == 0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            ArbitraryIndexing(GRID, [0] * 16)
+
+
+class TestDirections:
+    def test_lookup(self):
+        assert direction("X-P") is X_PARTITION
+        assert direction("Y-P") is Y_PARTITION
+        with pytest.raises(KeyError):
+            direction("Z-P")
+
+    def test_y_partition_builds_row_major(self):
+        assert isinstance(Y_PARTITION.build(GRID), RowMajorIndexing)
+
+    def test_x_partition_builds_column_major(self):
+        assert isinstance(X_PARTITION.build(GRID), ColumnMajorIndexing)
+
+    def test_direction_names(self):
+        assert set(DIRECTIONS) == {"X-P", "Y-P"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(gx=st.integers(1, 20), gy=st.integers(1, 20),
+       tw=st.integers(1, 6), th=st.integers(1, 6))
+def test_property_every_indexing_is_a_bijection(gx, gy, tw, th):
+    grid = Dim3(gx, gy)
+    methods = [RowMajorIndexing(grid), ColumnMajorIndexing(grid),
+               TileWiseIndexing(grid, tw, th)]
+    for method in methods:
+        values = {method.linearize(x, y)
+                  for x in range(gx) for y in range(gy)}
+        assert values == set(range(gx * gy)), method.name
+        for v in range(gx * gy):
+            assert method.linearize(*method.coords(v)) == v

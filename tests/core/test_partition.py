@@ -1,0 +1,144 @@
+"""Partitioning/inverting tests: Equations 3-7 and the MM worked example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import RowMajorIndexing, Y_PARTITION
+from repro.core.partition import BalancedPartition, CtaPartitioner
+from repro.kernels.kernel import Dim3
+
+
+class TestBalance:
+    def test_even_split(self):
+        part = BalancedPartition(12, 4)
+        assert [part.cluster_size(i) for i in range(4)] == [3, 3, 3, 3]
+
+    def test_uneven_split_front_loaded(self):
+        part = BalancedPartition(10, 4)
+        assert [part.cluster_size(i) for i in range(4)] == [3, 3, 2, 2]
+
+    def test_more_clusters_than_ctas(self):
+        part = BalancedPartition(3, 5)
+        assert [part.cluster_size(i) for i in range(5)] == [1, 1, 1, 0, 0]
+
+    def test_skew_at_most_one(self):
+        for n in range(1, 60):
+            for m in range(1, 20):
+                sizes = [BalancedPartition(n, m).cluster_size(i)
+                         for i in range(m)]
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == n
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            BalancedPartition(0, 3)
+        with pytest.raises(ValueError):
+            BalancedPartition(3, 0)
+
+
+class TestPaperWorkedExample:
+    """Section 4.2's MM walk-through: |V|=6, M=2."""
+
+    def test_partition_of_cta_01(self):
+        # f(CTA-(0,1)) = f(v=3) = (w=0, i=1)
+        part = BalancedPartition(6, 2)
+        pos = part.assign(3)
+        assert (pos.w, pos.i) == (0, 1)
+
+    def test_inverse_of_21(self):
+        # f^-1((2,1)) = 5 (Section 4.2.2)
+        part = BalancedPartition(6, 2)
+        assert part.invert(2, 1) == 5
+
+    def test_cluster_contents(self):
+        part = BalancedPartition(6, 2)
+        assert part.cluster_members(0) == [0, 1, 2]
+        assert part.cluster_members(1) == [3, 4, 5]
+
+
+class TestAssignInvertConsistency:
+    def test_roundtrip_small(self):
+        part = BalancedPartition(10, 3)
+        for v in range(10):
+            pos = part.assign(v)
+            assert part.invert(pos.w, pos.i) == v
+
+    def test_bounds(self):
+        part = BalancedPartition(10, 3)
+        with pytest.raises(IndexError):
+            part.assign(10)
+        with pytest.raises(IndexError):
+            part.invert(0, 3)
+        with pytest.raises(IndexError):
+            part.invert(4, 0)  # cluster 0 has 4 members? (10,3)->4,3,3
+        part.invert(3, 0)  # valid: positions 0..3
+
+
+@settings(max_examples=120, deadline=None)
+@given(n=st.integers(1, 400), m=st.integers(1, 40))
+def test_property_assign_invert_bijection(n, m):
+    part = BalancedPartition(n, m)
+    seen = set()
+    for v in range(n):
+        pos = part.assign(v)
+        assert 0 <= pos.i < m
+        assert 0 <= pos.w < part.cluster_size(pos.i)
+        assert part.invert(pos.w, pos.i) == v
+        seen.add((pos.w, pos.i))
+    assert len(seen) == n
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 200), m=st.integers(1, 20))
+def test_property_equation7_closed_form(n, m):
+    """v = i*(|V|/M + 1) + w + min(|V|%M - i, 0) — paper Eq. 7."""
+    part = BalancedPartition(n, m)
+    q, r = divmod(n, m)
+    for i in range(m):
+        for w in range(part.cluster_size(i)):
+            assert part.invert(w, i) == i * (q + 1) + w + min(r - i, 0)
+
+
+class TestCtaPartitioner:
+    def test_cluster_tasks_cover_grid(self):
+        grid = Dim3(6, 5)
+        partitioner = CtaPartitioner(RowMajorIndexing(grid), 4)
+        tasks = partitioner.all_cluster_tasks()
+        flat = sorted(t for cluster in tasks for t in cluster)
+        assert flat == list(range(30))
+
+    def test_row_major_clusters_are_row_bands(self):
+        grid = Dim3(4, 4)
+        partitioner = CtaPartitioner(Y_PARTITION.build(grid), 4)
+        # 16 CTAs over 4 clusters: cluster 0 = row 0 (ids 0..3)
+        assert partitioner.cluster_tasks(0) == [0, 1, 2, 3]
+        assert partitioner.cluster_tasks(3) == [12, 13, 14, 15]
+
+    def test_task_lookup(self):
+        grid = Dim3(3, 2)
+        partitioner = CtaPartitioner(RowMajorIndexing(grid), 2)
+        assert partitioner.task(0, 1) == (0, 1)  # v=3 -> (bx=0, by=1)
+
+    def test_cluster_of(self):
+        grid = Dim3(3, 2)
+        partitioner = CtaPartitioner(RowMajorIndexing(grid), 2)
+        pos = partitioner.cluster_of(0, 1)
+        assert (pos.w, pos.i) == (0, 1)
+
+    def test_conserved_affinity_row_neighbors(self):
+        grid = Dim3(8, 8)
+        partitioner = CtaPartitioner(RowMajorIndexing(grid), 8)
+
+        def row_neighbors(v):
+            # same-row adjacent CTA in the row-major order
+            if v % 8 < 7:
+                yield v + 1
+
+        # row-major clustering keeps every same-row edge inside a cluster
+        assert partitioner.conserved_affinity(row_neighbors) == 1.0
+
+    def test_conserved_affinity_empty(self):
+        grid = Dim3(2, 2)
+        partitioner = CtaPartitioner(RowMajorIndexing(grid), 2)
+        assert partitioner.conserved_affinity(lambda v: []) == 1.0

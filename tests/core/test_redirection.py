@@ -1,0 +1,66 @@
+"""Redirection-based clustering tests (Listing 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import TileWiseIndexing, X_PARTITION, Y_PARTITION
+from repro.core.partition import CtaPartitioner
+from repro.core.redirection import redirection_plan
+from repro.gpu.config import GTX570, TESLA_K40
+from repro.kernels.kernel import Dim3, KernelSpec
+
+
+def kernel_of(grid):
+    return KernelSpec(name="k", grid=grid, block=Dim3(64),
+                      trace=lambda bx, by, bz: [])
+
+
+class TestRedirectionPlan:
+    def test_scheme_and_mode(self):
+        plan = redirection_plan(kernel_of(Dim3(30)), TESLA_K40)
+        assert plan.scheme == "RD"
+        assert plan.mode == "scheduled"
+        assert plan.per_cta_overhead > 0
+
+    def test_remap_is_permutation(self):
+        kernel = kernel_of(Dim3(7, 5))
+        plan = redirection_plan(kernel, TESLA_K40, Y_PARTITION)
+        mapped = sorted(plan.resolve(u) for u in range(kernel.n_ctas))
+        assert mapped == list(range(kernel.n_ctas))
+
+    def test_rr_dispatch_realizes_clusters(self):
+        """Under strict RR, new-kernel CTA u runs on SM u % M, and the
+        redirection must send exactly cluster i's work to SM i."""
+        kernel = kernel_of(Dim3(8, 6))
+        config = TESLA_K40
+        plan = redirection_plan(kernel, config, Y_PARTITION)
+        partitioner = CtaPartitioner(Y_PARTITION.build(kernel.grid),
+                                     config.num_sms)
+        per_sm = {i: set() for i in range(config.num_sms)}
+        for u in range(kernel.n_ctas):
+            per_sm[u % config.num_sms].add(plan.resolve(u))
+        for i in range(config.num_sms):
+            assert per_sm[i] == set(partitioner.cluster_tasks(i))
+
+    def test_tile_indexing_costs_more(self):
+        kernel = kernel_of(Dim3(8, 8))
+        plain = redirection_plan(kernel, GTX570, Y_PARTITION)
+        tiled = redirection_plan(
+            kernel, GTX570,
+            indexing=TileWiseIndexing(kernel.grid, 4, 4))
+        assert tiled.per_cta_overhead > plain.per_cta_overhead
+
+    def test_notes_describe_configuration(self):
+        plan = redirection_plan(kernel_of(Dim3(10, 2)), GTX570, X_PARTITION)
+        assert plan.notes["indexing"] == "column-major"
+        assert plan.notes["clusters"] == GTX570.num_sms
+
+
+@settings(max_examples=40, deadline=None)
+@given(gx=st.integers(1, 25), gy=st.integers(1, 12))
+def test_property_redirection_always_permutes(gx, gy):
+    kernel = kernel_of(Dim3(gx, gy))
+    plan = redirection_plan(kernel, GTX570, Y_PARTITION)
+    mapped = sorted(plan.resolve(u) for u in range(kernel.n_ctas))
+    assert mapped == list(range(kernel.n_ctas))

@@ -1,0 +1,40 @@
+"""CLI entry-point tests (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import _select_platforms, main
+from repro.gpu.config import EVALUATION_PLATFORMS, GTX980
+
+
+class TestPlatformSelection:
+    def test_default_is_all(self):
+        assert _select_platforms(None) == EVALUATION_PLATFORMS
+        assert _select_platforms([]) == EVALUATION_PLATFORMS
+
+    def test_by_product_name(self):
+        assert _select_platforms(["GTX980"]) == (GTX980,)
+
+    def test_by_architecture_name(self):
+        chosen = _select_platforms(["Maxwell"])
+        assert chosen == (GTX980,)
+
+    def test_unknown_platform_exits(self):
+        with pytest.raises(SystemExit):
+            _select_platforms(["GTX9999"])
+
+
+class TestMain:
+    def test_table1_artifact(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_fig2_restricted_platform(self, capsys):
+        assert main(["fig2", "--platforms", "Kepler"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla K40" in out
+        assert "GTX980" not in out.split("Figure 2")[1]
+
+    def test_invalid_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,40 @@
+"""EvaluationSweep helper coverage on a tiny restricted sweep."""
+
+import pytest
+
+from repro.experiments.evaluation import run_evaluation
+from repro.gpu.config import GTX570
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_evaluation(platforms=(GTX570,), groups=("algorithm",),
+                          scale=0.3, use_paper_agents=True)
+
+
+class TestSweepHelpers:
+    def test_restricted_sweep_size(self, tiny_sweep):
+        assert len(tiny_sweep.results) == 8  # algorithm group only
+
+    def test_result_lookup(self, tiny_sweep):
+        result = tiny_sweep.result(GTX570, "NN")
+        assert result.workload == "NN"
+        assert result.gpu == GTX570.name
+
+    def test_missing_result_raises(self, tiny_sweep):
+        with pytest.raises(KeyError):
+            tiny_sweep.result(GTX570, "SYK")
+
+    def test_best_clustered_speedup(self, tiny_sweep):
+        best = tiny_sweep.best_clustered_speedup(GTX570, "NN")
+        result = tiny_sweep.result(GTX570, "NN")
+        assert best == max(result.speedup(s)
+                           for s in ("CLU", "CLU+TOT", "CLU+TOT+BPS"))
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(KeyError):
+            run_evaluation(platforms=(GTX570,), groups=("nonsense",),
+                           scale=0.3)
+
+    def test_scale_recorded(self, tiny_sweep):
+        assert tiny_sweep.scale == 0.3

@@ -1,0 +1,52 @@
+"""Figure-4 taxonomy tests: each locality source shows its signature."""
+
+import pytest
+
+from repro.experiments.fig4_taxonomy import run_fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4()
+
+
+class TestTaxonomy:
+    def test_five_rows(self, result):
+        assert [r.label for r in result.rows] == ["A", "B", "C", "D", "E"]
+
+    def test_algorithm_pattern_is_inter_and_exploitable(self, result):
+        row = result.row("A")
+        assert row.inter_fraction > 0.6
+        assert row.clu_speedup > 1.2
+        assert row.l2_normalized < 0.6
+
+    def test_cache_line_pattern_invisible_at_sector_granularity(self, result):
+        # Fig. 4-B's reuse lives *between* 32B sectors of one 128B line,
+        # so the request-level quantifier sees none of it...
+        row = result.row("B")
+        assert row.inter_fraction == 0.0
+        # ...yet clustering on a 128B-line machine recovers it fully
+        assert row.clu_speedup > 1.3
+        assert row.l2_normalized < 0.5
+
+    def test_data_pattern_has_locality_but_unexploitable(self, result):
+        row = result.row("C")
+        assert row.inter_fraction > 0.5       # locality exists...
+        assert 0.9 <= row.clu_speedup <= 1.1  # ...but is accidental
+
+    def test_write_pattern_unexploitable(self, result):
+        row = result.row("D")
+        assert 0.9 <= row.clu_speedup <= 1.1
+
+    def test_streaming_pattern_flat(self, result):
+        row = result.row("E")
+        assert row.inter_fraction == 0.0
+        assert 0.9 <= row.clu_speedup <= 1.1
+        assert row.l2_normalized == pytest.approx(1.0, abs=0.05)
+
+    def test_unknown_label(self, result):
+        with pytest.raises(KeyError):
+            result.row("Z")
+
+    def test_renders(self, result):
+        assert "Figure 4 taxonomy" in result.render()

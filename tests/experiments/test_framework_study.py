@@ -1,0 +1,43 @@
+"""Framework study tests (reduced scale)."""
+
+import pytest
+
+from repro.experiments.framework_study import run_framework_study
+from repro.gpu.config import TESLA_K40
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_framework_study(TESLA_K40, scale=0.4)
+
+
+class TestFrameworkStudy:
+    def test_covers_all_23_apps(self, study):
+        assert len(study.cases) == 23
+
+    def test_exploitability_accuracy(self, study):
+        # the binary decision that selects the optimization path
+        assert study.exploitability_accuracy >= 0.7
+
+    def test_partition_agreement_with_table2(self, study):
+        assert study.partition_accuracy >= 0.85
+
+    def test_framework_never_hurts(self, study):
+        assert study.never_hurts
+
+    def test_streaming_apps_never_classified_exploitable(self, study):
+        for case in study.cases:
+            if case.workload.abbr in ("BS", "MON", "SAD", "DXT"):
+                assert not case.decision.category.exploitable, \
+                    case.workload.abbr
+
+    def test_cache_line_core_detected(self, study):
+        hits = [c for c in study.cases
+                if c.workload.abbr in ("SYK", "S2K", "ATX", "MVT", "BC")
+                and c.decision.category.exploitable]
+        assert len(hits) >= 4
+
+    def test_renders(self, study):
+        text = study.render()
+        assert "Framework study" in text
+        assert "exploitability accuracy" in text

@@ -1,0 +1,42 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.experiments.report import (
+    bar, format_percent, format_speedup, format_table)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["col"], [[5], [12345]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("    5")
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestScalars:
+    def test_percent(self):
+        assert format_percent(0.456) == "45.6%"
+
+    def test_speedup(self):
+        assert format_speedup(1.459) == "1.46x"
+
+    def test_bar_scales(self):
+        assert bar(1.0, scale=10) == "#" * 10
+        assert bar(0.5, scale=10) == "#" * 5
+        assert bar(0.0) == ""
+        assert bar(2.0, scale=10, maximum=1.0) == "#" * 10

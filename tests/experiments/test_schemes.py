@@ -1,0 +1,79 @@
+"""Scheme-builder tests: the six Figure-12 configurations."""
+
+import pytest
+
+from repro.experiments.schemes import (
+    SCHEME_ORDER, build_scheme_plans, optimal_agents, partition_for,
+    run_all_schemes)
+from repro.gpu.config import TESLA_K40
+from repro.gpu.simulator import GpuSimulator
+from repro.workloads.registry import workload
+
+
+class TestPartitionFor:
+    def test_uses_table2_direction(self):
+        wl = workload("MM")
+        assert partition_for(wl, wl.kernel()).name == "Y-P"
+        wl = workload("KMN")
+        assert partition_for(wl, wl.kernel()).name == "X-P"
+
+    def test_falls_back_to_analysis_for_extras(self):
+        wl = workload("COR")  # no Table-2 row
+        part = partition_for(wl, wl.kernel(scale=0.5))
+        assert part.name in ("X-P", "Y-P")
+
+
+class TestOptimalAgents:
+    def test_paper_value_clamped_to_occupancy(self):
+        wl = workload("KMN")
+        kernel = wl.kernel(config=TESLA_K40)
+        opt = optimal_agents(wl, kernel, TESLA_K40, use_paper_value=True)
+        assert opt == 1  # Table 2: KMN optimal agents = 1 on Kepler
+
+    def test_voted_value_in_range(self):
+        wl = workload("DCT")
+        kernel = wl.kernel(scale=0.4, config=TESLA_K40)
+        sim = GpuSimulator(TESLA_K40)
+        opt = optimal_agents(wl, kernel, TESLA_K40, sim)
+        from repro.gpu.occupancy import max_ctas_per_sm
+        assert 1 <= opt <= max_ctas_per_sm(TESLA_K40, kernel)
+
+
+class TestBuildSchemePlans:
+    def test_all_six_schemes(self):
+        wl = workload("NN")
+        kernel = wl.kernel(scale=0.4, config=TESLA_K40)
+        plans = build_scheme_plans(wl, kernel, TESLA_K40,
+                                   use_paper_agents=True)
+        assert set(plans) == set(SCHEME_ORDER)
+        assert plans["BSL"].mode == "scheduled"
+        assert plans["RD"].mode == "scheduled"
+        for scheme in ("CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT"):
+            assert plans[scheme].mode == "placed", scheme
+        assert plans["CLU+TOT+BPS"].bypass_streams
+        assert plans["PFH+TOT"].prefetch_depth > 0
+
+
+class TestRunAllSchemes:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all_schemes(workload("NN"), TESLA_K40, scale=0.4,
+                               use_paper_agents=True)
+
+    def test_metrics_for_every_scheme(self, results):
+        assert set(results.metrics) == set(SCHEME_ORDER)
+        for scheme, metrics in results.metrics.items():
+            assert metrics.cycles > 0, scheme
+            assert metrics.scheme == scheme
+
+    def test_baseline_speedup_is_one(self, results):
+        assert results.speedup("BSL") == pytest.approx(1.0)
+        assert results.l2_normalized("BSL") == pytest.approx(1.0)
+
+    def test_nn_clustering_wins_on_kepler(self, results):
+        assert results.speedup("CLU") > 1.1
+        assert results.l2_normalized("CLU") < 0.7
+
+    def test_occupancy_delta(self, results):
+        delta = results.occupancy_delta("CLU+TOT")
+        assert -1.0 <= delta <= 1.0

@@ -1,0 +1,40 @@
+"""Sensitivity-study tests (reduced grid)."""
+
+import pytest
+
+from repro.experiments.sensitivity import SensitivityCell, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sensitivity(scale=0.4, hiding_caps=(8.0, 20.0),
+                           join_staggers=(3, 12))
+
+
+class TestSensitivity:
+    def test_grid_size(self, result):
+        assert len(result.cells) == 4
+
+    def test_all_conclusions_hold(self, result):
+        assert result.all_hold
+
+    def test_renders(self, result):
+        assert "conclusions hold" in result.render()
+
+
+class TestCellLogic:
+    def test_holding_cell(self):
+        cell = SensitivityCell(8, 6, nn_fermi=1.3, atx_fermi=1.5,
+                               atx_maxwell=1.0, bs_fermi=1.0)
+        assert cell.conclusions_hold
+
+    def test_flat_nn_breaks_it(self):
+        cell = SensitivityCell(8, 6, nn_fermi=1.0, atx_fermi=1.5,
+                               atx_maxwell=1.0, bs_fermi=1.0)
+        assert not cell.conclusions_hold
+
+    def test_maxwell_gain_breaks_it(self):
+        # ATX gaining on Maxwell would contradict the line-size story
+        cell = SensitivityCell(8, 6, nn_fermi=1.3, atx_fermi=1.5,
+                               atx_maxwell=1.4, bs_fermi=1.0)
+        assert not cell.conclusions_hold

@@ -1,0 +1,99 @@
+"""Tests for the cheap experiment drivers: Table 1, Figure 2, Table 2,
+Figure 3."""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.gpu.config import EVALUATION_PLATFORMS
+
+
+class TestTable1:
+    def test_four_rows_in_order(self):
+        result = run_table1()
+        assert [row[0] for row in result.rows] == \
+            ["GTX570", "Tesla K40", "GTX980", "GTX1080"]
+
+    def test_renders(self):
+        text = run_table1().render()
+        assert "Table 1" in text
+        assert "GTX980" in text
+        assert "128B" in text and "32B" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2()
+
+    def test_covers_all_platforms(self, result):
+        assert len(result.platforms) == 4
+
+    def test_temporal_locality_on_every_platform(self, result):
+        # the paper's claim (1): temporal inter-CTA locality on L1
+        for p in result.platforms:
+            assert p.temporal_locality_demonstrated(), p.gpu.name
+
+    def test_spatial_locality_on_every_platform(self, result):
+        # the paper's claim (2): spatial inter-CTA locality on L1
+        for p in result.platforms:
+            assert p.spatial_locality_demonstrated(), p.gpu.name
+
+    def test_first_turnaround_latency_ordering(self, result):
+        for p in result.platforms:
+            means = p.default_turnaround_means
+            assert means[0] > 3 * min(v for t, v in means.items() if t > 0)
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Figure 2" in text
+        for gpu in EVALUATION_PLATFORMS:
+            assert gpu.name in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2()
+
+    def test_23_rows(self, result):
+        assert len(result.rows) == 23
+
+    def test_model_matches_paper_majority(self, result):
+        assert result.match_fraction >= 0.75
+
+    def test_renders_with_quadruples(self, result):
+        text = result.render()
+        assert "Table 2" in text
+        assert "6/8/8/8" in text  # KMN's CTAs/SM quadruple
+        assert "Y-P" in text and "X-P" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(scale=0.4, max_ctas=100)
+
+    def test_33_profiles_in_axis_order(self, result):
+        assert len(result.profiles) == 33
+        assert result.profiles[0].kernel_name == "MM"
+        assert result.profiles[-1].kernel_name == "KMN"
+
+    def test_average_in_papers_band(self, result):
+        assert 0.25 <= result.average_inter_fraction <= 0.60
+
+    def test_streaming_apps_near_zero_inter(self, result):
+        for abbr in ("BS", "SAD", "SP"):
+            assert result.inter_fraction(abbr) < 0.05
+
+    def test_fractions_are_complementary(self, result):
+        for p in result.profiles:
+            if p.reuse_requests:
+                total = p.inter_reuse_fraction + p.intra_reuse_fraction
+                assert total == pytest.approx(1.0)
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Figure 3" in text and "AVG" in text

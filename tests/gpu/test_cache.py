@@ -1,0 +1,292 @@
+"""Cache model tests: LRU/random replacement, write policies, sectors,
+in-flight fills, launch-boundary semantics — plus hypothesis properties.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cache import (
+    CacheStats, SectoredCache, SetAssociativeCache, make_l1, make_l2)
+from repro.gpu.config import GTX570, GTX980, WritePolicy
+
+
+def small_cache(**kw):
+    kw.setdefault("size", 1024)
+    kw.setdefault("line_size", 32)
+    kw.setdefault("assoc", 4)
+    return SetAssociativeCache(**kw)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        hit, ready = cache.access(0, now=0.0, miss_fill_latency=100.0)
+        assert not hit
+        assert ready == 100.0
+        hit, ready = cache.access(0, now=200.0, miss_fill_latency=100.0)
+        assert hit
+        assert ready == 200.0
+
+    def test_same_line_different_words(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 10.0)
+        hit, _ = cache.access(31, 50.0, 10.0)
+        assert hit  # same 32B line
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 10.0)
+        hit, _ = cache.access(32, 50.0, 10.0)
+        assert not hit
+
+    def test_reserved_hit_waits_for_fill(self):
+        # Section 3.1-(1): "hit reserved" — hit but data on the fly
+        cache = small_cache()
+        cache.access(0, 0.0, 500.0)
+        hit, ready = cache.access(0, 100.0, 500.0)
+        assert hit
+        assert ready == 500.0
+        assert cache.stats.reserved_hits == 1
+
+    def test_stats_counting(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 1.0)
+        cache.access(0, 10.0, 1.0)
+        cache.access(64, 10.0, 1.0)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert small_cache().stats.hit_rate == 0.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size=1000, line_size=32, assoc=4)
+
+
+class TestLruReplacement:
+    def test_lru_victim_is_oldest(self):
+        # 1024B/32B/4-way => 8 sets; same set = addresses 256B apart
+        cache = small_cache()
+        addrs = [0, 256, 512, 768]  # fill one set
+        for a in addrs:
+            cache.access(a, 0.0, 1.0)
+        cache.access(1024, 10.0, 1.0)  # evicts LRU = addr 0
+        assert not cache.contains(0)
+        assert cache.contains(256)
+        assert cache.contains(1024)
+
+    def test_touch_refreshes_lru(self):
+        cache = small_cache()
+        for a in (0, 256, 512, 768):
+            cache.access(a, 0.0, 1.0)
+        cache.access(0, 5.0, 1.0)      # refresh line 0
+        cache.access(1024, 10.0, 1.0)  # now evicts 256
+        assert cache.contains(0)
+        assert not cache.contains(256)
+
+
+class TestWritePolicies:
+    def test_write_evict_invalidates(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_EVICT)
+        cache.access(0, 0.0, 1.0)
+        assert cache.contains(0)
+        cache.access(0, 5.0, 1.0, is_write=True)
+        assert not cache.contains(0)
+        assert cache.stats.write_evictions == 1
+
+    def test_write_evict_counts_miss(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_EVICT)
+        cache.access(0, 0.0, 1.0, is_write=True)
+        assert cache.stats.misses == 1
+        assert not cache.contains(0)
+
+    def test_write_back_allocate_installs(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        cache.access(0, 0.0, 1.0, is_write=True)
+        assert cache.contains(0)
+        hit, _ = cache.access(0, 5.0, 1.0)
+        assert hit
+
+
+class TestMaintenance:
+    def test_flush_drops_lines_keeps_stats(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 1.0)
+        cache.flush()
+        assert not cache.contains(0)
+        assert cache.stats.accesses == 1
+
+    def test_reset_stats_keeps_lines(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 1.0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.contains(0)
+
+    def test_settle_completes_pending_fills(self):
+        cache = small_cache()
+        cache.access(0, 0.0, 10_000.0)
+        cache.settle()
+        hit, ready = cache.access(0, 1.0, 10_000.0)
+        assert hit
+        assert ready == 1.0  # no longer waiting on a stale fill
+
+    def test_install_without_access_stats(self):
+        cache = small_cache()
+        cache.install(0, ready_at=50.0)
+        assert cache.stats.accesses == 0
+        hit, ready = cache.access(0, 10.0, 1.0)
+        assert hit
+        assert ready == 50.0
+
+
+class TestRandomReplacement:
+    def test_random_replacement_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            cache = small_cache(random_replacement=True)
+            for a in range(0, 4096, 32):
+                cache.access(a, 0.0, 1.0)
+            results.append(cache.stats.hits)
+        assert results[0] == results[1]
+
+    def test_random_replacement_avoids_cyclic_cliff(self):
+        """Cyclic sweep slightly over capacity: LRU gets ~0 hits on the
+        second pass, random replacement retains a healthy fraction."""
+        size, line = 1024, 32
+        n_lines = (size // line) + 8
+
+        def sweep_twice(cache):
+            for _ in range(2):
+                for i in range(n_lines):
+                    cache.access(i * line, 0.0, 1.0)
+            return cache.stats.hits
+
+        lru_hits = sweep_twice(small_cache())
+        rnd_hits = sweep_twice(small_cache(random_replacement=True))
+        assert lru_hits == 0
+        assert rnd_hits > n_lines // 4
+
+
+class TestSectoredCache:
+    def test_sectors_are_private(self):
+        # The Maxwell/Pascal L1/Tex sector split blocks cross-sector
+        # reuse (Section 5.2 observation 6)
+        cache = SectoredCache(2048, 32, 4, sectors=2)
+        cache.access(0, 0.0, 1.0, sector=0)
+        hit, _ = cache.access(0, 10.0, 1.0, sector=1)
+        assert not hit
+        hit, _ = cache.access(0, 20.0, 1.0, sector=0)
+        assert hit
+
+    def test_aggregate_stats(self):
+        cache = SectoredCache(2048, 32, 4, sectors=2)
+        cache.access(0, 0.0, 1.0, sector=0)
+        cache.access(0, 0.0, 1.0, sector=1)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 2
+
+    def test_sector_wraps(self):
+        cache = SectoredCache(2048, 32, 4, sectors=2)
+        cache.access(0, 0.0, 1.0, sector=0)
+        hit, _ = cache.access(0, 1.0, 1.0, sector=2)  # 2 % 2 == 0
+        assert hit
+
+    def test_invalid_sector_count(self):
+        with pytest.raises(ValueError):
+            SectoredCache(2048, 32, 4, sectors=0)
+
+    def test_indivisible_size(self):
+        with pytest.raises(ValueError):
+            SectoredCache(2048 + 32, 32, 4, sectors=2)
+
+    def test_flush_and_settle_cover_all_sectors(self):
+        cache = SectoredCache(2048, 32, 4, sectors=2)
+        cache.access(0, 0.0, 999.0, sector=0)
+        cache.access(64, 0.0, 999.0, sector=1)
+        cache.settle()
+        assert cache.access(0, 1.0, 1.0, sector=0) == (True, 1.0)
+        cache.flush()
+        assert not cache.contains(0, sector=0)
+        assert not cache.contains(64, sector=1)
+
+
+class TestFactories:
+    def test_make_l1_fermi_unsectored(self):
+        l1 = make_l1(GTX570)
+        assert l1.sectors == 1
+        assert l1.line_size == 128
+
+    def test_make_l1_maxwell_sectored(self):
+        l1 = make_l1(GTX980)
+        assert l1.sectors == 2
+        assert l1.line_size == 32
+
+    def test_make_l2_uses_random_replacement(self):
+        l2 = make_l2(GTX980)
+        assert l2._random_replacement
+        assert l2.write_policy is WritePolicy.WRITE_BACK_ALLOCATE
+
+
+class TestCacheStatsMerge:
+    def test_merge_accumulates(self):
+        a = CacheStats(accesses=10, hits=4, misses=6, reserved_hits=1,
+                       write_evictions=2)
+        b = CacheStats(accesses=5, hits=5, misses=0)
+        a.merge(b)
+        assert a.accesses == 15
+        assert a.hits == 9
+        assert a.misses == 6
+        assert a.reserved_hits == 1
+        assert a.write_evictions == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=200))
+def test_property_hits_plus_misses_equals_accesses(addrs):
+    cache = small_cache()
+    for a in addrs:
+        cache.access(a, 0.0, 1.0)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(addrs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                      min_size=1, max_size=200),
+       random_repl=st.booleans())
+def test_property_set_never_exceeds_associativity(addrs, random_repl):
+    cache = small_cache(random_replacement=random_repl)
+    for a in addrs:
+        cache.access(a, 0.0, 1.0)
+    for cset in cache._sets:
+        assert len(cset) <= cache.assoc
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 14),
+                      min_size=2, max_size=100))
+def test_property_immediate_rereference_always_hits(addrs):
+    cache = small_cache()
+    for a in addrs:
+        cache.access(a, 0.0, 1.0)
+        hit, _ = cache.access(a, 0.0, 1.0)
+        assert hit
+
+
+@settings(max_examples=40, deadline=None)
+@given(working=st.integers(min_value=1, max_value=32))
+def test_property_working_set_within_capacity_all_hits_second_pass(working):
+    """Any working set that fits entirely never misses on re-walk (LRU)."""
+    cache = small_cache()  # 32 lines total, 8 sets x 4 ways
+    lines = [i * 32 for i in range(working)]
+    for a in lines:
+        cache.access(a, 0.0, 1.0)
+    for a in lines:
+        hit, _ = cache.access(a, 1.0, 1.0)
+        assert hit

@@ -1,0 +1,87 @@
+"""Metric bookkeeping tests."""
+
+import pytest
+
+from repro.gpu.cache import CacheStats
+from repro.gpu.metrics import KernelMetrics, geometric_mean
+
+
+def metrics_with(cycles=100.0, l2r=10, l2w=5, **kw):
+    m = KernelMetrics(gpu_name="X", kernel_name="k", **kw)
+    m.cycles = cycles
+    m.l2_read_transactions = l2r
+    m.l2_write_transactions = l2w
+    return m
+
+
+class TestKernelMetrics:
+    def test_l2_transactions_sums_reads_and_writes(self):
+        assert metrics_with().l2_transactions == 15
+
+    def test_speedup_over(self):
+        fast = metrics_with(cycles=50.0)
+        slow = metrics_with(cycles=100.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_speedup_zero_cycles_rejected(self):
+        broken = metrics_with(cycles=0.0)
+        with pytest.raises(ValueError):
+            broken.speedup_over(metrics_with())
+
+    def test_l2_normalization(self):
+        a = metrics_with(l2r=5, l2w=0)
+        b = metrics_with(l2r=10, l2w=0)
+        assert a.l2_transactions_vs(b) == pytest.approx(0.5)
+
+    def test_l2_normalization_zero_baseline(self):
+        a = metrics_with(l2r=0, l2w=0)
+        b = metrics_with(l2r=0, l2w=0)
+        assert a.l2_transactions_vs(b) == 1.0
+        c = metrics_with(l2r=3, l2w=0)
+        assert c.l2_transactions_vs(b) == float("inf")
+
+    def test_l1_hit_rate_delegates_to_stats(self):
+        m = metrics_with()
+        m.l1 = CacheStats(accesses=10, hits=7, misses=3)
+        assert m.l1_hit_rate == pytest.approx(0.7)
+
+    def test_achieved_occupancy(self):
+        m = metrics_with(cycles=100.0)
+        m.warp_slots = 64
+        m.occupancy_weighted_warps = 3200.0  # avg 32 warps resident
+        assert m.achieved_occupancy == pytest.approx(0.5)
+
+    def test_achieved_occupancy_clamped(self):
+        m = metrics_with(cycles=1.0)
+        m.warp_slots = 1
+        m.occupancy_weighted_warps = 1e9
+        assert m.achieved_occupancy == 1.0
+
+    def test_achieved_occupancy_idle(self):
+        m = metrics_with(cycles=0.0)
+        assert m.achieved_occupancy == 0.0
+
+    def test_summary_contains_key_fields(self):
+        text = metrics_with().summary()
+        assert "k" in text and "X" in text and "l2_trans" in text
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_order_invariant(self):
+        assert geometric_mean([2, 8, 4]) == pytest.approx(
+            geometric_mean([8, 4, 2]))

@@ -1,0 +1,36 @@
+"""Execution plan validation tests."""
+
+import pytest
+
+from repro.gpu.plan import ExecutionPlan, baseline_plan
+
+
+class TestExecutionPlan:
+    def test_baseline_is_identity(self):
+        plan = baseline_plan()
+        assert plan.scheme == "BSL"
+        assert plan.mode == "scheduled"
+        assert plan.resolve(7) == 7
+        assert plan.per_cta_overhead == 0.0
+
+    def test_dispatch_map_applied(self):
+        plan = ExecutionPlan(mode="scheduled",
+                             dispatch_map=lambda u: u * 2)
+        assert plan.resolve(3) == 6
+
+    def test_placed_requires_tasks(self):
+        with pytest.raises(ValueError, match="sm_tasks"):
+            ExecutionPlan(mode="placed", active_agents=2)
+
+    def test_placed_requires_agents(self):
+        with pytest.raises(ValueError, match="active_agents"):
+            ExecutionPlan(mode="placed", sm_tasks=[[0], [1]])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan mode"):
+            ExecutionPlan(mode="magic")
+
+    def test_valid_placed_plan(self):
+        plan = ExecutionPlan(mode="placed", sm_tasks=[[0, 1], [2]],
+                             active_agents=1, scheme="CLU")
+        assert plan.sm_tasks[0] == [0, 1]

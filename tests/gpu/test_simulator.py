@@ -1,0 +1,185 @@
+"""Simulator tests: completeness, determinism, plan semantics, and the
+cache/timing effects the paper's evaluation depends on.
+"""
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import X_PARTITION
+from repro.core.redirection import redirection_plan
+from repro.gpu.scheduler import RoundRobinScheduler
+from repro.gpu.simulator import GpuSimulator, run_baseline, run_measured
+
+from tests.conftest import make_row_band_kernel, make_streaming_kernel
+
+
+class TestBaselineExecution:
+    def test_every_cta_executes_once(self, any_gpu, shared_table_kernel):
+        metrics = GpuSimulator(any_gpu).run(shared_table_kernel)
+        assert metrics.ctas_executed == shared_table_kernel.n_ctas
+        assert sum(metrics.ctas_per_sm) == shared_table_kernel.n_ctas
+
+    def test_deterministic_per_seed(self, kepler, shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        a = sim.run(shared_table_kernel, seed=3)
+        b = sim.run(shared_table_kernel, seed=3)
+        assert a.cycles == b.cycles
+        assert a.l2_transactions == b.l2_transactions
+
+    def test_positive_cycles_and_traffic(self, any_gpu, streaming_kernel):
+        metrics = GpuSimulator(any_gpu).run(streaming_kernel)
+        assert metrics.cycles > 0
+        assert metrics.l2_read_transactions > 0
+        assert metrics.l2_write_transactions > 0
+        assert metrics.dram_transactions > 0
+
+    def test_run_baseline_helper(self, kepler, streaming_kernel):
+        metrics = run_baseline(kepler, streaming_kernel)
+        assert metrics.scheme == "BSL"
+        assert metrics.gpu_name == kepler.name
+
+    def test_streaming_kernel_never_hits_l1(self, kepler, streaming_kernel):
+        metrics = GpuSimulator(kepler).run(streaming_kernel)
+        assert metrics.l1.hits == 0
+
+    def test_shared_table_kernel_hits_l1(self, kepler, shared_table_kernel):
+        metrics = GpuSimulator(kepler).run(shared_table_kernel)
+        assert metrics.l1_hit_rate > 0.2
+
+    def test_occupancy_in_unit_range(self, any_gpu, shared_table_kernel):
+        metrics = GpuSimulator(any_gpu).run(shared_table_kernel)
+        assert 0.0 < metrics.achieved_occupancy <= 1.0
+
+
+class TestL2TransactionAccounting:
+    def test_fermi_l1_miss_is_four_l2_transactions(self, fermi,
+                                                   streaming_kernel):
+        metrics = GpuSimulator(fermi).run(streaming_kernel)
+        # every read access misses; each 128B L1 line fill = 4 x 32B
+        reads = streaming_kernel.n_ctas * 2
+        assert metrics.l2_read_transactions == reads * 4
+
+    def test_maxwell_l1_miss_is_one_l2_transaction(self, maxwell,
+                                                   streaming_kernel):
+        metrics = GpuSimulator(maxwell).run(streaming_kernel)
+        # each 128B warp read = 4 x 32B sector accesses = 4 transactions
+        reads = streaming_kernel.n_ctas * 2
+        assert metrics.l2_read_transactions == reads * 4
+
+    def test_writes_counted_separately(self, kepler, streaming_kernel):
+        metrics = GpuSimulator(kepler).run(streaming_kernel)
+        writes = streaming_kernel.n_ctas  # one 128B store = 4 x 32B
+        assert metrics.l2_write_transactions == writes * 4
+
+    def test_l1_disabled_routes_reads_to_l2(self, kepler, streaming_kernel):
+        on = GpuSimulator(kepler).run(streaming_kernel)
+        off = GpuSimulator(kepler, l1_enabled=False).run(streaming_kernel)
+        assert off.l1.accesses == 0
+        assert off.l2_read_transactions == on.l2_read_transactions
+
+
+class TestPlacedMode:
+    def test_placed_runs_all_tasks(self, kepler, shared_table_kernel):
+        plan = agent_plan(shared_table_kernel, kepler, X_PARTITION)
+        metrics = GpuSimulator(kepler).run(shared_table_kernel, plan)
+        assert metrics.ctas_executed == shared_table_kernel.n_ctas
+
+    def test_placed_balances_tasks(self, kepler, shared_table_kernel):
+        plan = agent_plan(shared_table_kernel, kepler, X_PARTITION)
+        metrics = GpuSimulator(kepler).run(shared_table_kernel, plan)
+        assert max(metrics.ctas_per_sm) - min(metrics.ctas_per_sm) <= 1
+
+    def test_placed_charges_overheads(self, maxwell, shared_table_kernel):
+        plan = agent_plan(shared_table_kernel, maxwell, X_PARTITION)
+        metrics = GpuSimulator(maxwell).run(shared_table_kernel, plan)
+        assert metrics.overhead_cycles > 0
+
+    def test_throttled_plan_reduces_concurrency(self, kepler,
+                                                shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        full = sim.run(shared_table_kernel,
+                       agent_plan(shared_table_kernel, kepler, X_PARTITION))
+        one = sim.run(shared_table_kernel,
+                      agent_plan(shared_table_kernel, kepler, X_PARTITION,
+                                 active_agents=1))
+        assert one.achieved_occupancy < full.achieved_occupancy
+
+    def test_ignores_scheduler(self, kepler, shared_table_kernel):
+        plan = agent_plan(shared_table_kernel, kepler, X_PARTITION)
+        a = GpuSimulator(kepler).run(shared_table_kernel, plan, seed=1)
+        b = GpuSimulator(kepler,
+                         scheduler=RoundRobinScheduler()).run(
+            shared_table_kernel, plan, seed=99)
+        assert a.cycles == b.cycles
+
+
+class TestClusteringEffects:
+    def test_clustering_improves_row_band_hit_rate(self, fermi):
+        # row-band reuse is the canonical clusterable pattern
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        from repro.core.indexing import Y_PARTITION
+        sim = GpuSimulator(fermi)
+        base = sim.run(kernel)
+        clustered = sim.run(kernel, agent_plan(kernel, fermi, Y_PARTITION))
+        assert clustered.l1_hit_rate > base.l1_hit_rate
+        assert clustered.l2_transactions < base.l2_transactions
+
+    def test_redirection_under_rr_matches_cluster_affinity(self, fermi):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        from repro.core.indexing import Y_PARTITION
+        rr_sim = GpuSimulator(fermi, scheduler=RoundRobinScheduler())
+        base = rr_sim.run(kernel)
+        rd = rr_sim.run(kernel, redirection_plan(kernel, fermi, Y_PARTITION))
+        assert rd.l2_transactions < base.l2_transactions
+
+    def test_bypass_protects_l1_from_streams(self, kepler,
+                                             shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        plain = sim.run(shared_table_kernel,
+                        agent_plan(shared_table_kernel, kepler, X_PARTITION))
+        bypassed = sim.run(
+            shared_table_kernel,
+            agent_plan(shared_table_kernel, kepler, X_PARTITION,
+                       bypass_streams=True, scheme="CLU+BPS"))
+        assert bypassed.l1.accesses < plain.l1.accesses
+
+    def test_prefetch_issues_fills(self, kepler):
+        from tests.conftest import make_streaming_kernel
+        kernel = make_streaming_kernel(n_ctas=400)  # several waves/SM
+        plan = agent_plan(kernel, kepler, X_PARTITION,
+                          prefetch_depth=2, scheme="PFH")
+        metrics = GpuSimulator(kepler).run(kernel, plan)
+        assert metrics.prefetch_issues > 0
+
+
+class TestRecording:
+    def test_per_cta_records(self, kepler, shared_table_kernel):
+        metrics = GpuSimulator(kepler).run(shared_table_kernel,
+                                           record_per_cta=True)
+        assert len(metrics.cta_records) == shared_table_kernel.n_ctas
+        ids = sorted(r.original_id for r in metrics.cta_records)
+        assert ids == list(range(shared_table_kernel.n_ctas))
+
+    def test_records_off_by_default(self, kepler, shared_table_kernel):
+        metrics = GpuSimulator(kepler).run(shared_table_kernel)
+        assert metrics.cta_records == []
+
+
+class TestWarmMeasurement:
+    def test_warm_run_sees_warm_l2(self, kepler, shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        cold = sim.run(shared_table_kernel)
+        warm = run_measured(sim, shared_table_kernel, warmups=1)
+        assert warm.dram_transactions < cold.dram_transactions
+
+    def test_warm_run_l1_is_cold(self, kepler, streaming_kernel):
+        # L1s are invalidated at kernel-launch boundaries
+        sim = GpuSimulator(kepler)
+        warm = run_measured(sim, streaming_kernel, warmups=2)
+        assert warm.l1.hits == 0
+
+    def test_counters_cover_measured_launch_only(self, kepler,
+                                                 shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        single = sim.run(shared_table_kernel)
+        warm = run_measured(sim, shared_table_kernel, warmups=3)
+        assert warm.l1.accesses == single.l1.accesses
+        assert warm.ctas_executed == shared_table_kernel.n_ctas

@@ -1,0 +1,116 @@
+"""Simulator conservation invariants, including hypothesis sweeps over
+randomly shaped kernels.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import agent_plan
+from repro.core.indexing import X_PARTITION
+from repro.core.redirection import redirection_plan
+from repro.gpu.config import GTX570, GTX980, TESLA_K40
+from repro.gpu.simulator import GpuSimulator
+from repro.kernels.access import read, write
+from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
+
+
+def random_kernel(n_ctas, accesses_per_cta, shared_rows, seed):
+    """Deterministic pseudo-random kernel for invariant sweeps."""
+    space = AddressSpace()
+    shared = space.alloc("shared", max(1, shared_rows), 32)
+    private = space.alloc("private", n_ctas * accesses_per_cta + 1, 32)
+
+    def trace(bx, by, bz):
+        state = (seed * 9176 + bx * 2654435761) & 0xFFFFFFFF
+        accesses = []
+        for k in range(accesses_per_cta):
+            state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+            if shared_rows and state % 3 == 0:
+                row = (state >> 8) % shared_rows
+                accesses.append(read(shared.addr(row, 0), 4, 32, 4))
+            elif state % 5 == 0:
+                accesses.append(write(private.addr(bx * accesses_per_cta + k, 0),
+                                      4, 32, 4))
+            else:
+                accesses.append(read(private.addr(bx * accesses_per_cta + k, 0),
+                                     4, 32, 4, stream=True))
+        return accesses
+
+    return KernelSpec(name="rand", grid=Dim3(n_ctas), block=Dim3(64),
+                      trace=trace, regs_per_thread=16)
+
+
+@settings(max_examples=12, deadline=None)
+@given(n_ctas=st.integers(1, 80), accesses=st.integers(1, 12),
+       shared=st.integers(0, 6), seed=st.integers(0, 50))
+def test_property_conservation_baseline(n_ctas, accesses, shared, seed):
+    kernel = random_kernel(n_ctas, accesses, shared, seed)
+    metrics = GpuSimulator(TESLA_K40).run(kernel, seed=seed)
+    # every CTA ran once
+    assert metrics.ctas_executed == n_ctas
+    assert sum(metrics.ctas_per_sm) == n_ctas
+    # warp accesses counted exactly
+    assert metrics.warp_accesses == n_ctas * accesses
+    # hierarchy conservation
+    assert metrics.dram_transactions <= metrics.l2_transactions
+    assert metrics.l2.accesses == metrics.l2_transactions
+    assert metrics.cycles >= max(metrics.sm_cycles[:1] or [0])
+    assert metrics.cycles == max(metrics.sm_cycles)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_ctas=st.integers(2, 80), accesses=st.integers(1, 10),
+       shared=st.integers(0, 6), seed=st.integers(0, 20))
+def test_property_plans_preserve_traffic_identity(n_ctas, accesses, shared,
+                                                  seed):
+    """Every plan executes the same logical work: warp-access counts
+    and write traffic are identical across BSL / RD / CLU."""
+    kernel = random_kernel(n_ctas, accesses, shared, seed)
+    gpu = GTX570
+    sim = GpuSimulator(gpu)
+    base = sim.run(kernel, seed=seed)
+    rd = sim.run(kernel, redirection_plan(kernel, gpu, X_PARTITION),
+                 seed=seed)
+    clu = sim.run(kernel, agent_plan(kernel, gpu, X_PARTITION), seed=seed)
+    for metrics in (rd, clu):
+        assert metrics.warp_accesses == base.warp_accesses
+        assert metrics.ctas_executed == base.ctas_executed
+        assert metrics.l2_write_transactions == base.l2_write_transactions
+
+
+class TestEdgeShapes:
+    def test_single_cta_kernel(self):
+        kernel = random_kernel(1, 4, 2, seed=0)
+        metrics = GpuSimulator(GTX980).run(kernel)
+        assert metrics.ctas_executed == 1
+        assert sum(1 for c in metrics.ctas_per_sm if c) == 1
+
+    def test_fewer_ctas_than_sms(self):
+        kernel = random_kernel(5, 4, 2, seed=1)
+        metrics = GpuSimulator(TESLA_K40).run(kernel)  # 15 SMs
+        assert metrics.ctas_executed == 5
+
+    def test_empty_trace_cta(self):
+        kernel = KernelSpec(name="empty", grid=Dim3(10), block=Dim3(32),
+                            trace=lambda bx, by, bz: [])
+        metrics = GpuSimulator(TESLA_K40).run(kernel)
+        assert metrics.ctas_executed == 10
+        assert metrics.warp_accesses == 0
+        assert metrics.cycles > 0  # fixed compute still runs
+
+    def test_one_access_traces_terminate(self):
+        # regression guard: short traces must not deadlock the
+        # pipelined-join interleave
+        kernel = KernelSpec(
+            name="short", grid=Dim3(120), block=Dim3(32),
+            trace=lambda bx, by, bz: [read(bx * 128, 4, 32, 4)])
+        metrics = GpuSimulator(GTX570).run(kernel)
+        assert metrics.ctas_executed == 120
+
+    def test_huge_cta_count_scheduled(self):
+        kernel = random_kernel(600, 2, 3, seed=2)
+        metrics = GpuSimulator(GTX980).run(kernel)
+        assert metrics.ctas_executed == 600
+        assert max(metrics.ctas_per_sm) - min(metrics.ctas_per_sm) <= \
+            GTX980.cta_slots

@@ -1,0 +1,101 @@
+"""Warp access and coalescer tests, with hypothesis coverage proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.access import (
+    WarpAccess, coalesce, coalescing_degree, read, write)
+
+
+class TestConstructors:
+    def test_read_defaults(self):
+        access = read(0x100)
+        assert access == WarpAccess(0x100, 4, 32, 4, False, False)
+
+    def test_write_flag(self):
+        assert write(0x100).is_write
+        assert not read(0x100).is_write
+
+    def test_stream_tag(self):
+        assert read(0, stream=True).is_stream
+        assert not read(0).is_stream
+
+
+class TestCoalesce:
+    def test_dense_warp_load_128b(self):
+        # a perfectly coalesced float warp load = one 128B segment
+        assert coalesce(read(0, 4, 32, 4), 128) == [0]
+
+    def test_dense_warp_load_32b_sectors(self):
+        assert coalesce(read(0, 4, 32, 4), 32) == [0, 32, 64, 96]
+
+    def test_misaligned_load_spans_two_segments(self):
+        assert coalesce(read(64, 4, 32, 4), 128) == [0, 128]
+
+    def test_single_lane(self):
+        assert coalesce(read(100, 0, 1, 4), 128) == [0]
+
+    def test_single_lane_straddling(self):
+        assert coalesce(read(126, 0, 1, 4), 128) == [0, 128]
+
+    def test_broadcast_stride_zero(self):
+        # all lanes read the same address: one segment
+        assert coalesce(read(256, 0, 32, 4), 128) == [256 - 256 % 128]
+
+    def test_scattered_large_stride(self):
+        segments = coalesce(read(0, 256, 4, 4), 128)
+        assert segments == [0, 256, 512, 768]
+
+    def test_scattered_deduplicates(self):
+        # stride 160 over 128B segments revisits some segments
+        segments = coalesce(read(0, 160, 4, 4), 128)
+        assert len(segments) == len(set(segments))
+
+    def test_empty_lanes(self):
+        assert coalesce(WarpAccess(0, 4, 0, 4), 128) == []
+
+    def test_mid_stride(self):
+        # stride 16B, 32 lanes: spans 512B = 4 x 128B segments
+        assert coalesce(read(0, 16, 32, 4), 128) == [0, 128, 256, 384]
+
+
+@settings(max_examples=150, deadline=None)
+@given(base=st.integers(0, 1 << 24), stride=st.integers(0, 512),
+       lanes=st.integers(1, 32), size=st.sampled_from([1, 2, 4, 8, 16]),
+       segment=st.sampled_from([32, 128]))
+def test_property_every_lane_byte_is_covered(base, stride, lanes, size,
+                                             segment):
+    """Each lane's element falls inside some returned segment."""
+    access = WarpAccess(base, stride, lanes, size)
+    segments = coalesce(access, segment)
+    covered = set()
+    for seg in segments:
+        assert seg % segment == 0, "segments must be aligned"
+        covered.update(range(seg, seg + segment))
+    for lane in range(lanes):
+        addr = base + lane * stride
+        assert addr in covered
+        assert addr + size - 1 in covered
+
+
+@settings(max_examples=100, deadline=None)
+@given(base=st.integers(0, 1 << 20), stride=st.integers(0, 64),
+       lanes=st.integers(1, 32))
+def test_property_dense_segments_are_contiguous(base, stride, lanes):
+    segments = coalesce(WarpAccess(base, stride, lanes, 4), 128)
+    for a, b in zip(segments, segments[1:]):
+        assert b - a == 128
+
+
+class TestCoalescingDegree:
+    def test_perfect_coalescing(self):
+        accesses = [read(i * 128, 4, 32, 4) for i in range(8)]
+        assert coalescing_degree(accesses, 128) == pytest.approx(32.0)
+
+    def test_fully_scattered(self):
+        accesses = [read(0, 4096, 32, 4)]
+        assert coalescing_degree(accesses, 128) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert coalescing_degree([], 128) == 0.0

@@ -1,0 +1,134 @@
+"""Kernel abstraction tests: grids, arrays, specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.kernel import (
+    AddressSpace, ArrayRef, ArraySpec, Dim3, KernelSpec, LocalityCategory)
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(4, 3, 2).count == 24
+        assert Dim3(7).count == 7
+
+    def test_iteration(self):
+        assert tuple(Dim3(1, 2, 3)) == (1, 2, 3)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+        with pytest.raises(ValueError):
+            Dim3(4, -1)
+
+
+class TestArraySpec:
+    def test_addressing(self):
+        spec = ArraySpec("A", base=1000, rows=4, cols=8, element_size=4)
+        assert spec.addr(0, 0) == 1000
+        assert spec.addr(1, 0) == 1000 + 32
+        assert spec.addr(2, 3) == 1000 + 64 + 12
+        assert spec.size == 128
+        assert spec.end == 1128
+
+
+class TestAddressSpace:
+    def test_arrays_never_overlap(self):
+        space = AddressSpace()
+        a = space.alloc("A", 10, 33)
+        b = space.alloc("B", 5, 7)
+        assert b.base >= a.end
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=256)
+        space.alloc("A", 3, 3)
+        b = space.alloc("B", 3, 3)
+        assert b.base % 256 == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("A", 1, 1)
+        with pytest.raises(ValueError, match="already allocated"):
+            space.alloc("A", 1, 1)
+
+    def test_lookup(self):
+        space = AddressSpace()
+        a = space.alloc("A", 2, 2)
+        assert space["A"] is a
+
+    @settings(max_examples=40, deadline=None)
+    @given(shapes=st.lists(st.tuples(st.integers(1, 50), st.integers(1, 50)),
+                           min_size=2, max_size=10))
+    def test_property_all_allocations_disjoint(self, shapes):
+        space = AddressSpace()
+        specs = [space.alloc(f"a{i}", r, c) for i, (r, c) in enumerate(shapes)]
+        for first, second in zip(specs, specs[1:]):
+            assert first.end <= second.base
+
+
+class TestKernelSpec:
+    def make(self, grid=Dim3(4, 3)):
+        return KernelSpec(name="k", grid=grid, block=Dim3(96),
+                          trace=lambda bx, by, bz: [])
+
+    def test_warps_per_cta_rounds_up(self):
+        assert self.make().warps_per_cta == 3
+        spec = KernelSpec(name="k", grid=Dim3(1), block=Dim3(33),
+                          trace=lambda bx, by, bz: [])
+        assert spec.warps_per_cta == 2
+
+    def test_cta_coords_roundtrip(self):
+        spec = self.make(Dim3(5, 4, 3))
+        seen = set()
+        for v in range(spec.n_ctas):
+            bx, by, bz = spec.cta_coords(v)
+            assert 0 <= bx < 5 and 0 <= by < 4 and 0 <= bz < 3
+            assert v == (bz * 4 + by) * 5 + bx
+            seen.add((bx, by, bz))
+        assert len(seen) == 60
+
+    def test_cta_coords_out_of_range(self):
+        spec = self.make()
+        with pytest.raises(IndexError):
+            spec.cta_coords(12)
+        with pytest.raises(IndexError):
+            spec.cta_coords(-1)
+
+    def test_reads_and_writes_same_array(self):
+        spec = KernelSpec(
+            name="k", grid=Dim3(1), block=Dim3(32),
+            trace=lambda bx, by, bz: [],
+            array_refs=(ArrayRef("A", (("bx",),)),
+                        ArrayRef("A", (("bx",),), is_write=True)))
+        assert spec.reads_and_writes_same_array()
+
+    def test_disjoint_read_write_arrays(self):
+        spec = KernelSpec(
+            name="k", grid=Dim3(1), block=Dim3(32),
+            trace=lambda bx, by, bz: [],
+            array_refs=(ArrayRef("A", (("bx",),)),
+                        ArrayRef("B", (("bx",),), is_write=True)))
+        assert not spec.reads_and_writes_same_array()
+
+
+class TestLocalityCategory:
+    def test_exploitable_categories(self):
+        # Section 4.1's definition of exploitable inter-CTA locality
+        assert LocalityCategory.ALGORITHM.exploitable
+        assert LocalityCategory.CACHE_LINE.exploitable
+        assert not LocalityCategory.DATA.exploitable
+        assert not LocalityCategory.WRITE.exploitable
+        assert not LocalityCategory.STREAMING.exploitable
+
+    def test_five_categories(self):
+        assert len(LocalityCategory) == 5
+
+
+class TestArrayRef:
+    def test_last_dim(self):
+        ref = ArrayRef("A", (("by",), ("bx", "tx")))
+        assert ref.last_dim == ("bx", "tx")
+
+    def test_default_weight(self):
+        assert ArrayRef("A", (("bx",),)).weight == 1.0

@@ -1,0 +1,78 @@
+"""Listing-3 microbenchmark tests: the Figure-2 claims."""
+
+import pytest
+
+from repro.gpu.config import EVALUATION_PLATFORMS
+from repro.gpu.scheduler import RoundRobinScheduler
+from repro.kernels.microbench import (
+    cta_count, run_microbench, summarize_turnarounds, turnarounds_for)
+
+
+class TestSetup:
+    def test_listing3_cta_counts(self):
+        # Listing 3 lines 18-21: 480 / 960 / 1024 / 1280
+        assert [cta_count(g) for g in EVALUATION_PLATFORMS] == \
+            [480, 960, 1024, 1280]
+
+    def test_turnarounds(self):
+        assert [turnarounds_for(g) for g in EVALUATION_PLATFORMS] == \
+            [4, 4, 2, 2]
+
+
+class TestTemporalLocality:
+    """Figure 2-(A): only the first turnaround pays memory latency."""
+
+    def test_first_turnaround_slow(self, any_gpu):
+        result = run_microbench(any_gpu, staggered=False)
+        means = summarize_turnarounds(result)
+        assert means[0] > 2 * any_gpu.l1_latency
+
+    def test_later_turnarounds_hit_l1(self, any_gpu):
+        result = run_microbench(any_gpu, staggered=False)
+        means = summarize_turnarounds(result)
+        for turnaround, mean in means.items():
+            if turnaround > 0:
+                assert mean == pytest.approx(any_gpu.l1_latency)
+
+    def test_first_turnaround_mostly_hit_reserved(self, kepler):
+        # all but the first CTA hit, but the data is on the fly
+        result = run_microbench(kepler, staggered=False)
+        first = [r for r in result.figure2_series() if r.turnaround == 0]
+        slow = [r for r in first if r.access_cycles > 2 * kepler.l1_latency]
+        assert len(slow) == len(first)
+
+
+class TestSpatialLocality:
+    """Figure 2-(B): staggering exposes same-turnaround reuse."""
+
+    def test_only_cold_fetches_are_slow(self, any_gpu):
+        result = run_microbench(any_gpu, staggered=True)
+        first = [r for r in result.figure2_series() if r.turnaround == 0]
+        slow = [r for r in first
+                if r.access_cycles > 1.5 * any_gpu.l1_latency]
+        assert 1 <= len(slow) <= any_gpu.l1_sectors
+
+    def test_staggered_mean_near_l1(self, any_gpu):
+        result = run_microbench(any_gpu, staggered=True)
+        means = summarize_turnarounds(result)
+        assert means[0] < 2 * any_gpu.l1_latency
+
+
+class TestBookkeeping:
+    def test_every_cta_recorded_once(self, kepler):
+        result = run_microbench(kepler)
+        ids = sorted(r.original_id for r in result.records)
+        assert ids == list(range(cta_count(kepler)))
+
+    def test_sm_of_cta(self, kepler):
+        result = run_microbench(kepler, scheduler=RoundRobinScheduler())
+        assert result.sm_of_cta(0) == 0
+        assert result.sm_of_cta(1) == 1
+        with pytest.raises(KeyError):
+            result.sm_of_cta(10 ** 9)
+
+    def test_figure2_series_is_one_sm(self, kepler):
+        result = run_microbench(kepler)
+        series = result.figure2_series()
+        assert len({r.sm_id for r in series}) == 1
+        assert any(r.original_id == 0 for r in series)

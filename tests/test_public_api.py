@@ -1,0 +1,30 @@
+"""Public API surface tests: the README quickstart must keep working."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart(self):
+        wl = repro.workload("NN")
+        kernel = wl.kernel(scale=0.3, config=repro.GTX980)
+        sim = repro.GpuSimulator(repro.GTX980)
+        baseline = repro.run_measured(sim, kernel)
+        clustered = repro.run_measured(
+            sim, kernel, repro.agent_plan(kernel, repro.GTX980,
+                                          repro.Y_PARTITION))
+        assert clustered.speedup_over(baseline) > 1.0
+
+    def test_platform_lookup(self):
+        assert repro.platform("GTX1080") is repro.GTX1080
+
+    def test_workload_sets(self):
+        assert len(repro.table2_workloads()) == 23
+        assert len(repro.figure3_workloads()) == 33
+        assert len(repro.all_workloads()) == 40

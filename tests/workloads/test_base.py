@@ -1,0 +1,163 @@
+"""Workload-framework unit tests: Table2Row, Workload, trace helpers."""
+
+import pytest
+
+from repro.gpu.config import Architecture, GTX570, GTX980
+from repro.kernels.access import coalesce
+from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec, LocalityCategory
+from repro.workloads.base import (
+    ARCH_ORDER, Table2Row, Workload, irregular_reads, object_array_reads,
+    scaled, skewed_read_write, stream_rows, tile_reads)
+
+
+def make_row():
+    return Table2Row(warps_per_cta=8, ctas_per_sm=(6, 8, 8, 8),
+                     registers=(14, 17, 16, 18), smem_bytes=0,
+                     partition="X-P", opt_agents=(1, 1, 1, 1),
+                     suite="Rodinia")
+
+
+class TestTable2Row:
+    def test_arch_order(self):
+        assert ARCH_ORDER == (Architecture.FERMI, Architecture.KEPLER,
+                              Architecture.MAXWELL, Architecture.PASCAL)
+
+    def test_per_arch_accessors(self):
+        row = make_row()
+        assert row.registers_for(Architecture.FERMI) == 14
+        assert row.ctas_for(Architecture.MAXWELL) == 8
+        assert row.opt_agents_for(Architecture.PASCAL) == 1
+
+
+class TestWorkloadWrapper:
+    def make_workload(self):
+        def build(scale):
+            return KernelSpec(name="W", grid=Dim3(scaled(20, scale)),
+                              block=Dim3(256),
+                              trace=lambda bx, by, bz: [],
+                              regs_per_thread=99)
+        return Workload(abbr="W", name="w", description="test",
+                        category=LocalityCategory.ALGORITHM, builder=build,
+                        table2=make_row())
+
+    def test_kernel_applies_category(self):
+        wl = self.make_workload()
+        assert wl.kernel().category is LocalityCategory.ALGORITHM
+
+    def test_kernel_specializes_registers(self):
+        wl = self.make_workload()
+        assert wl.kernel(config=GTX570).regs_per_thread == 14
+        assert wl.kernel(config=GTX980).regs_per_thread == 16
+        assert wl.kernel().regs_per_thread == 99  # builder default
+
+    def test_scale_validation(self):
+        wl = self.make_workload()
+        with pytest.raises(ValueError):
+            wl.kernel(scale=-1)
+
+    def test_probe_is_quarter_scale(self):
+        wl = self.make_workload()
+        assert wl.probe_kernel().n_ctas == 5
+
+
+class TestScaled:
+    def test_rounding(self):
+        assert scaled(10, 0.5) == 5
+        assert scaled(10, 0.26) == 3
+
+    def test_minimum(self):
+        assert scaled(10, 0.01) == 1
+        assert scaled(10, 0.01, minimum=4) == 4
+
+
+@pytest.fixture
+def array():
+    return AddressSpace().alloc("A", 64, 64)
+
+
+class TestStreamRows:
+    def test_rows_and_chunks(self, array):
+        accesses = stream_rows(array, 2, 3, 64)
+        assert len(accesses) == 6  # 3 rows x 2 chunks of 32 words
+        assert all(a.is_stream for a in accesses)
+        assert all(not a.is_write for a in accesses)
+        assert accesses[0].base == array.addr(2, 0)
+
+    def test_write_variant(self, array):
+        accesses = stream_rows(array, 0, 1, 32, is_write=True)
+        assert all(a.is_write for a in accesses)
+
+    def test_partial_tail_chunk(self, array):
+        accesses = stream_rows(array, 0, 1, 40)
+        assert accesses[-1].lanes == 8
+
+
+class TestTileReads:
+    def test_covers_requested_tile(self, array):
+        accesses = tile_reads(array, 1, 2, 0, 32)
+        assert len(accesses) == 2
+        assert accesses[0].base == array.addr(1, 0)
+        assert accesses[1].base == array.addr(2, 0)
+
+    def test_clips_rows_outside_array(self, array):
+        accesses = tile_reads(array, 62, 5, 0, 32)
+        assert len(accesses) == 2  # rows 62, 63 only
+
+    def test_negative_row_clipped(self, array):
+        accesses = tile_reads(array, -2, 3, 0, 32)
+        assert len(accesses) == 1  # row 0 only
+
+    def test_write_tile(self, array):
+        accesses = tile_reads(array, 0, 1, 0, 32, is_write=True)
+        assert accesses[0].is_write
+
+
+class TestObjectArrayReads:
+    def test_object_straddle(self, array):
+        # 96B objects straddle 128B lines, never 32B lines
+        accesses = object_array_reads(array, 0, 32, 96)
+        segments_128 = set()
+        for a in accesses:
+            segments_128.update(coalesce(a, 128))
+        # 32 objects x 96B = 3072B = 24 x 128B lines
+        assert len(segments_128) == 24
+
+    def test_word_count(self, array):
+        accesses = object_array_reads(array, 0, 32, 96)
+        assert len(accesses) == 96 // 4  # one access per object word
+
+
+class TestIrregularReads:
+    def test_deterministic(self, array):
+        a = irregular_reads(array, seed=3, count=10)
+        b = irregular_reads(array, seed=3, count=10)
+        assert a == b
+
+    def test_different_seeds_differ(self, array):
+        assert irregular_reads(array, 1, 10) != irregular_reads(array, 2, 10)
+
+    def test_hot_fraction_concentrates(self, array):
+        accesses = irregular_reads(array, seed=0, count=400,
+                                   hot_fraction=0.9, hot_rows=2)
+        hot_end = array.addr(2, 0)
+        hot = sum(1 for a in accesses if a.base < hot_end)
+        assert hot > 250
+
+    def test_single_lane_accesses(self, array):
+        for access in irregular_reads(array, 0, 20):
+            assert access.lanes == 1
+
+
+class TestSkewedReadWrite:
+    def test_read_then_shifted_write(self, array):
+        accesses = skewed_read_write(array, 5, 32, skew_words=1)
+        reads = [a for a in accesses if not a.is_write]
+        writes = [a for a in accesses if a.is_write]
+        assert len(reads) == 1 and len(writes) == 1
+        assert writes[0].base - reads[0].base == 4
+
+    def test_write_overlaps_read_lines(self, array):
+        accesses = skewed_read_write(array, 0, 32, skew_words=1)
+        read_lines = set(coalesce(accesses[0], 128))
+        write_lines = set(coalesce(accesses[1], 128))
+        assert read_lines & write_lines  # the Fig. 4-(D) conflict

@@ -1,0 +1,103 @@
+"""Registry tests: the paper's application sets, orders and metadata."""
+
+import pytest
+
+from repro.kernels.kernel import LocalityCategory
+from repro.workloads.registry import (
+    EVALUATION_GROUPS, FIGURE3_ORDER, REGISTRY, TABLE2_ORDER, all_workloads,
+    by_category, figure3_workloads, table2_workloads, workload)
+
+
+class TestSets:
+    def test_table2_has_23_apps(self):
+        assert len(table2_workloads()) == 23
+        assert len(TABLE2_ORDER) == 23
+
+    def test_figure3_has_33_apps(self):
+        assert len(figure3_workloads()) == 33
+        assert len(FIGURE3_ORDER) == 33
+
+    def test_figure3_order_matches_paper_axis(self):
+        assert FIGURE3_ORDER[:9] == ("MM", "NN", "BS", "3CV", "BC", "HST",
+                                     "BTR", "NW", "BFS")
+        assert FIGURE3_ORDER[-1] == "KMN"
+
+    def test_table2_order_matches_paper_rows(self):
+        assert TABLE2_ORDER[0] == "KMN"
+        assert TABLE2_ORDER[-1] == "BS"
+
+    def test_total_workload_count(self):
+        assert len(all_workloads()) == 40
+        assert len(REGISTRY) == 40
+
+    def test_no_duplicate_abbrs(self):
+        abbrs = [wl.abbr for wl in all_workloads()]
+        assert len(abbrs) == len(set(abbrs))
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload("XYZ")
+
+
+class TestGroups:
+    def test_group_memberships(self):
+        assert len(EVALUATION_GROUPS["algorithm"]) == 8
+        assert len(EVALUATION_GROUPS["cache-line"]) == 7
+        assert len(EVALUATION_GROUPS["no-exploitable"]) == 8
+
+    def test_groups_cover_table2(self):
+        members = [a for g in EVALUATION_GROUPS.values() for a in g]
+        assert sorted(members) == sorted(TABLE2_ORDER)
+
+    def test_group_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            by_category("mystery")
+
+    def test_group_categories_consistent(self):
+        for wl in by_category("algorithm"):
+            assert wl.category is LocalityCategory.ALGORITHM
+        for wl in by_category("cache-line"):
+            assert wl.category is LocalityCategory.CACHE_LINE
+        for wl in by_category("no-exploitable"):
+            assert not wl.category.exploitable
+
+
+class TestTable2Metadata:
+    def test_every_table2_app_has_metadata(self):
+        for wl in table2_workloads():
+            assert wl.table2 is not None, wl.abbr
+
+    def test_extras_have_no_table2_metadata(self):
+        for wl in all_workloads():
+            if wl.abbr not in TABLE2_ORDER:
+                assert wl.table2 is None, wl.abbr
+
+    def test_paper_values_spot_checks(self):
+        kmn = workload("KMN").table2
+        assert kmn.warps_per_cta == 8
+        assert kmn.opt_agents == (1, 1, 1, 1)
+        assert kmn.partition == "X-P"
+        mm = workload("MM").table2
+        assert mm.warps_per_cta == 32
+        assert mm.smem_bytes == 8192
+        assert mm.registers == (22, 29, 32, 27)
+        assert mm.partition == "Y-P"
+        nw = workload("NW").table2
+        assert nw.smem_bytes == 2180
+
+    def test_partition_values_valid(self):
+        for wl in table2_workloads():
+            assert wl.table2.partition in ("X-P", "Y-P"), wl.abbr
+
+    def test_opt_agents_within_ctas(self):
+        for wl in table2_workloads():
+            for opt, ctas in zip(wl.table2.opt_agents,
+                                 wl.table2.ctas_per_sm):
+                assert 1 <= opt <= max(ctas, opt), wl.abbr
+
+    def test_per_arch_accessors(self):
+        from repro.gpu.config import Architecture
+        t2 = workload("NN").table2
+        assert t2.registers_for(Architecture.FERMI) == 21
+        assert t2.ctas_for(Architecture.PASCAL) == 32
+        assert t2.opt_agents_for(Architecture.KEPLER) == 16
