@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI smoke sweep: a tiny Figure-12 matrix through the sweep engine.
+
+Runs one workload per evaluation group on one architecture, twice:
+serially, then with worker processes (``--jobs``), and fails if the
+parallel metrics differ from the serial ones anywhere.  A third,
+cached pass must execute zero jobs.  This is the cheapest end-to-end
+guard that the engine's determinism and cache contracts still hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.engine import ResultCache, SweepRunner, schemes_job
+from repro.gpu.config import TESLA_K40
+
+#: One representative per Figure-12 group (algorithm / cache-line /
+#: no-exploitable), chosen small enough for CI.
+WORKLOADS = ("NN", "ATX", "BS")
+SCHEMES = ("BSL", "RD", "CLU")
+SCALE = 0.3
+
+
+def jobs():
+    return [schemes_job(abbr, TESLA_K40, scale=SCALE, use_paper_agents=True,
+                        schemes=SCHEMES)
+            for abbr in WORKLOADS]
+
+
+def fingerprint(results):
+    return [(r.workload, scheme,
+             metrics.cycles, metrics.l2_transactions, metrics.l1_hit_rate)
+            for r in results
+            for scheme, metrics in sorted(r.metrics.items())]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel pass")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    serial = fingerprint(SweepRunner(jobs=1).run(jobs()))
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = fingerprint(SweepRunner(jobs=args.jobs).run(jobs()))
+    parallel_s = time.perf_counter() - start
+
+    if serial != parallel:
+        print("FAIL: parallel sweep diverged from serial sweep")
+        for row_a, row_b in zip(serial, parallel):
+            if row_a != row_b:
+                print(f"  serial   {row_a}\n  parallel {row_b}")
+        return 1
+
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        warmer = SweepRunner(jobs=1, cache=cache)
+        warmer.run(jobs())
+        cached_runner = SweepRunner(jobs=1, cache=ResultCache(root))
+        cached = fingerprint(cached_runner.run(jobs()))
+        if cached_runner.stats.executed != 0:
+            print(f"FAIL: cached pass executed "
+                  f"{cached_runner.stats.executed} jobs, expected 0")
+            return 1
+        if cached != serial:
+            print("FAIL: cached results diverged from serial sweep")
+            return 1
+
+    for workload, scheme, cycles, l2, l1 in serial:
+        print(f"  {workload:3s} {scheme:3s} cycles={cycles:>11.1f} "
+              f"l2={l2:>8.0f} l1_hit={l1:.1%}")
+    print(f"OK: serial {serial_s:.1f}s, jobs={args.jobs} {parallel_s:.1f}s, "
+          f"cached pass executed 0 jobs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

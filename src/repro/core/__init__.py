@@ -26,7 +26,7 @@ from repro.core.codegen import (
 from repro.core.bypass import bypass_is_candidate, stream_access_fraction
 from repro.core.classifier import ClassificationReport, classify
 from repro.core.dependence import DirectionAnalysis, analyze_direction
-from repro.core.framework import OptimizationDecision, optimize
+from repro.core.framework import DecisionSummary, OptimizationDecision, optimize
 from repro.core.inspector import (
     InspectionResult,
     affinity_order,
@@ -55,7 +55,8 @@ __all__ = [
     "generate_redirection_source", "InspectionResult", "affinity_order",
     "conserved_affinity", "inspect_kernel", "inspector_plan",
     "stream_access_fraction", "ClassificationReport", "classify",
-    "DirectionAnalysis", "analyze_direction", "OptimizationDecision",
+    "DirectionAnalysis", "analyze_direction", "DecisionSummary",
+    "OptimizationDecision",
     "optimize", "ArbitraryIndexing", "ColumnMajorIndexing",
     "PartitionDirection", "RowMajorIndexing", "TileWiseIndexing",
     "X_PARTITION", "Y_PARTITION", "direction", "BalancedPartition",

@@ -34,6 +34,25 @@ from repro.gpu.simulator import GpuSimulator
 from repro.kernels.kernel import KernelSpec, LocalityCategory
 
 
+@dataclass(frozen=True)
+class DecisionSummary:
+    """The shippable digest of an :class:`OptimizationDecision`.
+
+    Execution plans embed live callables (dispatch maps), so the full
+    decision cannot cross a process boundary or live in a result
+    cache; the summary keeps exactly the fields the studies consume.
+    """
+
+    kernel_name: str
+    gpu_name: str
+    category: LocalityCategory
+    direction: PartitionDirection
+    scheme: str
+    expected_speedup: float
+    cycles_by_scheme: "tuple[tuple[str, float], ...]" = ()
+    reasoning: "tuple[str, ...]" = ()
+
+
 @dataclass
 class OptimizationDecision:
     """What the framework chose for one kernel/platform pair."""
@@ -58,6 +77,18 @@ class OptimizationDecision:
         if not base or not chosen:
             return 1.0
         return base / chosen
+
+    def summarize(self) -> DecisionSummary:
+        """Plan-free digest, safe to pickle/cache (see the engine)."""
+        return DecisionSummary(
+            kernel_name=self.kernel_name,
+            gpu_name=self.gpu_name,
+            category=self.category,
+            direction=self.direction,
+            scheme=self.scheme,
+            expected_speedup=self.expected_speedup,
+            cycles_by_scheme=tuple(sorted(self.cycles_by_scheme.items())),
+            reasoning=tuple(self.reasoning))
 
 
 def _empirical_direction(sim: GpuSimulator, kernel: KernelSpec,

@@ -1,0 +1,50 @@
+"""repro.engine — the unified sweep execution layer.
+
+Every experiment driver describes its simulation work as a batch of
+declarative :class:`~repro.engine.job.SimJob` records and hands the
+batch to a :class:`~repro.engine.runner.SweepRunner`.  The runner
+
+* deduplicates identical jobs within a batch,
+* satisfies jobs from a persistent on-disk result cache
+  (:class:`~repro.engine.cache.ResultCache`) when one is attached,
+* executes the remainder serially or on a ``ProcessPoolExecutor``
+  (``jobs=N``), and
+* merges results back **in submission order**, so parallel output is
+  bit-identical to serial output.
+
+Jobs are declarative on purpose: a job names its workload, platform
+and knobs with plain strings and numbers, and the executor registry
+(:mod:`repro.engine.executors`) reconstructs kernels, plans and
+simulators inside the worker.  Nothing unpicklable ever crosses a
+process boundary, and the job's content hash doubles as the cache key.
+"""
+
+from repro.engine.cache import ResultCache, default_cache_root
+from repro.engine.executors import (
+    execute,
+    framework_job,
+    measure_job,
+    microbench_job,
+    reuse_job,
+    schemes_job,
+    table2_job,
+)
+from repro.engine.job import ENGINE_VERSION, SimJob
+from repro.engine.runner import SweepRunner, SweepStats, default_runner
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ResultCache",
+    "SimJob",
+    "SweepRunner",
+    "SweepStats",
+    "default_cache_root",
+    "default_runner",
+    "execute",
+    "framework_job",
+    "measure_job",
+    "microbench_job",
+    "reuse_job",
+    "schemes_job",
+    "table2_job",
+]

@@ -1,0 +1,118 @@
+"""Persistent on-disk result cache keyed by job hash + version salt.
+
+Results are pickled one file per job under ``.repro_cache/`` (or
+``$REPRO_CACHE_DIR``), sharded by the first byte of the key so the
+directory stays listable even for full 23x4x6 sweeps.  The cache key
+mixes the job's content hash with a *salt* — by default the package
+version plus :data:`~repro.engine.job.ENGINE_VERSION` — so bumping
+either invalidates every stale entry without touching the files.
+
+Writes are atomic (temp file + ``os.replace``), which makes the cache
+safe to share between the worker processes of one run and between
+concurrent runs in the same checkout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.job import ENGINE_VERSION, SimJob
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory name, created in the working directory.
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISS = object()
+
+
+def default_cache_root() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(DEFAULT_CACHE_DIRNAME)
+
+
+def default_salt() -> str:
+    """Version salt: package release + engine schema version."""
+    import repro
+    return f"{repro.__version__}/{ENGINE_VERSION}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Pickle-per-job result store under ``root``.
+
+    A corrupt or unreadable entry is treated as a miss and re-run —
+    the cache can always be deleted wholesale without losing anything
+    but time.
+    """
+
+    root: Path = field(default_factory=default_cache_root)
+    salt: str = field(default_factory=default_salt)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    def _key(self, job: SimJob) -> str:
+        salted = f"{job.key}:{self.salt}".encode("utf-8")
+        return hashlib.sha256(salted).hexdigest()
+
+    def path_for(self, job: SimJob) -> Path:
+        key = self._key(job)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, job: SimJob):
+        """Cached result for ``job``, or the module's miss sentinel."""
+        path = self.path_for(job)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # A missing file is the common miss; anything else means a
+            # corrupt/stale entry, and unpickling corrupt bytes can
+            # raise nearly any exception type — treat them all as
+            # misses so the job simply re-runs.
+            self.stats.misses += 1
+            return _MISS
+        self.stats.hits += 1
+        return value
+
+    def put(self, job: SimJob, value) -> None:
+        """Atomically persist one job result."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        return value is _MISS

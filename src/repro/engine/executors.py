@@ -1,0 +1,285 @@
+"""Job kinds: how a declarative :class:`SimJob` becomes a result.
+
+Each executor rebuilds the live objects a job names — workload,
+platform, kernel, execution plan, simulator — from the registries and
+runs the corresponding measurement.  Executors are plain module-level
+functions so the runner can ship jobs to ``ProcessPoolExecutor``
+workers; everything they return must pickle cleanly (metrics,
+dataclass records), never plans or kernels.
+
+The six kinds cover every experiment driver:
+
+========== ==================================================== =====================
+kind       meaning                                              result
+========== ==================================================== =====================
+schemes    all Figure-12 configurations of one (app, GPU) pair  ``SchemeResults``
+measure    one plan on one (app, GPU) pair, with model knobs    ``KernelMetrics``
+microbench the Listing-3 latency probe on one GPU               ``MicrobenchResult``
+reuse      inter- vs intra-CTA reuse quantification of one app  ``ReuseProfile``
+table2     occupancy-model CTAs/SM quadruple of one app         ``tuple[int, ...]``
+framework  the Fig.-11 framework's decision for one (app, GPU)  ``DecisionSummary``
+========== ==================================================== =====================
+
+The companion ``*_job`` builders are the only places job extras are
+spelled out, so drivers and executors cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.job import SimJob
+from repro.gpu.config import GpuConfig, platform
+from repro.gpu.scheduler import SCHEDULERS
+from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.workloads.base import ARCH_ORDER, Workload
+
+#: kind -> executor registry.
+EXECUTORS = {}
+
+
+def executor(kind: str):
+    """Register the executor function for one job kind."""
+    def register(fn):
+        EXECUTORS[kind] = fn
+        return fn
+    return register
+
+
+def execute(job: SimJob):
+    """Run one job to completion in this process."""
+    try:
+        fn = EXECUTORS[job.kind]
+    except KeyError:
+        raise KeyError(f"unknown job kind {job.kind!r}; "
+                       f"known: {sorted(EXECUTORS)}") from None
+    return fn(job)
+
+
+def _abbr(workload) -> str:
+    return workload.abbr if isinstance(workload, Workload) else str(workload)
+
+
+def _gpu_name(gpu) -> str:
+    return gpu.name if isinstance(gpu, GpuConfig) else str(gpu)
+
+
+def _lookup_workload(abbr: str) -> Workload:
+    from repro.workloads.registry import workload
+    return workload(abbr)
+
+
+# ----------------------------------------------------------------------
+# schemes — the Figure-12/13 unit: one (workload, platform) pair
+# ----------------------------------------------------------------------
+
+def schemes_job(workload, gpu, *, scale: float = 1.0, seed: int = 0,
+                use_paper_agents: bool = False, warmups: int = 1,
+                l2_divisor: int = 1, schemes=None) -> SimJob:
+    """All six evaluation configurations of one (workload, GPU) pair."""
+    return SimJob.make(
+        "schemes", workload=_abbr(workload), gpu=_gpu_name(gpu),
+        scale=scale, seed=seed, warmups=warmups,
+        use_paper_agents=use_paper_agents, l2_divisor=l2_divisor,
+        schemes=schemes)
+
+
+@executor("schemes")
+def _run_schemes(job: SimJob):
+    from repro.experiments.schemes import SCHEME_ORDER, run_all_schemes
+    schemes = job.extra("schemes") or SCHEME_ORDER
+    return run_all_schemes(
+        _lookup_workload(job.workload), platform(job.gpu),
+        scale=job.scale, seed=job.seed,
+        use_paper_agents=bool(job.extra("use_paper_agents", False)),
+        warmups=job.warmups,
+        l2_divisor=int(job.extra("l2_divisor", 1)),
+        schemes=tuple(schemes))
+
+
+# ----------------------------------------------------------------------
+# measure — one plan under explicit model knobs (ablations, studies)
+# ----------------------------------------------------------------------
+
+def measure_job(workload, gpu, *, plan: str = "baseline",
+                scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                scheme: str = None, active_agents: int = None,
+                bypass_streams: bool = False, tile: "tuple[int, int]" = None,
+                scheduler: str = None, hiding_cap: float = None,
+                join_stagger: int = None, l1_size: int = None,
+                l1_sectors: int = None, l2_divisor: int = 1) -> SimJob:
+    """One measured run of one plan on one (workload, GPU) pair.
+
+    ``plan`` is ``baseline``/``rd``/``clu``/``pfh``; the partition
+    direction always comes from ``partition_for`` (Table 2 or the
+    dependency analysis), matching what every driver does.  ``tile``
+    switches the CLU plan to tile-wise indexing, the remaining knobs
+    override the platform (L1 size/sectors, scaled L2) and the timing
+    model (scheduler policy, ``hiding_cap``, ``join_stagger``).
+    """
+    if plan not in ("baseline", "rd", "clu", "pfh"):
+        raise ValueError(f"unknown plan kind {plan!r}")
+    return SimJob.make(
+        "measure", workload=_abbr(workload), gpu=_gpu_name(gpu),
+        scheme=scheme, scale=scale, seed=seed, warmups=warmups,
+        plan=plan, active_agents=active_agents,
+        bypass_streams=bypass_streams, tile=tile, scheduler=scheduler,
+        hiding_cap=hiding_cap, join_stagger=join_stagger, l1_size=l1_size,
+        l1_sectors=l1_sectors, l2_divisor=l2_divisor)
+
+
+def _platform_for(job: SimJob) -> GpuConfig:
+    gpu = platform(job.gpu)
+    l1_size = job.extra("l1_size")
+    if l1_size is not None:
+        gpu = gpu.with_l1_size(int(l1_size))
+    l1_sectors = job.extra("l1_sectors")
+    if l1_sectors is not None:
+        gpu = dataclasses.replace(gpu, l1_sectors=int(l1_sectors))
+    l2_divisor = int(job.extra("l2_divisor", 1))
+    if l2_divisor != 1:
+        gpu = gpu.with_scaled_l2(l2_divisor)
+    return gpu
+
+
+def _simulator_for(job: SimJob, gpu: GpuConfig) -> GpuSimulator:
+    kwargs = {}
+    scheduler = job.extra("scheduler")
+    if scheduler is not None:
+        kwargs["scheduler"] = SCHEDULERS[scheduler]
+    hiding_cap = job.extra("hiding_cap")
+    if hiding_cap is not None:
+        kwargs["hiding_cap"] = float(hiding_cap)
+    join_stagger = job.extra("join_stagger")
+    if join_stagger is not None:
+        kwargs["join_stagger"] = int(join_stagger)
+    return GpuSimulator(gpu, **kwargs)
+
+
+@executor("measure")
+def _run_measure(job: SimJob):
+    from repro.core.agent import agent_plan
+    from repro.core.indexing import TileWiseIndexing
+    from repro.core.prefetch import prefetch_plan
+    from repro.core.redirection import redirection_plan
+    from repro.experiments.schemes import partition_for
+    from repro.gpu.plan import baseline_plan
+
+    workload = _lookup_workload(job.workload)
+    gpu = _platform_for(job)
+    kernel = workload.kernel(scale=job.scale, config=gpu)
+    kind = job.extra("plan", "baseline")
+    scheme = job.scheme
+    active_agents = job.extra("active_agents")
+    if active_agents is not None:
+        active_agents = int(active_agents)
+
+    if kind == "baseline":
+        plan = baseline_plan()
+    elif kind == "rd":
+        plan = redirection_plan(kernel, gpu, partition_for(workload, kernel))
+    elif kind == "clu":
+        tile = job.extra("tile")
+        kwargs = {"active_agents": active_agents,
+                  "bypass_streams": bool(job.extra("bypass_streams", False))}
+        if scheme is not None:
+            kwargs["scheme"] = scheme
+        if tile is not None:
+            width, height = (int(v) for v in tile)
+            kwargs["indexing"] = TileWiseIndexing(kernel.grid, tile_w=width,
+                                                  tile_h=height)
+            plan = agent_plan(kernel, gpu, **kwargs)
+        else:
+            plan = agent_plan(kernel, gpu, partition_for(workload, kernel),
+                              **kwargs)
+    else:  # pfh
+        plan = prefetch_plan(kernel, gpu, partition_for(workload, kernel),
+                             active_agents=active_agents)
+
+    sim = _simulator_for(job, gpu)
+    return run_measured(sim, kernel, plan, seed=job.seed,
+                        warmups=job.warmups)
+
+
+# ----------------------------------------------------------------------
+# microbench — the Listing-3 latency probe (Figure 2, scheduler study)
+# ----------------------------------------------------------------------
+
+def microbench_job(gpu, *, staggered: bool = False, scheduler: str = None,
+                   seed: int = 0) -> SimJob:
+    """One probe run; ``scheduler`` of ``None`` keeps the observed model."""
+    return SimJob.make("microbench", gpu=_gpu_name(gpu), seed=seed,
+                       warmups=0, staggered=staggered, scheduler=scheduler)
+
+
+@executor("microbench")
+def _run_microbench(job: SimJob):
+    from repro.kernels.microbench import run_microbench
+    scheduler = job.extra("scheduler")
+    return run_microbench(
+        platform(job.gpu), staggered=bool(job.extra("staggered", False)),
+        scheduler=SCHEDULERS[scheduler] if scheduler is not None else None,
+        seed=job.seed)
+
+
+# ----------------------------------------------------------------------
+# reuse — the Figure-3 quantification (cache/scheduler independent)
+# ----------------------------------------------------------------------
+
+def reuse_job(workload, *, scale: float = 0.5, max_ctas: int = 250) -> SimJob:
+    """Inter- vs intra-CTA reuse attribution for one application."""
+    return SimJob.make("reuse", workload=_abbr(workload), scale=scale,
+                       warmups=0, max_ctas=max_ctas)
+
+
+@executor("reuse")
+def _run_reuse(job: SimJob):
+    from repro.analysis.reuse import quantify_reuse
+    kernel = _lookup_workload(job.workload).kernel(scale=job.scale)
+    return quantify_reuse(kernel, max_ctas=int(job.extra("max_ctas", 250)))
+
+
+# ----------------------------------------------------------------------
+# table2 — the occupancy model's CTAs/SM quadruple
+# ----------------------------------------------------------------------
+
+def table2_job(workload) -> SimJob:
+    """Model CTAs/SM for one application across the four architectures."""
+    return SimJob.make("table2", workload=_abbr(workload), warmups=0)
+
+
+@executor("table2")
+def _run_table2(job: SimJob):
+    from repro.gpu.config import BY_ARCHITECTURE
+    from repro.gpu.occupancy import max_ctas_per_sm
+    workload = _lookup_workload(job.workload)
+    model = []
+    for arch in ARCH_ORDER:
+        gpu = BY_ARCHITECTURE[arch]
+        kernel = workload.kernel(config=gpu)
+        model.append(max_ctas_per_sm(gpu, kernel))
+    return tuple(model)
+
+
+# ----------------------------------------------------------------------
+# framework — the Figure-11 end-to-end decision
+# ----------------------------------------------------------------------
+
+def framework_job(workload, gpu, *, scale: float = 0.6,
+                  seed: int = 0) -> SimJob:
+    """Let the automatic framework optimize one (workload, GPU) pair."""
+    return SimJob.make("framework", workload=_abbr(workload),
+                       gpu=_gpu_name(gpu), scale=scale, seed=seed,
+                       warmups=0)
+
+
+@executor("framework")
+def _run_framework(job: SimJob):
+    from repro.core.framework import optimize
+    workload = _lookup_workload(job.workload)
+    gpu = platform(job.gpu)
+    kernel = workload.kernel(scale=job.scale, config=gpu)
+    decision = optimize(kernel, gpu,
+                        probe_kernel=workload.probe_kernel(gpu),
+                        seed=job.seed)
+    return decision.summarize()

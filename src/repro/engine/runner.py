@@ -1,0 +1,122 @@
+"""The sweep runner: dedup, cache, execute (serially or in parallel).
+
+``SweepRunner.run`` takes a job batch and returns one result per job,
+**in submission order**, regardless of how the work was satisfied:
+
+1. jobs with identical content hashes are computed once per batch;
+2. a job whose result sits in the attached :class:`ResultCache` is
+   never executed at all;
+3. the remainder runs serially (``jobs=1``) or on a
+   ``ProcessPoolExecutor`` (``jobs=N``) — ``pool.map`` preserves input
+   order, every executor is deterministic in the job's seed, and the
+   merge is by job identity, so a parallel run is bit-identical to the
+   serial run of the same batch.
+
+Drivers default to a private serial, cache-less runner, which keeps
+library calls and existing tests byte-compatible with the historical
+inline loops; the CLI opts into parallelism and the persistent cache.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.executors import execute
+from repro.engine.job import SimJob
+
+
+@dataclass
+class SweepStats:
+    """Accounting for the batches one runner has processed."""
+
+    submitted: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+
+    def merge_batch(self, submitted: int, unique: int, cache_hits: int,
+                    executed: int, elapsed: float) -> None:
+        self.submitted += submitted
+        self.unique += unique
+        self.cache_hits += cache_hits
+        self.executed += executed
+        self.elapsed += elapsed
+
+
+@dataclass
+class SweepRunner:
+    """Executes job batches for the experiment drivers.
+
+    ``jobs`` is the worker-process count (1 = in-process serial);
+    ``cache`` an optional :class:`ResultCache`.  A single runner can
+    serve many batches — e.g. the CLI reuses one across artifacts so
+    fig13 hits the results fig12 just simulated.
+    """
+
+    jobs: int = 1
+    cache: "ResultCache | None" = None
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run(self, sim_jobs: Iterable[SimJob]) -> list:
+        """Execute a batch and return results in submission order."""
+        batch: "list[SimJob]" = list(sim_jobs)
+        started = time.perf_counter()
+
+        # Batch-level dedup: first occurrence of each key computes.
+        unique: "list[SimJob]" = []
+        seen = set()
+        for job in batch:
+            if job.key not in seen:
+                seen.add(job.key)
+                unique.append(job)
+
+        values: "dict[str, object]" = {}
+        to_run: "list[SimJob]" = []
+        for job in unique:
+            if self.cache is not None:
+                cached = self.cache.get(job)
+                if not ResultCache.is_miss(cached):
+                    values[job.key] = cached
+                    continue
+            to_run.append(job)
+        cache_hits = len(unique) - len(to_run)
+
+        for job, value in zip(to_run, self._execute(to_run)):
+            values[job.key] = value
+            if self.cache is not None:
+                self.cache.put(job, value)
+
+        self.stats.merge_batch(
+            submitted=len(batch), unique=len(unique), cache_hits=cache_hits,
+            executed=len(to_run), elapsed=time.perf_counter() - started)
+        return [values[job.key] for job in batch]
+
+    def run_one(self, job: SimJob):
+        """Convenience wrapper for single-job batches."""
+        return self.run([job])[0]
+
+    def _execute(self, to_run: Sequence[SimJob]) -> "list[object]":
+        if self.jobs > 1 and len(to_run) > 1:
+            workers = min(self.jobs, len(to_run))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute, to_run))
+        return [execute(job) for job in to_run]
+
+
+def default_runner(jobs: int = 1, cached: bool = False,
+                   cache_root=None) -> SweepRunner:
+    """Build a runner the way the CLI does (optionally cached)."""
+    cache = None
+    if cached:
+        cache = ResultCache(cache_root) if cache_root is not None \
+            else ResultCache()
+    return SweepRunner(jobs=jobs, cache=cache)

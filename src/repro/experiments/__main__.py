@@ -5,6 +5,14 @@ Usage::
     python -m repro.experiments                # everything (slow)
     python -m repro.experiments table1 fig2    # selected artifacts
     python -m repro.experiments fig12 --scale 0.5 --platforms Kepler
+    python -m repro.experiments fig12 fig13 --jobs 8   # parallel sweep
+
+Every driver submits its simulations through one shared sweep engine
+(:mod:`repro.engine`): ``--jobs N`` runs job batches on N worker
+processes (``--jobs 1`` output is byte-identical), and results persist
+in ``.repro_cache/`` so re-running an artifact — or one that shares
+jobs with an earlier artifact, like fig13 after fig12 — skips the
+simulation work entirely (``--no-cache`` opts out).
 
 The figure-12/13 sweep is shared, so asking for both costs one sweep.
 """
@@ -15,6 +23,7 @@ import argparse
 import sys
 import time
 
+from repro.engine import default_runner
 from repro.experiments.ablations import run_ablations
 from repro.experiments.evaluation import run_evaluation
 from repro.experiments.fig2 import run_fig2
@@ -22,13 +31,15 @@ from repro.experiments.fig4_taxonomy import run_fig4
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13
+from repro.experiments.framework_study import run_framework_study
 from repro.experiments.scheduler_study import run_scheduler_study
+from repro.experiments.sensitivity import run_sensitivity
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.gpu.config import EVALUATION_PLATFORMS
 
 ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
-             "scheduler", "ablations")
+             "scheduler", "ablations", "sensitivity", "framework")
 
 
 def _select_platforms(names):
@@ -54,9 +65,23 @@ def main(argv=None) -> int:
                         help="workload problem scale (default 1.0)")
     parser.add_argument("--platforms", nargs="*", default=None,
                         help="restrict to platform/architecture names")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation batches "
+                             "(default 1 = serial; parallel output is "
+                             "identical)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base scheduler seed for every simulation "
+                             "(default 0)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent result "
+                             "cache in .repro_cache/")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     wanted = list(args.artifacts) or list(ARTIFACTS)
     platforms = _select_platforms(args.platforms)
+    runner = default_runner(jobs=args.jobs, cached=not args.no_cache)
+    seed = args.seed
 
     sweep = None
     for artifact in wanted:
@@ -64,25 +89,39 @@ def main(argv=None) -> int:
         if artifact == "table1":
             print(run_table1().render())
         elif artifact == "fig2":
-            print(run_fig2(platforms=platforms).render())
+            print(run_fig2(platforms=platforms, seed=seed,
+                           runner=runner).render())
         elif artifact == "fig3":
-            print(run_fig3(scale=min(args.scale, 0.5)).render())
+            print(run_fig3(scale=min(args.scale, 0.5),
+                           runner=runner).render())
         elif artifact == "fig4":
             print(run_fig4().render())
         elif artifact == "table2":
-            print(run_table2().render())
+            print(run_table2(runner=runner).render())
         elif artifact in ("fig12", "fig13"):
             if sweep is None:
                 sweep = run_evaluation(platforms=platforms,
                                        scale=args.scale,
-                                       use_paper_agents=True)
+                                       seed=seed,
+                                       use_paper_agents=True,
+                                       runner=runner)
             view = run_fig12 if artifact == "fig12" else run_fig13
             print(view(sweep=sweep).render())
         elif artifact == "scheduler":
-            print(run_scheduler_study().render())
+            print(run_scheduler_study(seed=seed, runner=runner).render())
         elif artifact == "ablations":
-            print(run_ablations().render())
+            print(run_ablations(seed=seed, runner=runner).render())
+        elif artifact == "sensitivity":
+            print(run_sensitivity(seed=seed, runner=runner).render())
+        elif artifact == "framework":
+            print(run_framework_study(seed=seed, runner=runner).render())
         print(f"[{artifact}: {time.time() - start:.1f}s]\n")
+
+    stats = runner.stats
+    if stats.submitted:
+        print(f"[engine: {stats.submitted} jobs submitted, "
+              f"{stats.unique} unique, {stats.cache_hits} cache hits, "
+              f"{stats.executed} executed with jobs={args.jobs}]")
     return 0
 
 

@@ -12,20 +12,21 @@
 * **Sectoring** (observation 6-iii): Maxwell with the two-sector
   L1/Tex vs. a hypothetical unsectored one — the sector split is a
   real cost for cross-agent reuse.
+
+Every study contributes measurement jobs to one engine batch, so the
+whole ablation set parallelizes and caches as a unit; each ablation
+row is then assembled from its (variant, matching-baseline) pair.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
-from repro.core.agent import agent_plan
-from repro.core.indexing import TileWiseIndexing
 from repro.core.throttling import throttle_candidates
+from repro.engine import SimJob, SweepRunner, measure_job
 from repro.experiments.report import format_table
-from repro.experiments.schemes import partition_for
 from repro.gpu.config import GTX570, GTX980, KB, TESLA_K40
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.occupancy import max_ctas_per_sm
 from repro.workloads.registry import workload
 
 
@@ -54,82 +55,92 @@ class AblationResult:
             table_rows, title="Section 5.2 ablations")
 
 
-def _measure(sim, kernel, plan, base, study, label, result):
-    metrics = run_measured(sim, kernel, plan)
-    result.rows.append(AblationRow(
-        study=study, configuration=label,
-        speedup=base.cycles / metrics.cycles,
-        l1_hit_rate=metrics.l1_hit_rate,
-        l2_normalized=metrics.l2_transactions_vs(base)))
+@dataclass
+class _PlannedRow:
+    """One future table row: a variant job and its matching baseline."""
+
+    study: str
+    configuration: str
+    job: SimJob
+    base: SimJob
 
 
-def run_tile_indexing_ablation(result: AblationResult, seed: int = 0) -> None:
+def plan_tile_indexing_ablation(seed: int = 0) -> "list[_PlannedRow]":
     """MM: row-major vs tile-wise clustering (paper observation 6)."""
-    wl = workload("MM")
-    gpu = TESLA_K40
-    kernel = wl.kernel(config=gpu)
-    sim = GpuSimulator(gpu)
-    base = run_measured(sim, kernel, seed=seed)
-    part = partition_for(wl, kernel)
-    _measure(sim, kernel, agent_plan(kernel, gpu, part, scheme="CLU"),
-             base, "MM indexing", "row-major (Y-P)", result)
-    tile = TileWiseIndexing(kernel.grid, tile_w=4, tile_h=4)
-    _measure(sim, kernel, agent_plan(kernel, gpu, indexing=tile, scheme="CLU"),
-             base, "MM indexing", "tile-wise 4x4", result)
+    base = measure_job("MM", TESLA_K40, plan="baseline", seed=seed)
+    return [
+        _PlannedRow("MM indexing", "row-major (Y-P)",
+                    measure_job("MM", TESLA_K40, plan="clu", scheme="CLU",
+                                seed=seed), base),
+        _PlannedRow("MM indexing", "tile-wise 4x4",
+                    measure_job("MM", TESLA_K40, plan="clu", scheme="CLU",
+                                tile=(4, 4), seed=seed), base),
+    ]
 
 
-def run_throttling_sweep(result: AblationResult, abbrs=("KMN", "NN"),
-                         seed: int = 0) -> None:
+def plan_throttling_sweep(abbrs=("KMN", "NN"),
+                          seed: int = 0) -> "list[_PlannedRow]":
     """Cycles per throttling degree (paper observation 4)."""
     gpu = TESLA_K40
+    rows = []
     for abbr in abbrs:
-        wl = workload(abbr)
-        kernel = wl.kernel(config=gpu)
-        sim = GpuSimulator(gpu)
-        base = run_measured(sim, kernel, seed=seed)
-        part = partition_for(wl, kernel)
-        from repro.gpu.occupancy import max_ctas_per_sm
+        kernel = workload(abbr).kernel(config=gpu)
+        base = measure_job(abbr, gpu, plan="baseline", seed=seed)
         for degree in throttle_candidates(max_ctas_per_sm(gpu, kernel)):
-            plan = agent_plan(kernel, gpu, part, active_agents=degree)
-            _measure(sim, kernel, plan, base, f"{abbr} throttling",
-                     f"{degree} agents", result)
+            rows.append(_PlannedRow(
+                f"{abbr} throttling", f"{degree} agents",
+                measure_job(abbr, gpu, plan="clu", active_agents=degree,
+                            seed=seed), base))
+    return rows
 
 
-def run_l1_size_ablation(result: AblationResult, abbr: str = "IMD",
-                         seed: int = 0) -> None:
+def plan_l1_size_ablation(abbr: str = "IMD",
+                          seed: int = 0) -> "list[_PlannedRow]":
     """Fermi configurable L1: 16KB vs 48KB under clustering."""
-    wl = workload(abbr)
+    rows = []
     for size in GTX570.l1_configurable_sizes:
-        gpu = GTX570.with_l1_size(size)
-        kernel = wl.kernel(config=gpu)
-        sim = GpuSimulator(gpu)
-        base = run_measured(sim, kernel, seed=seed)
-        plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
-        _measure(sim, kernel, plan, base, f"{abbr} L1 size",
-                 f"{size // KB}KB L1", result)
+        rows.append(_PlannedRow(
+            f"{abbr} L1 size", f"{size // KB}KB L1",
+            measure_job(abbr, GTX570, plan="clu", scheme="CLU",
+                        l1_size=size, seed=seed),
+            measure_job(abbr, GTX570, plan="baseline", l1_size=size,
+                        seed=seed)))
+    return rows
 
 
-def run_sector_ablation(result: AblationResult, abbr: str = "IMD",
-                        seed: int = 0) -> None:
+def plan_sector_ablation(abbr: str = "IMD",
+                         seed: int = 0) -> "list[_PlannedRow]":
     """Maxwell sectored vs hypothetical unsectored L1/Tex."""
-    wl = workload(abbr)
+    rows = []
     for sectors, label in ((2, "2 sectors (real)"), (1, "unsectored")):
-        gpu = dataclasses.replace(GTX980, l1_sectors=sectors)
-        kernel = wl.kernel(config=gpu)
-        sim = GpuSimulator(gpu)
-        base = run_measured(sim, kernel, seed=seed)
-        plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
-        _measure(sim, kernel, plan, base, f"{abbr} L1/Tex sectoring",
-                 label, result)
+        rows.append(_PlannedRow(
+            f"{abbr} L1/Tex sectoring", label,
+            measure_job(abbr, GTX980, plan="clu", scheme="CLU",
+                        l1_sectors=sectors, seed=seed),
+            measure_job(abbr, GTX980, plan="baseline", l1_sectors=sectors,
+                        seed=seed)))
+    return rows
 
 
-def run_ablations(seed: int = 0) -> AblationResult:
-    """Run every Section-5.2 ablation."""
+def run_ablations(seed: int = 0, runner: SweepRunner = None) -> AblationResult:
+    """Run every Section-5.2 ablation as a single engine batch."""
+    runner = runner if runner is not None else SweepRunner()
+    planned = (plan_tile_indexing_ablation(seed=seed)
+               + plan_throttling_sweep(seed=seed)
+               + plan_l1_size_ablation(seed=seed)
+               + plan_sector_ablation(seed=seed))
+    # Variants and baselines interleave in one batch; the runner
+    # dedups repeated baselines by content hash.
+    batch = [job for row in planned for job in (row.job, row.base)]
+    measured = runner.run(batch)
     result = AblationResult()
-    run_tile_indexing_ablation(result, seed=seed)
-    run_throttling_sweep(result, seed=seed)
-    run_l1_size_ablation(result, seed=seed)
-    run_sector_ablation(result, seed=seed)
+    for i, row in enumerate(planned):
+        metrics, base = measured[2 * i], measured[2 * i + 1]
+        result.rows.append(AblationRow(
+            study=row.study, configuration=row.configuration,
+            speedup=base.cycles / metrics.cycles,
+            l1_hit_rate=metrics.l1_hit_rate,
+            l2_normalized=metrics.l2_transactions_vs(base)))
     return result
 
 

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.schemes import SchemeResults, run_all_schemes
+from repro.engine import SweepRunner, schemes_job
+from repro.experiments.schemes import SchemeResults
 from repro.gpu.config import EVALUATION_PLATFORMS, GpuConfig
 from repro.gpu.metrics import geometric_mean
 from repro.workloads.registry import EVALUATION_GROUPS, by_category
@@ -51,17 +52,31 @@ class EvaluationSweep:
 
 def run_evaluation(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER,
                    scale: float = 1.0, seed: int = 0,
-                   use_paper_agents: bool = False) -> EvaluationSweep:
-    """Run the full (or restricted) Figure-12/13 matrix."""
+                   use_paper_agents: bool = False,
+                   runner: SweepRunner = None) -> EvaluationSweep:
+    """Run the full (or restricted) Figure-12/13 matrix.
+
+    The matrix is submitted as one job batch, so an engine configured
+    for parallelism and/or caching speeds up the whole sweep at once.
+    """
+    # Validate every group name before simulating anything: a typo in
+    # the last group must not cost the earlier groups' simulation time.
+    unknown = [group for group in groups if group not in EVALUATION_GROUPS]
+    if unknown:
+        raise KeyError(f"unknown group(s) {unknown!r}; "
+                       f"known: {sorted(EVALUATION_GROUPS)}")
+    runner = runner if runner is not None else SweepRunner()
     sweep = EvaluationSweep(scale=scale, platforms=tuple(platforms))
-    for gpu in platforms:
-        for group in groups:
-            if group not in EVALUATION_GROUPS:
-                raise KeyError(f"unknown group {group!r}")
-            for workload in by_category(group):
-                sweep.results[(gpu.name, workload.abbr)] = run_all_schemes(
-                    workload, gpu, scale=scale, seed=seed,
+    cells = [(gpu, workload)
+             for gpu in platforms
+             for group in groups
+             for workload in by_category(group)]
+    results = runner.run([
+        schemes_job(workload, gpu, scale=scale, seed=seed,
                     use_paper_agents=use_paper_agents)
+        for gpu, workload in cells])
+    for (gpu, workload), result in zip(cells, results):
+        sweep.results[(gpu.name, workload.abbr)] = result
     return sweep
 
 

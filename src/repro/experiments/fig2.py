@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import SweepRunner, microbench_job
 from repro.experiments.report import format_table
 from repro.gpu.config import EVALUATION_PLATFORMS, GpuConfig
 from repro.kernels.microbench import (
-    MicrobenchResult, cta_count, run_microbench, summarize_turnarounds,
-    turnarounds_for)
+    MicrobenchResult, cta_count, summarize_turnarounds, turnarounds_for)
 
 
 @dataclass
@@ -87,15 +87,18 @@ class Fig2Result:
                   "holding CTA-0")
 
 
-def run_fig2(platforms=EVALUATION_PLATFORMS, seed: int = 0) -> Fig2Result:
+def run_fig2(platforms=EVALUATION_PLATFORMS, seed: int = 0,
+             runner: SweepRunner = None) -> Fig2Result:
     """Run the microbenchmark matrix behind Figure 2."""
+    runner = runner if runner is not None else SweepRunner()
+    platforms = tuple(platforms)
+    probes = runner.run(
+        [microbench_job(gpu, staggered=staggered, seed=seed)
+         for gpu in platforms for staggered in (False, True)])
     result = Fig2Result()
-    for gpu in platforms:
+    for i, gpu in enumerate(platforms):
         result.platforms.append(Fig2Platform(
-            gpu=gpu,
-            default=run_microbench(gpu, staggered=False, seed=seed),
-            staggered=run_microbench(gpu, staggered=True, seed=seed),
-        ))
+            gpu=gpu, default=probes[2 * i], staggered=probes[2 * i + 1]))
     return result
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.reuse import ReuseProfile, quantify_reuse
+from repro.analysis.reuse import ReuseProfile
+from repro.engine import SweepRunner, reuse_job
 from repro.experiments.report import bar, format_table
 from repro.workloads.registry import figure3_workloads
 
@@ -52,13 +53,13 @@ class Fig3Result:
                         f"(paper: 45%)")
 
 
-def run_fig3(scale: float = 0.5, max_ctas: int = MAX_CTAS) -> Fig3Result:
+def run_fig3(scale: float = 0.5, max_ctas: int = MAX_CTAS,
+             runner: SweepRunner = None) -> Fig3Result:
     """Quantify reuse for the 33 Figure-3 applications."""
-    result = Fig3Result()
-    for workload in figure3_workloads():
-        kernel = workload.kernel(scale=scale)
-        result.profiles.append(quantify_reuse(kernel, max_ctas=max_ctas))
-    return result
+    runner = runner if runner is not None else SweepRunner()
+    profiles = runner.run([reuse_job(workload, scale=scale, max_ctas=max_ctas)
+                           for workload in figure3_workloads()])
+    return Fig3Result(profiles=profiles)
 
 
 if __name__ == "__main__":

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.framework import OptimizationDecision, optimize
+from repro.core.framework import DecisionSummary
+from repro.engine import SweepRunner, framework_job
 from repro.experiments.report import format_table
 from repro.gpu.config import GpuConfig, TESLA_K40
 from repro.workloads.base import Workload
@@ -24,7 +25,7 @@ from repro.workloads.registry import table2_workloads
 @dataclass
 class FrameworkCase:
     workload: Workload
-    decision: OptimizationDecision
+    decision: DecisionSummary
 
     @property
     def category_correct(self) -> bool:
@@ -97,14 +98,16 @@ class FrameworkStudyResult:
 
 def run_framework_study(config: GpuConfig = TESLA_K40,
                         scale: float = 0.6,
-                        seed: int = 0) -> FrameworkStudyResult:
+                        seed: int = 0,
+                        runner: SweepRunner = None) -> FrameworkStudyResult:
     """Let the framework optimize every Table-2 workload."""
+    runner = runner if runner is not None else SweepRunner()
+    workloads = table2_workloads()
+    decisions = runner.run([
+        framework_job(workload, config, scale=scale, seed=seed)
+        for workload in workloads])
     result = FrameworkStudyResult(gpu_name=config.name)
-    for workload in table2_workloads():
-        kernel = workload.kernel(scale=scale, config=config)
-        decision = optimize(kernel, config,
-                            probe_kernel=workload.probe_kernel(config),
-                            seed=seed)
+    for workload, decision in zip(workloads, decisions):
         result.cases.append(FrameworkCase(workload=workload,
                                           decision=decision))
     return result

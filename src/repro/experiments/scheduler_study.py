@@ -20,15 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.agent import agent_plan
-from repro.core.redirection import redirection_plan
+from repro.engine import SweepRunner, measure_job, microbench_job
 from repro.experiments.report import format_table
-from repro.experiments.schemes import partition_for
 from repro.gpu.config import GTX750TI, TESLA_K40
 from repro.gpu.scheduler import SCHEDULERS
-from repro.gpu.simulator import GpuSimulator, run_measured
-from repro.kernels.microbench import run_microbench
-from repro.workloads.registry import workload
 
 
 @dataclass
@@ -82,37 +77,45 @@ def _first_turnaround_is_rr(result, num_sms: int) -> bool:
     return all(r.original_id % num_sms == r.sm_id for r in first)
 
 
-def run_scheduler_study(abbr: str = "NN", seed: int = 0) -> SchedulerStudyResult:
-    """Run both halves of the scheduler study."""
+def run_scheduler_study(abbr: str = "NN", seed: int = 0,
+                        runner: SweepRunner = None) -> SchedulerStudyResult:
+    """Run both halves of the scheduler study as one engine batch."""
+    runner = runner if runner is not None else SweepRunner()
     study = SchedulerStudyResult(workload_abbr=abbr)
 
-    wl_obs = workload(abbr)
-    for gpu in (TESLA_K40, GTX750TI):
-        kernel_obs = wl_obs.kernel(config=gpu)
-        for name, scheduler in SCHEDULERS.items():
-            probe = run_microbench(gpu, staggered=False, scheduler=scheduler,
-                                   seed=seed)
-            # Dispatch counts come from a real kernel, where wave
-            # durations vary and demand-driven imbalance shows up (the
-            # paper saw an SM run 60 CTAs instead of the expected 64).
-            metrics = GpuSimulator(gpu, scheduler=scheduler).run(
-                kernel_obs, seed=seed)
-            study.observations.append(DispatchObservation(
-                gpu_name=gpu.name, scheduler=name,
-                ctas_per_sm=list(metrics.ctas_per_sm),
-                first_turnaround_rr=_first_turnaround_is_rr(probe, gpu.num_sms)))
+    # Dispatch counts come from a real kernel (warmups=0: one cold
+    # launch), where wave durations vary and demand-driven imbalance
+    # shows up (the paper saw an SM run 60 CTAs instead of the
+    # expected 64); the round-robin probe comes from the Listing-3
+    # microbenchmark.
+    obs_cells = [(gpu, name) for gpu in (TESLA_K40, GTX750TI)
+                 for name in SCHEDULERS]
+    sens_names = list(SCHEDULERS)
+    jobs = []
+    for gpu, name in obs_cells:
+        jobs.append(microbench_job(gpu, staggered=False, scheduler=name,
+                                   seed=seed))
+        jobs.append(measure_job(abbr, gpu, plan="baseline", scheduler=name,
+                                warmups=0, seed=seed))
+    for name in sens_names:
+        jobs.append(measure_job(abbr, TESLA_K40, plan="baseline",
+                                scheduler=name, seed=seed))
+        jobs.append(measure_job(abbr, TESLA_K40, plan="rd", scheduler=name,
+                                seed=seed))
+        jobs.append(measure_job(abbr, TESLA_K40, plan="clu", scheme="CLU",
+                                scheduler=name, seed=seed))
+    results = runner.run(jobs)
 
-    wl = workload(abbr)
-    gpu = TESLA_K40
-    kernel = wl.kernel(config=gpu)
-    part = partition_for(wl, kernel)
-    for name, scheduler in SCHEDULERS.items():
-        sim = GpuSimulator(gpu, scheduler=scheduler)
-        base = run_measured(sim, kernel, seed=seed)
-        rd = run_measured(sim, kernel, redirection_plan(kernel, gpu, part),
-                          seed=seed)
-        clu = run_measured(sim, kernel, agent_plan(kernel, gpu, part,
-                                                   scheme="CLU"), seed=seed)
+    for i, (gpu, name) in enumerate(obs_cells):
+        probe, metrics = results[2 * i], results[2 * i + 1]
+        study.observations.append(DispatchObservation(
+            gpu_name=gpu.name, scheduler=name,
+            ctas_per_sm=list(metrics.ctas_per_sm),
+            first_turnaround_rr=_first_turnaround_is_rr(probe, gpu.num_sms)))
+
+    offset = 2 * len(obs_cells)
+    for i, name in enumerate(sens_names):
+        base, rd, clu = results[offset + 3 * i: offset + 3 * i + 3]
         study.sensitivity.append(SchedulerSensitivity(
             scheduler=name,
             rd_speedup=base.cycles / rd.cycles,

@@ -106,7 +106,8 @@ def run_all_schemes(workload: Workload, config: GpuConfig,
                     use_paper_agents: bool = False,
                     warmups: int = 1,
                     l2_divisor: int = 1,
-                    schemes=SCHEME_ORDER) -> SchemeResults:
+                    schemes=SCHEME_ORDER,
+                    runner=None) -> SchemeResults:
     """Simulate the requested configurations for one workload/platform.
 
     Each configuration is measured after ``warmups`` warm-up launches
@@ -114,7 +115,23 @@ def run_all_schemes(workload: Workload, config: GpuConfig,
     average-of-multiple-runs methodology.  ``l2_divisor`` optionally
     shrinks the L2 (see ``GpuConfig.with_scaled_l2``); the default
     keeps Table 1's real L2, which the ablation study varies.
+
+    With a ``runner``, the pair is submitted as one engine job — it
+    can then be satisfied by the persistent result cache or execute on
+    a worker process alongside other pairs.  Without one, it computes
+    inline (this is also the path the engine's executor takes).
     """
+    from repro.gpu.config import PLATFORMS
+    if runner is not None and PLATFORMS.get(config.name) == config:
+        # Only registered Table-1 platforms round-trip through the
+        # declarative job (workers rebuild the config by name); ad-hoc
+        # configs fall through to the inline path.
+        from repro.engine import schemes_job
+        return runner.run_one(schemes_job(
+            workload, config, scale=scale, seed=seed,
+            use_paper_agents=use_paper_agents, warmups=warmups,
+            l2_divisor=l2_divisor,
+            schemes=None if schemes is SCHEME_ORDER else tuple(schemes)))
     kernel = workload.kernel(scale=scale, config=config)
     run_config = config.with_scaled_l2(l2_divisor)
     sim = GpuSimulator(run_config)

@@ -20,12 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.agent import agent_plan
+from repro.engine import SweepRunner, measure_job
 from repro.experiments.report import format_table
-from repro.experiments.schemes import partition_for
 from repro.gpu.config import GTX570, GTX980
-from repro.gpu.simulator import GpuSimulator, run_measured
-from repro.workloads.registry import workload
 
 HIDING_CAPS = (8.0, 14.0, 20.0)
 JOIN_STAGGERS = (3, 6, 12)
@@ -68,31 +65,50 @@ class SensitivityResult:
         return table + f"\n all conclusions hold: {self.all_hold}"
 
 
-def _clu_speedup(gpu, abbr, scale, hiding_cap, join_stagger, seed=0):
-    wl = workload(abbr)
-    kernel = wl.kernel(scale=scale, config=gpu)
-    sim = GpuSimulator(gpu, hiding_cap=hiding_cap,
-                       join_stagger=join_stagger)
-    base = run_measured(sim, kernel, seed=seed)
-    plan = agent_plan(kernel, gpu, partition_for(wl, kernel), scheme="CLU")
-    clustered = run_measured(sim, kernel, plan, seed=seed)
-    return base.cycles / clustered.cycles
+#: The headline comparisons, in cell-field order.
+COMPARISONS = (("NN", GTX570), ("ATX", GTX570), ("ATX", GTX980),
+               ("BS", GTX570))
+
+
+def _speedup_jobs(gpu, abbr, scale, hiding_cap, join_stagger, seed=0):
+    """The (baseline, CLU) job pair behind one speedup number."""
+    knobs = dict(scale=scale, seed=seed, hiding_cap=hiding_cap,
+                 join_stagger=join_stagger)
+    return (measure_job(abbr, gpu, plan="baseline", **knobs),
+            measure_job(abbr, gpu, plan="clu", scheme="CLU", **knobs))
 
 
 def run_sensitivity(scale: float = 0.5,
                     hiding_caps=HIDING_CAPS,
-                    join_staggers=JOIN_STAGGERS) -> SensitivityResult:
-    """Sweep the model knobs over the three headline comparisons."""
+                    join_staggers=JOIN_STAGGERS,
+                    seed: int = 0,
+                    runner: SweepRunner = None) -> SensitivityResult:
+    """Sweep the model knobs over the three headline comparisons.
+
+    The whole (cap x stagger x comparison x {baseline, CLU}) grid is
+    one engine batch — the sweep the docstring's guard-rail argument
+    needs most is also the one that parallelizes best.
+    """
+    runner = runner if runner is not None else SweepRunner()
+    grid = [(cap, stagger) for cap in hiding_caps
+            for stagger in join_staggers]
+    jobs = []
+    for cap, stagger in grid:
+        for abbr, gpu in COMPARISONS:
+            jobs.extend(_speedup_jobs(gpu, abbr, scale, cap, stagger,
+                                      seed=seed))
+    measured = runner.run(jobs)
+
     result = SensitivityResult()
-    for cap in hiding_caps:
-        for stagger in join_staggers:
-            result.cells.append(SensitivityCell(
-                hiding_cap=cap, join_stagger=stagger,
-                nn_fermi=_clu_speedup(GTX570, "NN", scale, cap, stagger),
-                atx_fermi=_clu_speedup(GTX570, "ATX", scale, cap, stagger),
-                atx_maxwell=_clu_speedup(GTX980, "ATX", scale, cap, stagger),
-                bs_fermi=_clu_speedup(GTX570, "BS", scale, cap, stagger),
-            ))
+    per_cell = 2 * len(COMPARISONS)
+    for i, (cap, stagger) in enumerate(grid):
+        cell = measured[per_cell * i: per_cell * (i + 1)]
+        speedups = [cell[2 * j].cycles / cell[2 * j + 1].cycles
+                    for j in range(len(COMPARISONS))]
+        result.cells.append(SensitivityCell(
+            hiding_cap=cap, join_stagger=stagger,
+            nn_fermi=speedups[0], atx_fermi=speedups[1],
+            atx_maxwell=speedups[2], bs_fermi=speedups[3]))
     return result
 
 

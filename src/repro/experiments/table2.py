@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import SweepRunner, table2_job
 from repro.experiments.report import format_table
-from repro.gpu.config import EVALUATION_PLATFORMS
-from repro.gpu.occupancy import max_ctas_per_sm
-from repro.workloads.base import ARCH_ORDER, Workload
+from repro.workloads.base import Workload
 from repro.workloads.registry import table2_workloads
 
 
@@ -85,16 +84,13 @@ class Table2Result:
                         f"{100 * self.match_fraction:.0f}% of cells")
 
 
-def run_table2() -> Table2Result:
+def run_table2(runner: SweepRunner = None) -> Table2Result:
     """Build Table 2 from the registry plus the occupancy model."""
+    runner = runner if runner is not None else SweepRunner()
+    workloads = table2_workloads()
+    quadruples = runner.run([table2_job(workload) for workload in workloads])
     result = Table2Result()
-    arch_platforms = {gpu.architecture: gpu for gpu in EVALUATION_PLATFORMS}
-    for workload in table2_workloads():
-        model = []
-        for arch in ARCH_ORDER:
-            gpu = arch_platforms[arch]
-            kernel = workload.kernel(config=gpu)
-            model.append(max_ctas_per_sm(gpu, kernel))
+    for workload, model in zip(workloads, quadruples):
         result.rows.append(Table2Row(workload=workload,
                                      model_ctas=tuple(model)))
     return result

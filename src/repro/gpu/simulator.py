@@ -111,13 +111,12 @@ class GpuSimulator:
             l1.flush()
         l2.reset_stats()
         l2.settle()
-        trace_cache: dict = {}
 
         if plan.mode == "scheduled":
-            self._run_scheduled(kernel, plan, metrics, l1s, l2, trace_cache,
+            self._run_scheduled(kernel, plan, metrics, l1s, l2,
                                 record_per_cta, seed)
         else:
-            self._run_placed(kernel, plan, metrics, l1s, l2, trace_cache,
+            self._run_placed(kernel, plan, metrics, l1s, l2,
                              record_per_cta)
 
         for l1 in l1s:
@@ -130,7 +129,7 @@ class GpuSimulator:
     # dispatch loops
     # ------------------------------------------------------------------
 
-    def _run_scheduled(self, kernel, plan, metrics, l1s, l2, trace_cache,
+    def _run_scheduled(self, kernel, plan, metrics, l1s, l2,
                        record_per_cta, seed):
         config = self.config
         capacity = max_ctas_per_sm(config, kernel)
@@ -173,7 +172,7 @@ class GpuSimulator:
             overhead = plan.per_cta_overhead * len(originals)
             duration = self._execute_wave(
                 kernel, originals, now + 0.0, l1s[sm], l2, metrics,
-                trace_cache, record_per_cta, sm, turnarounds[sm], None, plan)
+                record_per_cta, sm, turnarounds[sm], None, plan)
             duration += overhead
             metrics.overhead_cycles += overhead
             metrics.ctas_executed += len(originals)
@@ -183,7 +182,7 @@ class GpuSimulator:
             heappush(heap, (clocks[sm], sm))
         metrics.sm_cycles = clocks
 
-    def _run_placed(self, kernel, plan, metrics, l1s, l2, trace_cache,
+    def _run_placed(self, kernel, plan, metrics, l1s, l2,
                     record_per_cta):
         config = self.config
         agents = plan.active_agents
@@ -207,7 +206,7 @@ class GpuSimulator:
                 prefetch_targets = list(queue)[:len(wave)]
             overhead = plan.per_task_overhead * len(wave)
             duration = self._execute_wave(
-                kernel, wave, now, l1s[sm], l2, metrics, trace_cache,
+                kernel, wave, now, l1s[sm], l2, metrics,
                 record_per_cta, sm, turnarounds[sm], prefetch_targets, plan)
             duration += overhead
             metrics.overhead_cycles += overhead
@@ -224,7 +223,7 @@ class GpuSimulator:
     # ------------------------------------------------------------------
 
     def _execute_wave(self, kernel, cta_ids, start, l1, l2, metrics,
-                      trace_cache, record_per_cta, sm_id, turnaround,
+                      record_per_cta, sm_id, turnaround,
                       prefetch_targets, plan):
         config = self.config
         n = len(cta_ids)
@@ -237,13 +236,9 @@ class GpuSimulator:
         bypass = plan.bypass_streams
         sectors = config.l1_sectors
 
-        traces = []
-        for v in cta_ids:
-            trace = trace_cache.get(v)
-            if trace is None:
-                trace = kernel.cta_trace(v)
-                trace_cache[v] = trace
-            traces.append(trace)
+        # Traces are memoized on the kernel itself, so they survive
+        # across warm-up launches, schemes and whole-sweep reruns.
+        traces = [kernel.cta_trace(v) for v in cta_ids]
 
         cursor = start
         cta_cycles = [0.0] * n
@@ -291,8 +286,7 @@ class GpuSimulator:
         # prefetch the head of each agent's next task (Section 4.3-III)
         if prefetch_targets:
             cursor += self._issue_prefetches(kernel, prefetch_targets, l1, l2,
-                                             cursor, metrics, trace_cache,
-                                             hiding, plan)
+                                             cursor, metrics, hiding, plan)
 
         fixed = kernel.fixed_compute_cycles * n / issue_width
         duration = (cursor - start) + fixed
@@ -373,16 +367,13 @@ class GpuSimulator:
         return worst, service
 
     def _issue_prefetches(self, kernel, targets, l1, l2, cursor, metrics,
-                          trace_cache, hiding, plan):
+                          hiding, plan):
         """Preload the first accesses of upcoming tasks into L1."""
         config = self.config
         cost = 0.0
         issue = config.costs.prefetch_issue_cycles / config.issue_width
         for slot, v in enumerate(targets):
-            trace = trace_cache.get(v)
-            if trace is None:
-                trace = kernel.cta_trace(v)
-                trace_cache[v] = trace
+            trace = kernel.cta_trace(v)
             sector = (slot * config.l1_sectors) // max(1, len(targets))
             for access in trace[:plan.prefetch_depth]:
                 if access.is_write:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -143,6 +144,12 @@ class AddressSpace:
 
 TraceFn = Callable[[int, int, int], Sequence[WarpAccess]]
 
+#: Per-kernel bound on memoized CTA traces.  Trace generation is pure
+#: in (bx, by, bz), so warm-up launches, measured runs and the six
+#: evaluation schemes of one workload all share the same traces; the
+#: LRU bound keeps huge grids from pinning every trace at once.
+TRACE_CACHE_CTAS = 4096
+
 
 @dataclass
 class KernelSpec:
@@ -167,6 +174,10 @@ class KernelSpec:
     secondary_category: "LocalityCategory | None" = None
     array_refs: "tuple[ArrayRef, ...]" = ()
     description: str = ""
+    #: Lazily built LRU of linear id -> trace; excluded from init so
+    #: ``dataclasses.replace`` never shares a memo across variants.
+    _trace_memo: "OrderedDict | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def n_ctas(self) -> int:
@@ -190,9 +201,24 @@ class KernelSpec:
         return bx, by, bz
 
     def cta_trace(self, linear_id: int) -> Sequence[WarpAccess]:
-        """Trace of the CTA with the given row-major linear id."""
+        """Trace of the CTA with the given row-major linear id.
+
+        Memoized (bounded LRU): callers must treat the returned
+        sequence as immutable.
+        """
+        memo = self._trace_memo
+        if memo is None:
+            memo = self._trace_memo = OrderedDict()
+        trace = memo.get(linear_id)
+        if trace is not None:
+            memo.move_to_end(linear_id)
+            return trace
         bx, by, bz = self.cta_coords(linear_id)
-        return self.trace(bx, by, bz)
+        trace = self.trace(bx, by, bz)
+        memo[linear_id] = trace
+        if len(memo) > TRACE_CACHE_CTAS:
+            memo.popitem(last=False)
+        return trace
 
     def reads_and_writes_same_array(self) -> bool:
         """Whether some array is both read and written (write-related hint)."""

@@ -6,6 +6,13 @@ from repro.experiments.__main__ import _select_platforms, main
 from repro.gpu.config import EVALUATION_PLATFORMS, GTX980
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep the CLI's .repro_cache out of the checkout and out of
+    other tests: stale entries must never mask a code change here."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestPlatformSelection:
     def test_default_is_all(self):
         assert _select_platforms(None) == EVALUATION_PLATFORMS
