@@ -12,7 +12,7 @@ from repro.core.agent import agent_plan
 from repro.core.indexing import X_PARTITION
 from repro.core.inspector import inspector_plan
 from repro.gpu.config import TESLA_K40
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 from repro.kernels.access import read
 from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
 
@@ -37,10 +37,10 @@ def run_study():
     gpu = TESLA_K40
     kernel = community_kernel()
     sim = GpuSimulator(gpu)
-    base = run_measured(sim, kernel)
-    plain = run_measured(sim, kernel, agent_plan(kernel, gpu, X_PARTITION))
+    base = simulate(sim, kernel)
+    plain = simulate(sim, kernel, agent_plan(kernel, gpu, X_PARTITION))
     plan, inspection = inspector_plan(kernel, gpu)
-    inspected = run_measured(sim, kernel, plan)
+    inspected = simulate(sim, kernel, plan)
     return base, plain, inspected, inspection
 
 

@@ -8,10 +8,9 @@ the transformation — and verify it against a hand-built plan.
 """
 
 from repro import (
-    ArrayRef, Dim3, GpuSimulator, GTX1080, KernelSpec, LocalityCategory,
-    agent_plan, analyze_direction, optimize, run_measured)
-from repro.kernels.kernel import AddressSpace
-from repro.kernels.access import read, write
+    AddressSpace, ArrayRef, Dim3, GpuSimulator, GTX1080, KernelSpec,
+    LocalityCategory, agent_plan, analyze_direction, optimize, read,
+    simulate, write)
 
 
 def build_gradient_kernel(grid_x=24, grid_y=24):
@@ -53,9 +52,9 @@ def main():
     print(f"dependency analysis: {analysis.direction.name} "
           f"(X votes {analysis.x_votes}, Y votes {analysis.y_votes})")
 
-    base = run_measured(sim, kernel)
-    manual = run_measured(sim, kernel,
-                          agent_plan(kernel, gpu, analysis.direction))
+    base = simulate(kernel, sim)
+    manual = simulate(kernel, sim,
+                      plan=agent_plan(kernel, gpu, analysis.direction))
     print(f"baseline : {base.cycles:9.0f} cycles, "
           f"L1 hit {base.l1_hit_rate:.1%}")
     print(f"clustered: {manual.cycles:9.0f} cycles, "

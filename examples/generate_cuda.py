@@ -8,8 +8,8 @@ This example runs the framework on a workload and prints the exact
 CUDA source a deployment would compile.
 """
 
-from repro import GTX980, LocalityCategory, optimize, workload
-from repro.core import generate_from_decision
+from repro import (
+    GTX980, LocalityCategory, generate_from_decision, optimize, workload)
 
 
 def main():

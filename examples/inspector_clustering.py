@@ -13,11 +13,10 @@ structure, and contrasts it with a genuinely random-access kernel
 
 import random
 
-from repro import TESLA_K40, GpuSimulator, run_measured, workload
-from repro.core import X_PARTITION, agent_plan, inspector_plan
-from repro.core.inspector import affinity_order, conserved_affinity, inspect_kernel
-from repro.kernels.access import read
-from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
+from repro import (
+    AddressSpace, Dim3, GpuSimulator, KernelSpec, TESLA_K40, X_PARTITION,
+    affinity_order, agent_plan, conserved_affinity, inspect_kernel,
+    inspector_plan, read, simulate, workload)
 
 
 def community_graph_kernel(n_ctas=240, community=16, seed=7):
@@ -57,19 +56,19 @@ def main():
     print(f"  affinity kept in clusters: id-order "
           f"{conserved_affinity(inspection, list(range(kernel.n_ctas)), gpu.num_sms):.0%}"
           f" -> inspector {conserved_affinity(inspection, order, gpu.num_sms):.0%}")
-    base = run_measured(sim, kernel)
+    base = simulate(kernel, sim)
     report("baseline", base, base)
     report("id-order clustering (CLU)", base,
-           run_measured(sim, kernel, agent_plan(kernel, gpu, X_PARTITION)))
+           simulate(kernel, sim, plan=agent_plan(kernel, gpu, X_PARTITION)))
     plan, _ = inspector_plan(kernel, gpu)
-    report("inspector clustering (INS)", base, run_measured(sim, kernel, plan))
+    report("inspector clustering (INS)", base, simulate(kernel, sim, plan=plan))
 
     print("\n=== genuinely random access (B+tree) — nothing to recover")
     kernel = workload("BTR").kernel(scale=0.5, config=gpu)
-    base = run_measured(sim, kernel)
+    base = simulate(kernel, sim)
     report("baseline", base, base)
     plan, inspection = inspector_plan(kernel, gpu)
-    report("inspector clustering (INS)", base, run_measured(sim, kernel, plan))
+    report("inspector clustering (INS)", base, simulate(kernel, sim, plan=plan))
     print("\nThe inspector pays off exactly when the data has latent "
           "structure;\nfor accidental locality it is honest noise — the "
           "paper's §4.1 caveat.")

@@ -9,7 +9,7 @@ the Figure-12/13 style metrics for each.
 
 from repro import (
     GTX980, GpuSimulator, Y_PARTITION, agent_plan, baseline_plan,
-    redirection_plan, run_measured, workload)
+    redirection_plan, simulate, workload)
 
 
 def main():
@@ -31,7 +31,7 @@ def main():
     }
     baseline = None
     for label, plan in plans.items():
-        metrics = run_measured(sim, kernel, plan)
+        metrics = simulate(kernel, sim, plan=plan)
         if baseline is None:
             baseline = metrics
         print(f"{label:<32s} cycles={metrics.cycles:>10.0f}  "

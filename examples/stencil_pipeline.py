@@ -9,9 +9,9 @@ line-spill reuse, while the 32B-sector Maxwell/Pascal L1/Tex keeps
 only part of it (the paper's Section 5.2 observation 2).
 """
 
-from repro import EVALUATION_PLATFORMS, GpuSimulator, run_measured, workload
-from repro.core import agent_plan, direction
-from repro.experiments.report import format_table
+from repro import (
+    EVALUATION_PLATFORMS, GpuSimulator, agent_plan, direction,
+    format_table, simulate, workload)
 
 
 def main():
@@ -21,8 +21,8 @@ def main():
     for gpu in EVALUATION_PLATFORMS:
         kernel = wl.kernel(config=gpu)
         sim = GpuSimulator(gpu)
-        base = run_measured(sim, kernel)
-        clu = run_measured(sim, kernel, agent_plan(kernel, gpu, part))
+        base = simulate(kernel, sim)
+        clu = simulate(kernel, sim, plan=agent_plan(kernel, gpu, part))
         rows.append([
             gpu.name,
             gpu.architecture.value,

@@ -8,10 +8,9 @@ vector resident.  The sweep prints every candidate so the tradeoff —
 less latency hiding vs. fewer capacity misses — is visible.
 """
 
-from repro import TESLA_K40, GpuSimulator, run_measured, workload
-from repro.core import agent_plan, direction, vote_active_agents
-from repro.core.throttling import throttle_candidates
-from repro.gpu.occupancy import max_ctas_per_sm
+from repro import (
+    GpuSimulator, TESLA_K40, agent_plan, direction, max_ctas_per_sm,
+    simulate, throttle_candidates, vote_active_agents, workload)
 
 
 def main():
@@ -21,7 +20,7 @@ def main():
     part = direction(wl.table2.partition)
     sim = GpuSimulator(gpu)
 
-    base = run_measured(sim, kernel)
+    base = simulate(kernel, sim)
     max_agents = max_ctas_per_sm(gpu, kernel)
     print(f"{wl.name} on {gpu.name}: MAX_AGENTS={max_agents}, "
           f"baseline={base.cycles:.0f} cycles\n")
@@ -29,7 +28,7 @@ def main():
           f"{'L1 hit':>7s} {'L2 trans':>9s}")
     for degree in throttle_candidates(max_agents):
         plan = agent_plan(kernel, gpu, part, active_agents=degree)
-        metrics = run_measured(sim, kernel, plan)
+        metrics = simulate(kernel, sim, plan=plan)
         print(f"{degree:>7d} {metrics.cycles:>10.0f} "
               f"{base.cycles / metrics.cycles:>7.2f}x "
               f"{metrics.l1_hit_rate:>7.1%} {metrics.l2_transactions:>9d}")

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Record the sweep engine's wall-clock trajectory into BENCH_sweep.json.
+
+Each invocation runs the CI smoke sub-matrix (one Figure-12 workload
+per evaluation group, BSL/RD/CLU, Tesla K40) twice — serial and with
+worker processes — and appends one entry to ``BENCH_sweep.json`` at the
+repo root: wall time, worker-clock seconds, jobs/sec, per-phase runner
+breakdown, and the commit it measured.  Over the repo's history those
+entries are the performance trajectory the ROADMAP's "as fast as the
+hardware allows" goal is steered by.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # append
+    PYTHONPATH=src python scripts/bench_trajectory.py --dry-run  # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as _platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro import __version__
+from repro.engine import SweepRunner, schemes_job
+from repro.gpu.config import TESLA_K40
+
+WORKLOADS = ("NN", "ATX", "BS")
+SCHEMES = ("BSL", "RD", "CLU")
+SCALE = 0.3
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _batch():
+    return [schemes_job(abbr, TESLA_K40, scale=SCALE, seed=0,
+                        use_paper_agents=True, schemes=SCHEMES)
+            for abbr in WORKLOADS]
+
+
+def _measure(jobs: int) -> dict:
+    runner = SweepRunner(jobs=jobs)
+    start = time.perf_counter()
+    runner.run(_batch())
+    wall = time.perf_counter() - start
+    stats = runner.stats
+    return {
+        "jobs": jobs,
+        "wall_seconds": round(wall, 3),
+        "worker_seconds": round(stats.worker_seconds, 3),
+        "jobs_per_second": round(stats.jobs_per_second, 3),
+        "executed": stats.executed,
+        "phase_seconds": {name: round(seconds, 4)
+                          for name, seconds in stats.phase_seconds.items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel pass")
+    parser.add_argument("--output", default=None,
+                        help="trajectory file (default: BENCH_sweep.json "
+                             "at the repo root)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the entry without appending it")
+    args = parser.parse_args(argv)
+
+    output = args.output
+    if output is None:
+        output = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_sweep.json")
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "version": __version__,
+        "python": _platform.python_version(),
+        "matrix": {"workloads": list(WORKLOADS), "schemes": list(SCHEMES),
+                   "platform": TESLA_K40.name, "scale": SCALE, "seed": 0},
+        "serial": _measure(jobs=1),
+        "parallel": _measure(jobs=args.jobs),
+    }
+
+    print(json.dumps(entry, indent=2))
+    if args.dry_run:
+        return 0
+
+    trajectory = []
+    if os.path.exists(output):
+        with open(output) as handle:
+            trajectory = json.load(handle)
+    trajectory.append(entry)
+    tmp = output + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, output)
+    print(f"\nappended entry #{len(trajectory)} to {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ serially, then with worker processes (``--jobs``), and fails if the
 parallel metrics differ from the serial ones anywhere.  A third,
 cached pass must execute zero jobs.  This is the cheapest end-to-end
 guard that the engine's determinism and cache contracts still hold.
+
+The sweep is dispatched exactly the way ``python -m repro.experiments``
+dispatches every artifact: through an
+:class:`~repro.experiments.driver.ExperimentDriver` — plan ``jobs(ctx)``,
+run the batch, assemble with ``render(ctx, results)``.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import tempfile
 import time
 
 from repro.engine import ResultCache, SweepRunner, schemes_job
+from repro.experiments.driver import RunContext
 from repro.gpu.config import TESLA_K40
 
 #: One representative per Figure-12 group (algorithm / cache-line /
@@ -25,17 +31,33 @@ SCHEMES = ("BSL", "RD", "CLU")
 SCALE = 0.3
 
 
-def jobs():
-    return [schemes_job(abbr, TESLA_K40, scale=SCALE, use_paper_agents=True,
-                        schemes=SCHEMES)
-            for abbr in WORKLOADS]
+class SmokeDriver:
+    """The CI sub-matrix as an ExperimentDriver (protocol, not registry:
+    only ``python -m repro.experiments`` artifacts register)."""
+
+    name = "smoke"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return [schemes_job(abbr, TESLA_K40, scale=ctx.scale,
+                            seed=ctx.seed, use_paper_agents=True,
+                            schemes=SCHEMES)
+                for abbr in WORKLOADS]
+
+    def render(self, ctx: RunContext, results) -> list:
+        return [(r.workload, scheme,
+                 metrics.cycles, metrics.l2_transactions,
+                 metrics.l1_hit_rate)
+                for r in results
+                for scheme, metrics in sorted(r.metrics.items())]
 
 
-def fingerprint(results):
-    return [(r.workload, scheme,
-             metrics.cycles, metrics.l2_transactions, metrics.l1_hit_rate)
-            for r in results
-            for scheme, metrics in sorted(r.metrics.items())]
+DRIVER = SmokeDriver()
+CTX = RunContext(platforms=(TESLA_K40,), scale=SCALE, seed=0)
+
+
+def sweep(runner: SweepRunner):
+    """One uniform-dispatch pass: plan, run, assemble."""
+    return DRIVER.render(CTX, runner.run(DRIVER.jobs(CTX)))
 
 
 def main(argv=None) -> int:
@@ -45,11 +67,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     start = time.perf_counter()
-    serial = fingerprint(SweepRunner(jobs=1).run(jobs()))
+    serial = sweep(SweepRunner(jobs=1))
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = fingerprint(SweepRunner(jobs=args.jobs).run(jobs()))
+    parallel = sweep(SweepRunner(jobs=args.jobs))
     parallel_s = time.perf_counter() - start
 
     if serial != parallel:
@@ -60,11 +82,10 @@ def main(argv=None) -> int:
         return 1
 
     with tempfile.TemporaryDirectory() as root:
-        cache = ResultCache(root)
-        warmer = SweepRunner(jobs=1, cache=cache)
-        warmer.run(jobs())
+        warmer = SweepRunner(jobs=1, cache=ResultCache(root))
+        sweep(warmer)
         cached_runner = SweepRunner(jobs=1, cache=ResultCache(root))
-        cached = fingerprint(cached_runner.run(jobs()))
+        cached = sweep(cached_runner)
         if cached_runner.stats.executed != 0:
             print(f"FAIL: cached pass executed "
                   f"{cached_runner.stats.executed} jobs, expected 0")

@@ -7,29 +7,36 @@ trace-driven GPU simulator substrate it is evaluated on, the 40
 workload models, the locality analysis tools and one experiment driver
 per table/figure of the paper.
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
-    from repro import GTX980, GpuSimulator, agent_plan, workload, Y_PARTITION
+    from repro import GTX980, Y_PARTITION, cluster, simulate, workload
 
-    wl = workload("NN")
-    kernel = wl.kernel(config=GTX980)
-    sim = GpuSimulator(GTX980)
-    baseline = sim.run(kernel)
-    clustered = sim.run(kernel, agent_plan(kernel, GTX980, Y_PARTITION))
-    print(clustered.speedup_over(baseline))
+    kernel = workload("NN").kernel(config=GTX980)
+    baseline = simulate(kernel, GTX980)
+    clustered = simulate(kernel, GTX980,
+                         plan=cluster(kernel, "CLU", gpu=GTX980,
+                                      direction=Y_PARTITION))
+    print(baseline.cycles / clustered.cycles)
 
-The three layers:
+The layers underneath:
 
+* ``repro.api`` — the stable entry points: ``simulate``, ``cluster``,
+  ``sweep`` (everything here is re-exported at top level).
 * ``repro.gpu`` — platforms (Table 1), caches, GigaThread scheduler
   models, the cycle-approximate simulator.
 * ``repro.core`` — the contribution: partitioning/inverting/binding,
   redirection- and agent-based clustering, throttling, bypassing,
   prefetching, the classifier and the Fig.-11 framework.
+* ``repro.engine`` — declarative simulation jobs and the parallel,
+  cached sweep runner.
+* ``repro.obs`` — observability: simulator tracers, phase timers,
+  ``--profile`` artifacts and Chrome trace export.
 * ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments`` —
   the evaluation: application models, reuse quantification and the
   per-table/figure drivers.
 """
 
+from repro.api import SCHEMES, cluster, simulate, sweep
 from repro.core import (
     CtaPartitioner,
     OptimizationDecision,
@@ -39,24 +46,45 @@ from repro.core import (
     agent_plan,
     analyze_direction,
     classify,
+    direction,
+    generate_from_decision,
+    inspector_plan,
     optimize,
     prefetch_plan,
     redirection_plan,
     vote_active_agents,
 )
+from repro.core.inspector import (
+    affinity_order,
+    conserved_affinity,
+    inspect_kernel,
+)
+from repro.core.throttling import throttle_candidates
+from repro.experiments.report import format_table
 from repro.gpu import (
     EVALUATION_PLATFORMS,
     GTX570,
+    GTX750TI,
     GTX980,
     GTX1080,
     GpuSimulator,
     KernelMetrics,
     TESLA_K40,
     baseline_plan,
+    max_ctas_per_sm,
     platform,
+    run_measured,
 )
-from repro.gpu.simulator import run_measured
-from repro.kernels import ArrayRef, Dim3, KernelSpec, LocalityCategory
+from repro.kernels import (
+    AddressSpace,
+    ArrayRef,
+    Dim3,
+    KernelSpec,
+    LocalityCategory,
+    read,
+    write,
+)
+from repro.obs import ProfileSession, RecordingTracer, Tracer
 from repro.workloads.registry import (
     all_workloads,
     by_category,
@@ -65,15 +93,22 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "SCHEMES", "cluster", "simulate", "sweep",
     "CtaPartitioner", "OptimizationDecision", "TileWiseIndexing",
     "X_PARTITION", "Y_PARTITION", "agent_plan", "analyze_direction",
-    "classify", "optimize", "prefetch_plan", "redirection_plan",
-    "vote_active_agents", "EVALUATION_PLATFORMS", "GTX570", "GTX980",
-    "GTX1080", "GpuSimulator", "KernelMetrics", "TESLA_K40",
-    "baseline_plan", "platform", "run_measured", "ArrayRef", "Dim3",
-    "KernelSpec", "LocalityCategory", "all_workloads", "by_category",
-    "figure3_workloads", "table2_workloads", "workload", "__version__",
+    "classify", "direction", "generate_from_decision", "inspector_plan",
+    "optimize", "prefetch_plan", "redirection_plan", "vote_active_agents",
+    "affinity_order", "conserved_affinity", "inspect_kernel",
+    "throttle_candidates", "format_table",
+    "EVALUATION_PLATFORMS", "GTX570", "GTX750TI", "GTX980", "GTX1080",
+    "GpuSimulator", "KernelMetrics", "TESLA_K40", "baseline_plan",
+    "max_ctas_per_sm", "platform", "run_measured",
+    "AddressSpace", "ArrayRef", "Dim3", "KernelSpec", "LocalityCategory",
+    "read", "write",
+    "ProfileSession", "RecordingTracer", "Tracer",
+    "all_workloads", "by_category", "figure3_workloads", "table2_workloads",
+    "workload", "__version__",
 ]

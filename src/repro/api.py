@@ -1,0 +1,154 @@
+"""repro.api — the stable public facade.
+
+Three keyword-only entry points cover the package's whole workflow;
+everything they accept or return is re-exported from :mod:`repro`
+itself, so user code (and every script in ``examples/``) never imports
+an internal module:
+
+* :func:`simulate` — measure one kernel (or registry workload) on one
+  platform, optionally transformed by a scheme or an explicit plan,
+  optionally observed by a :class:`~repro.obs.Tracer`;
+* :func:`cluster` — build the execution plan for one of the paper's
+  named schemes (``BSL``/``RD``/``CLU``/``CLU+TOT``/``CLU+TOT+BPS``/
+  ``PFH+TOT``) without running anything;
+* :func:`sweep` — run a declarative job batch through a
+  :class:`~repro.engine.SweepRunner` (parallelism, caching,
+  memoization and profiling all live on the runner).
+
+Stability contract: these signatures only grow new keyword arguments;
+positional meaning and return types are fixed.  Internal modules may
+reorganize freely underneath.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import agent_plan
+from repro.core.dependence import analyze_direction
+from repro.core.prefetch import prefetch_plan
+from repro.core.redirection import redirection_plan
+from repro.core.throttling import vote_active_agents
+from repro.gpu.config import GpuConfig, PLATFORMS
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.plan import ExecutionPlan, baseline_plan
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.simulator import simulate as _simulate_kernel
+from repro.kernels.kernel import KernelSpec
+from repro.workloads.base import Workload
+from repro.workloads.registry import workload as _lookup_workload
+
+#: The paper's scheme names, as `cluster`/`simulate` accept them.
+SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
+
+
+def _resolve_config(gpu) -> "tuple[GpuSimulator | None, GpuConfig]":
+    """Accept a GpuConfig, a platform name, or a prepared simulator."""
+    if isinstance(gpu, GpuSimulator):
+        return gpu, gpu.config
+    if isinstance(gpu, GpuConfig):
+        return None, gpu
+    if isinstance(gpu, str):
+        try:
+            return None, PLATFORMS[gpu]
+        except KeyError:
+            raise KeyError(f"unknown platform {gpu!r}; "
+                           f"known: {sorted(PLATFORMS)}") from None
+    raise TypeError(f"gpu must be a GpuConfig, platform name or "
+                    f"GpuSimulator, got {type(gpu).__name__}")
+
+
+def _resolve_kernel(workload, config: GpuConfig,
+                    scale: float) -> "tuple[KernelSpec, Workload | None]":
+    """Accept a KernelSpec, a Workload, or a registry abbreviation."""
+    if isinstance(workload, KernelSpec):
+        return workload, None
+    if isinstance(workload, Workload):
+        return workload.kernel(scale=scale, config=config), workload
+    if isinstance(workload, str):
+        found = _lookup_workload(workload)
+        return found.kernel(scale=scale, config=config), found
+    raise TypeError(f"workload must be a KernelSpec, Workload or registry "
+                    f"abbreviation, got {type(workload).__name__}")
+
+
+def cluster(kernel, scheme: str = "CLU", *, gpu,
+            direction=None, active_agents: int = None,
+            seed: int = 0) -> ExecutionPlan:
+    """Build the execution plan for one of the paper's named schemes.
+
+    ``kernel`` is a :class:`~repro.kernels.KernelSpec` (or a registry
+    workload/abbreviation, instantiated at scale 1.0); ``gpu`` a
+    platform config, name or simulator.  ``direction`` is the
+    partition direction (e.g. ``repro.X_PARTITION``); when omitted it
+    comes from the dependency analysis, exactly as the automatic
+    framework would choose.  For the throttled schemes,
+    ``active_agents`` overrides the dynamic throttling vote (which
+    simulates candidate degrees and therefore costs a few runs).
+    """
+    if scheme not in SCHEMES:
+        raise KeyError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+    simulator, config = _resolve_config(gpu)
+    kernel, _ = _resolve_kernel(kernel, config, scale=1.0)
+    if scheme == "BSL":
+        return baseline_plan()
+    part = direction if direction is not None \
+        else analyze_direction(kernel).direction
+    if scheme == "RD":
+        return redirection_plan(kernel, config, part)
+    if scheme == "CLU":
+        return agent_plan(kernel, config, part, scheme="CLU")
+    if active_agents is None:
+        sim = simulator if simulator is not None else GpuSimulator(config)
+        active_agents = vote_active_agents(sim, kernel, part).active_agents
+    if scheme == "CLU+TOT":
+        return agent_plan(kernel, config, part, active_agents=active_agents,
+                          scheme="CLU+TOT")
+    if scheme == "CLU+TOT+BPS":
+        return agent_plan(kernel, config, part, active_agents=active_agents,
+                          bypass_streams=True, scheme="CLU+TOT+BPS")
+    return prefetch_plan(kernel, config, part, active_agents=active_agents)
+
+
+def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
+             scale: float = 1.0, seed: int = 0, warmups: int = 1,
+             record_per_cta: bool = False, tracer=None) -> KernelMetrics:
+    """Measure one workload (or kernel) on one platform.
+
+    ``workload`` is a registry abbreviation (``"NN"``), a
+    :class:`~repro.workloads.base.Workload`, or a raw
+    :class:`~repro.kernels.KernelSpec`; ``gpu`` a platform config,
+    name, or a :class:`~repro.GpuSimulator` whose custom knobs should
+    be kept.  Exactly one of ``scheme`` (a name from
+    :data:`SCHEMES`, planned via :func:`cluster`) and ``plan`` (an
+    explicit :class:`~repro.gpu.plan.ExecutionPlan`) may be given;
+    with neither, the kernel runs untransformed (``BSL``).
+
+    Runs ``warmups`` warm-up launches with preserved cache contents,
+    then measures — the paper's methodology.  ``tracer`` (a
+    :class:`repro.Tracer`) observes the measured launch only and never
+    changes the returned metrics.
+    """
+    if scheme is not None and plan is not None:
+        raise ValueError("pass either scheme= or plan=, not both")
+    simulator, config = _resolve_config(gpu)
+    kernel, _ = _resolve_kernel(workload, config, scale=scale)
+    if plan is None and scheme is not None and scheme != "BSL":
+        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed)
+    return _simulate_kernel(simulator if simulator is not None else config,
+                            kernel, plan, seed=seed, warmups=warmups,
+                            record_per_cta=record_per_cta, tracer=tracer)
+
+
+def sweep(jobs, *, runner=None) -> list:
+    """Run a declarative job batch; results come in submission order.
+
+    ``jobs`` is an iterable of :class:`~repro.engine.SimJob` (from the
+    builders ``repro.engine`` exports: ``schemes_job``,
+    ``measure_job``, ...).  ``runner`` configures parallelism, the
+    persistent cache, memoization, progress lines and profiling; the
+    default is serial, cache-less, and bit-identical to any parallel
+    runner fed the same batch.
+    """
+    if runner is None:
+        from repro.engine import SweepRunner
+        runner = SweepRunner()
+    return runner.run(jobs)

@@ -16,7 +16,7 @@ from repro.core.agent import agent_plan
 from repro.core.indexing import PartitionDirection, Y_PARTITION
 from repro.gpu.config import GpuConfig
 from repro.gpu.occupancy import max_ctas_per_sm
-from repro.gpu.simulator import run_measured
+from repro.gpu.simulator import simulate
 from repro.kernels.kernel import KernelSpec
 
 
@@ -66,7 +66,7 @@ def vote_active_agents(simulator, kernel: KernelSpec,
             raise ValueError(f"candidate {degree} outside [1, {max_agents}]")
         plan = agent_plan(kernel, config, partition_direction,
                           active_agents=degree, bypass_streams=bypass_streams)
-        results[degree] = run_measured(simulator, kernel, plan).cycles
+        results[degree] = simulate(simulator, kernel, plan).cycles
     best = min(sorted(results, reverse=True), key=results.get)
     return ThrottleVote(active_agents=best, max_agents=max_agents,
                         cycles_by_candidate=results)

@@ -18,6 +18,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -49,11 +50,19 @@ def default_salt() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting (and wall time) for one cache instance."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    get_seconds: float = 0.0
+    put_seconds: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit (0.0 when the cache is idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 @dataclass
@@ -82,6 +91,7 @@ class ResultCache:
 
     def get(self, job: SimJob):
         """Cached result for ``job``, or the module's miss sentinel."""
+        started = time.perf_counter()
         path = self.path_for(job)
         try:
             with open(path, "rb") as fh:
@@ -92,12 +102,15 @@ class ResultCache:
             # raise nearly any exception type — treat them all as
             # misses so the job simply re-runs.
             self.stats.misses += 1
+            self.stats.get_seconds += time.perf_counter() - started
             return _MISS
         self.stats.hits += 1
+        self.stats.get_seconds += time.perf_counter() - started
         return value
 
     def put(self, job: SimJob, value) -> None:
         """Atomically persist one job result."""
+        started = time.perf_counter()
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -112,6 +125,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        self.stats.put_seconds += time.perf_counter() - started
 
     @staticmethod
     def is_miss(value) -> bool:

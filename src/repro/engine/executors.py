@@ -31,7 +31,7 @@ import dataclasses
 from repro.engine.job import SimJob
 from repro.gpu.config import GpuConfig, platform
 from repro.gpu.scheduler import SCHEDULERS
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 from repro.workloads.base import ARCH_ORDER, Workload
 
 #: kind -> executor registry.
@@ -197,8 +197,8 @@ def _run_measure(job: SimJob):
                              active_agents=active_agents)
 
     sim = _simulator_for(job, gpu)
-    return run_measured(sim, kernel, plan, seed=job.seed,
-                        warmups=job.warmups)
+    return simulate(sim, kernel, plan, seed=job.seed,
+                    warmups=job.warmups)
 
 
 # ----------------------------------------------------------------------

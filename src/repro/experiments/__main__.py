@@ -6,15 +6,25 @@ Usage::
     python -m repro.experiments table1 fig2    # selected artifacts
     python -m repro.experiments fig12 --scale 0.5 --platforms Kepler
     python -m repro.experiments fig12 fig13 --jobs 8   # parallel sweep
+    python -m repro.experiments fig2 --profile profile.json \
+        --trace trace.json --progress
 
-Every driver submits its simulations through one shared sweep engine
-(:mod:`repro.engine`): ``--jobs N`` runs job batches on N worker
+Every artifact is an :class:`~repro.experiments.driver.ExperimentDriver`
+dispatched identically: plan jobs, run the batch on one shared sweep
+engine, assemble the report.  ``--jobs N`` runs job batches on N worker
 processes (``--jobs 1`` output is byte-identical), and results persist
-in ``.repro_cache/`` so re-running an artifact — or one that shares
-jobs with an earlier artifact, like fig13 after fig12 — skips the
-simulation work entirely (``--no-cache`` opts out).
+in ``.repro_cache/`` so re-running an artifact skips the simulation
+work entirely (``--no-cache`` opts out).  The runner also memoizes
+within the process, so artifacts that plan identical jobs — fig13
+after fig12 — cost one sweep even without the persistent cache.
 
-The figure-12/13 sweep is shared, so asking for both costs one sweep.
+``--progress`` streams a jobs/sec + ETA line to stderr while a batch
+executes.  ``--profile PATH`` writes a JSON summary of the run
+(per-phase wall time, engine/cache counters, hottest workload x scheme
+cells, per-SM cycle histograms; schema in
+``repro/obs/profile_schema.json``), and ``--trace PATH`` writes a
+Chrome trace-event timeline (open in ``chrome://tracing`` or Perfetto)
+with one track per worker process.
 """
 
 from __future__ import annotations
@@ -24,18 +34,7 @@ import sys
 import time
 
 from repro.engine import default_runner
-from repro.experiments.ablations import run_ablations
-from repro.experiments.evaluation import run_evaluation
-from repro.experiments.fig2 import run_fig2
-from repro.experiments.fig4_taxonomy import run_fig4
-from repro.experiments.fig3 import run_fig3
-from repro.experiments.fig12 import run_fig12
-from repro.experiments.fig13 import run_fig13
-from repro.experiments.framework_study import run_framework_study
-from repro.experiments.scheduler_study import run_scheduler_study
-from repro.experiments.sensitivity import run_sensitivity
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
+from repro.experiments.driver import RunContext, get_driver
 from repro.gpu.config import EVALUATION_PLATFORMS
 
 ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
@@ -75,53 +74,64 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the persistent result "
                              "cache in .repro_cache/")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream a jobs/sec + ETA progress line to "
+                             "stderr while batches execute")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="write a JSON profile summary of the run "
+                             "(phases, engine counters, hottest cells)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event timeline of the "
+                             "run (chrome://tracing / Perfetto)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     wanted = list(args.artifacts) or list(ARTIFACTS)
-    platforms = _select_platforms(args.platforms)
-    runner = default_runner(jobs=args.jobs, cached=not args.no_cache)
-    seed = args.seed
 
-    sweep = None
+    profile = None
+    if args.profile or args.trace:
+        from repro.obs import ProfileSession
+        profile = ProfileSession(label="+".join(wanted),
+                                 argv=list(argv) if argv is not None
+                                 else sys.argv[1:])
+
+    ctx = RunContext(platforms=_select_platforms(args.platforms),
+                     scale=args.scale, seed=args.seed,
+                     use_paper_agents=True)
+    runner = default_runner(jobs=args.jobs, cached=not args.no_cache,
+                            memo=True, progress=args.progress,
+                            profile=profile)
+
     for artifact in wanted:
+        driver = get_driver(artifact)
         start = time.time()
-        if artifact == "table1":
-            print(run_table1().render())
-        elif artifact == "fig2":
-            print(run_fig2(platforms=platforms, seed=seed,
-                           runner=runner).render())
-        elif artifact == "fig3":
-            print(run_fig3(scale=min(args.scale, 0.5),
-                           runner=runner).render())
-        elif artifact == "fig4":
-            print(run_fig4().render())
-        elif artifact == "table2":
-            print(run_table2(runner=runner).render())
-        elif artifact in ("fig12", "fig13"):
-            if sweep is None:
-                sweep = run_evaluation(platforms=platforms,
-                                       scale=args.scale,
-                                       seed=seed,
-                                       use_paper_agents=True,
-                                       runner=runner)
-            view = run_fig12 if artifact == "fig12" else run_fig13
-            print(view(sweep=sweep).render())
-        elif artifact == "scheduler":
-            print(run_scheduler_study(seed=seed, runner=runner).render())
-        elif artifact == "ablations":
-            print(run_ablations(seed=seed, runner=runner).render())
-        elif artifact == "sensitivity":
-            print(run_sensitivity(seed=seed, runner=runner).render())
-        elif artifact == "framework":
-            print(run_framework_study(seed=seed, runner=runner).render())
+        if profile is not None:
+            with profile.phase(artifact):
+                results = runner.run(driver.jobs(ctx))
+                report = driver.render(ctx, results)
+            profile.observe_results(results)
+        else:
+            results = runner.run(driver.jobs(ctx))
+            report = driver.render(ctx, results)
+        print(report.render())
         print(f"[{artifact}: {time.time() - start:.1f}s]\n")
 
     stats = runner.stats
     if stats.submitted:
         print(f"[engine: {stats.submitted} jobs submitted, "
               f"{stats.unique} unique, {stats.cache_hits} cache hits, "
-              f"{stats.executed} executed with jobs={args.jobs}]")
+              f"{stats.executed} executed with jobs={args.jobs}, "
+              f"{stats.jobs_per_second:.1f} jobs/s, "
+              f"hit ratio {stats.cache_hit_ratio:.0%}]")
+
+    if profile is not None:
+        profile.observe_runner(runner)
+        if args.profile:
+            profile.write(args.profile)
+            print(f"[profile summary written to {args.profile}]")
+        if args.trace:
+            profile.write_trace(args.trace)
+            print(f"[chrome trace written to {args.trace}]")
     return 0
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.core.throttling import throttle_candidates
 from repro.engine import SimJob, SweepRunner, measure_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import GTX570, GTX980, KB, TESLA_K40
 from repro.gpu.occupancy import max_ctas_per_sm
@@ -122,17 +123,16 @@ def plan_sector_ablation(abbr: str = "IMD",
     return rows
 
 
-def run_ablations(seed: int = 0, runner: SweepRunner = None) -> AblationResult:
-    """Run every Section-5.2 ablation as a single engine batch."""
-    runner = runner if runner is not None else SweepRunner()
-    planned = (plan_tile_indexing_ablation(seed=seed)
-               + plan_throttling_sweep(seed=seed)
-               + plan_l1_size_ablation(seed=seed)
-               + plan_sector_ablation(seed=seed))
-    # Variants and baselines interleave in one batch; the runner
-    # dedups repeated baselines by content hash.
-    batch = [job for row in planned for job in (row.job, row.base)]
-    measured = runner.run(batch)
+def plan_all_ablations(seed: int = 0) -> "list[_PlannedRow]":
+    """Every Section-5.2 ablation row, in render order."""
+    return (plan_tile_indexing_ablation(seed=seed)
+            + plan_throttling_sweep(seed=seed)
+            + plan_l1_size_ablation(seed=seed)
+            + plan_sector_ablation(seed=seed))
+
+
+def _assemble_ablations(planned: "list[_PlannedRow]",
+                        measured) -> AblationResult:
     result = AblationResult()
     for i, row in enumerate(planned):
         metrics, base = measured[2 * i], measured[2 * i + 1]
@@ -142,6 +142,35 @@ def run_ablations(seed: int = 0, runner: SweepRunner = None) -> AblationResult:
             l1_hit_rate=metrics.l1_hit_rate,
             l2_normalized=metrics.l2_transactions_vs(base)))
     return result
+
+
+@register
+class AblationsDriver:
+    """Variant/baseline pairs for every Section-5.2 ablation.
+
+    Planning is pure and cheap, so ``render`` re-plans to line the
+    results back up with their (variant, baseline) rows.
+    """
+
+    name = "ablations"
+
+    def jobs(self, ctx: RunContext) -> list:
+        # Variants and baselines interleave in one batch; the runner
+        # dedups repeated baselines by content hash.
+        return [job for row in plan_all_ablations(seed=ctx.seed)
+                for job in (row.job, row.base)]
+
+    def render(self, ctx: RunContext, results) -> AblationResult:
+        return _assemble_ablations(plan_all_ablations(seed=ctx.seed),
+                                   results)
+
+
+def run_ablations(seed: int = 0, runner: SweepRunner = None) -> AblationResult:
+    """Run every Section-5.2 ablation as a single engine batch."""
+    runner = runner if runner is not None else SweepRunner()
+    planned = plan_all_ablations(seed=seed)
+    batch = [job for row in planned for job in (row.job, row.base)]
+    return _assemble_ablations(planned, runner.run(batch))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,130 @@
+"""One protocol for every experiment driver.
+
+Each artifact module (fig2, table2, ablations, ...) registers an
+:class:`ExperimentDriver`: a named object that can *plan* its
+simulation work as a declarative job batch (``jobs(ctx)``) and later
+*assemble* the finished results into a report object
+(``render(ctx, results)``).  The CLI, ``scripts/smoke_sweep.py`` and
+any other orchestrator then dispatch every artifact identically::
+
+    driver = get_driver("fig12")
+    ctx = RunContext(platforms=..., scale=0.5, seed=0)
+    results = runner.run(driver.jobs(ctx))
+    print(driver.render(ctx, results).render())
+
+The split is what makes the sweep engine's batching and the
+observability layer composable with *every* artifact: the orchestrator
+owns the runner (parallelism, caching, memoization, profiling) and the
+driver owns only the experiment's science.  Two drivers that plan
+identical job lists — fig12 and fig13 share the evaluation matrix —
+cost one sweep when the runner memoizes.
+
+``render`` returns the driver's result object (``Fig2Result``,
+``AblationResult``, ...), every one of which exposes ``.render() ->
+str``; planning is repeatable and cheap, so ``render`` may re-plan
+internally to line results up with their jobs.
+
+Drivers whose work the engine cannot express as jobs (table1 reads
+static platform models; fig4 simulates hand-built kernels inline)
+return an empty batch and do their work in ``render`` — dispatch stays
+uniform, and such drivers simply have nothing to parallelize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.gpu.config import EVALUATION_PLATFORMS
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything an artifact needs to plan its jobs.
+
+    One immutable context serves a whole multi-artifact run; drivers
+    ignore the fields that do not apply to them (and a few pin their
+    own historical scale — e.g. sensitivity always sweeps at 0.5 — so
+    a full-run ``--scale`` does not silently change their guarantees).
+    """
+
+    platforms: "tuple" = EVALUATION_PLATFORMS
+    scale: float = 1.0
+    seed: int = 0
+    use_paper_agents: bool = False
+
+
+@runtime_checkable
+class ExperimentDriver(Protocol):
+    """What the orchestrators require of an artifact driver."""
+
+    name: str
+
+    def jobs(self, ctx: RunContext) -> "list":
+        """Plan the artifact's simulation batch (may be empty)."""
+        ...
+
+    def render(self, ctx: RunContext, results: Sequence) -> object:
+        """Assemble the engine's results into the report object."""
+        ...
+
+
+#: Registry of every known driver, in registration order.
+DRIVERS: "dict[str, ExperimentDriver]" = {}
+
+_LOADED = False
+
+
+def register(cls):
+    """Class decorator: instantiate and register a driver."""
+    DRIVERS[cls.name] = cls()
+    return cls
+
+
+def _load_all() -> None:
+    """Import every artifact module so its driver registers."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        evaluation,
+        fig2,
+        fig3,
+        fig4_taxonomy,
+        fig12,
+        fig13,
+        framework_study,
+        scheduler_study,
+        sensitivity,
+        table1,
+        table2,
+    )
+
+
+def driver_names() -> "tuple[str, ...]":
+    """Every registered artifact name, in canonical order."""
+    _load_all()
+    return tuple(DRIVERS)
+
+
+def get_driver(name: str) -> ExperimentDriver:
+    """Look up one driver by artifact name."""
+    _load_all()
+    try:
+        return DRIVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown artifact {name!r}; "
+                       f"known: {sorted(DRIVERS)}") from None
+
+
+def run_driver(name: str, ctx: RunContext = None, runner=None):
+    """Plan, execute and assemble one artifact; returns its report."""
+    from repro.engine import SweepRunner
+    driver = get_driver(name)
+    if ctx is None:
+        ctx = RunContext()
+    if runner is None:
+        runner = SweepRunner()
+    return driver.render(ctx, runner.run(driver.jobs(ctx)))

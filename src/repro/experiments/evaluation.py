@@ -50,6 +50,42 @@ class EvaluationSweep:
                    for s in ("CLU", "CLU+TOT", "CLU+TOT+BPS"))
 
 
+def evaluation_cells(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER):
+    """The (gpu, workload) matrix, in the figures' row/group order.
+
+    Validates every group name before anything simulates: a typo in
+    the last group must not cost the earlier groups' simulation time.
+    """
+    unknown = [group for group in groups if group not in EVALUATION_GROUPS]
+    if unknown:
+        raise KeyError(f"unknown group(s) {unknown!r}; "
+                       f"known: {sorted(EVALUATION_GROUPS)}")
+    return [(gpu, workload)
+            for gpu in platforms
+            for group in groups
+            for workload in by_category(group)]
+
+
+def evaluation_jobs(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER,
+                    scale: float = 1.0, seed: int = 0,
+                    use_paper_agents: bool = False) -> list:
+    """Plan the whole matrix as one declarative job batch."""
+    return [schemes_job(workload, gpu, scale=scale, seed=seed,
+                        use_paper_agents=use_paper_agents)
+            for gpu, workload in evaluation_cells(platforms, groups)]
+
+
+def assemble_evaluation(results, platforms=EVALUATION_PLATFORMS,
+                        groups=GROUP_ORDER,
+                        scale: float = 1.0) -> EvaluationSweep:
+    """Zip finished results back onto the matrix (submission order)."""
+    sweep = EvaluationSweep(scale=scale, platforms=tuple(platforms))
+    for (gpu, workload), result in zip(evaluation_cells(platforms, groups),
+                                       results):
+        sweep.results[(gpu.name, workload.abbr)] = result
+    return sweep
+
+
 def run_evaluation(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER,
                    scale: float = 1.0, seed: int = 0,
                    use_paper_agents: bool = False,
@@ -59,25 +95,11 @@ def run_evaluation(platforms=EVALUATION_PLATFORMS, groups=GROUP_ORDER,
     The matrix is submitted as one job batch, so an engine configured
     for parallelism and/or caching speeds up the whole sweep at once.
     """
-    # Validate every group name before simulating anything: a typo in
-    # the last group must not cost the earlier groups' simulation time.
-    unknown = [group for group in groups if group not in EVALUATION_GROUPS]
-    if unknown:
-        raise KeyError(f"unknown group(s) {unknown!r}; "
-                       f"known: {sorted(EVALUATION_GROUPS)}")
     runner = runner if runner is not None else SweepRunner()
-    sweep = EvaluationSweep(scale=scale, platforms=tuple(platforms))
-    cells = [(gpu, workload)
-             for gpu in platforms
-             for group in groups
-             for workload in by_category(group)]
-    results = runner.run([
-        schemes_job(workload, gpu, scale=scale, seed=seed,
-                    use_paper_agents=use_paper_agents)
-        for gpu, workload in cells])
-    for (gpu, workload), result in zip(cells, results):
-        sweep.results[(gpu.name, workload.abbr)] = result
-    return sweep
+    results = runner.run(evaluation_jobs(
+        platforms, groups, scale=scale, seed=seed,
+        use_paper_agents=use_paper_agents))
+    return assemble_evaluation(results, platforms, groups, scale=scale)
 
 
 def group_of(abbr: str) -> str:

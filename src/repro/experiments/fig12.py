@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.driver import RunContext, register
 from repro.experiments.evaluation import (
-    EvaluationSweep, GROUP_ORDER, run_evaluation)
+    EvaluationSweep, GROUP_ORDER, assemble_evaluation, evaluation_jobs,
+    run_evaluation)
 from repro.experiments.report import format_table
 from repro.experiments.schemes import SCHEME_ORDER
 from repro.gpu.config import EVALUATION_PLATFORMS
@@ -55,6 +57,26 @@ class Fig12Result:
                           f"speedup over BSL"))
                 parts.append("")
         return "\n".join(parts)
+
+
+@register
+class Fig12Driver:
+    """Speedup/occupancy view of the shared evaluation matrix.
+
+    Plans the identical job list as fig13, so a memoizing runner
+    charges the matrix once however many of the two views run.
+    """
+
+    name = "fig12"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return evaluation_jobs(ctx.platforms, scale=ctx.scale,
+                               seed=ctx.seed,
+                               use_paper_agents=ctx.use_paper_agents)
+
+    def render(self, ctx: RunContext, results) -> "Fig12Result":
+        return Fig12Result(sweep=assemble_evaluation(
+            results, ctx.platforms, scale=ctx.scale))
 
 
 def run_fig12(platforms=EVALUATION_PLATFORMS, scale: float = 1.0,

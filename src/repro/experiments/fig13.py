@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.driver import RunContext, register
 from repro.experiments.evaluation import (
-    EvaluationSweep, GROUP_ORDER, run_evaluation)
+    EvaluationSweep, GROUP_ORDER, assemble_evaluation, evaluation_jobs,
+    run_evaluation)
 from repro.experiments.report import format_table
 from repro.experiments.schemes import SCHEME_ORDER
 from repro.gpu.config import EVALUATION_PLATFORMS
@@ -63,6 +65,22 @@ class Fig13Result:
                           f"L2 transactions normalized to BSL"))
                 parts.append("")
         return "\n".join(parts)
+
+
+@register
+class Fig13Driver:
+    """Cache-side view of the same matrix fig12 plans (same job keys)."""
+
+    name = "fig13"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return evaluation_jobs(ctx.platforms, scale=ctx.scale,
+                               seed=ctx.seed,
+                               use_paper_agents=ctx.use_paper_agents)
+
+    def render(self, ctx: RunContext, results) -> "Fig13Result":
+        return Fig13Result(sweep=assemble_evaluation(
+            results, ctx.platforms, scale=ctx.scale))
 
 
 def run_fig13(platforms=EVALUATION_PLATFORMS, scale: float = 1.0,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine import SweepRunner, microbench_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import EVALUATION_PLATFORMS, GpuConfig
 from repro.kernels.microbench import (
@@ -87,19 +88,32 @@ class Fig2Result:
                   "holding CTA-0")
 
 
+@register
+class Fig2Driver:
+    """Per-platform (default, staggered) microbenchmark pairs."""
+
+    name = "fig2"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return [microbench_job(gpu, staggered=staggered, seed=ctx.seed)
+                for gpu in ctx.platforms for staggered in (False, True)]
+
+    def render(self, ctx: RunContext, results) -> Fig2Result:
+        result = Fig2Result()
+        for i, gpu in enumerate(ctx.platforms):
+            result.platforms.append(Fig2Platform(
+                gpu=gpu, default=results[2 * i],
+                staggered=results[2 * i + 1]))
+        return result
+
+
 def run_fig2(platforms=EVALUATION_PLATFORMS, seed: int = 0,
              runner: SweepRunner = None) -> Fig2Result:
     """Run the microbenchmark matrix behind Figure 2."""
     runner = runner if runner is not None else SweepRunner()
-    platforms = tuple(platforms)
-    probes = runner.run(
-        [microbench_job(gpu, staggered=staggered, seed=seed)
-         for gpu in platforms for staggered in (False, True)])
-    result = Fig2Result()
-    for i, gpu in enumerate(platforms):
-        result.platforms.append(Fig2Platform(
-            gpu=gpu, default=probes[2 * i], staggered=probes[2 * i + 1]))
-    return result
+    ctx = RunContext(platforms=tuple(platforms), seed=seed)
+    driver = Fig2Driver()
+    return driver.render(ctx, runner.run(driver.jobs(ctx)))
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.reuse import ReuseProfile
 from repro.engine import SweepRunner, reuse_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import bar, format_table
 from repro.workloads.registry import figure3_workloads
 
@@ -51,6 +52,25 @@ class Fig3Result:
         return (table + f"\n AVG inter-CTA reuse: "
                         f"{100 * self.average_inter_fraction:.1f}% "
                         f"(paper: 45%)")
+
+
+@register
+class Fig3Driver:
+    """Reuse quantification for the 33 Figure-3 applications.
+
+    Caps the context scale at 0.5: the inter/intra fractions converge
+    long before the full grid, and the sweep covers 33 applications.
+    """
+
+    name = "fig3"
+
+    def jobs(self, ctx: RunContext) -> list:
+        scale = min(ctx.scale, 0.5)
+        return [reuse_job(workload, scale=scale, max_ctas=MAX_CTAS)
+                for workload in figure3_workloads()]
+
+    def render(self, ctx: RunContext, results) -> Fig3Result:
+        return Fig3Result(profiles=list(results))
 
 
 def run_fig3(scale: float = 0.5, max_ctas: int = MAX_CTAS,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.framework import DecisionSummary
 from repro.engine import SweepRunner, framework_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import GpuConfig, TESLA_K40
 from repro.workloads.base import Workload
@@ -94,6 +95,32 @@ class FrameworkStudyResult:
             f"exploitability accuracy {self.exploitability_accuracy:.0%}, "
             f"partition agreement {self.partition_accuracy:.0%}, "
             f"never-hurts: {self.never_hurts}")
+
+
+@register
+class FrameworkStudyDriver:
+    """Framework decisions for every Table-2 workload on Kepler.
+
+    Pins its historical 0.6 scale: the classification probes were
+    calibrated there, and the scorecard must not drift with the CLI's
+    figure-sweep ``--scale``.
+    """
+
+    name = "framework"
+    config = TESLA_K40
+    scale = 0.6
+
+    def jobs(self, ctx: RunContext) -> list:
+        return [framework_job(workload, self.config, scale=self.scale,
+                              seed=ctx.seed)
+                for workload in table2_workloads()]
+
+    def render(self, ctx: RunContext, results) -> FrameworkStudyResult:
+        result = FrameworkStudyResult(gpu_name=self.config.name)
+        for workload, decision in zip(table2_workloads(), results):
+            result.cases.append(FrameworkCase(workload=workload,
+                                              decision=decision))
+        return result
 
 
 def run_framework_study(config: GpuConfig = TESLA_K40,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine import SweepRunner, measure_job, microbench_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import GTX750TI, TESLA_K40
 from repro.gpu.scheduler import SCHEDULERS
@@ -77,50 +78,73 @@ def _first_turnaround_is_rr(result, num_sms: int) -> bool:
     return all(r.original_id % num_sms == r.sm_id for r in first)
 
 
-def run_scheduler_study(abbr: str = "NN", seed: int = 0,
-                        runner: SweepRunner = None) -> SchedulerStudyResult:
-    """Run both halves of the scheduler study as one engine batch."""
-    runner = runner if runner is not None else SweepRunner()
-    study = SchedulerStudyResult(workload_abbr=abbr)
+#: The observation matrix: GigaThread models on a Kepler and a Maxwell.
+_OBS_CELLS = tuple((gpu, name) for gpu in (TESLA_K40, GTX750TI)
+                   for name in SCHEDULERS)
 
-    # Dispatch counts come from a real kernel (warmups=0: one cold
-    # launch), where wave durations vary and demand-driven imbalance
-    # shows up (the paper saw an SM run 60 CTAs instead of the
-    # expected 64); the round-robin probe comes from the Listing-3
-    # microbenchmark.
-    obs_cells = [(gpu, name) for gpu in (TESLA_K40, GTX750TI)
-                 for name in SCHEDULERS]
-    sens_names = list(SCHEDULERS)
+
+def _study_jobs(abbr: str, seed: int) -> list:
+    """Both halves of the study as one declarative batch.
+
+    Dispatch counts come from a real kernel (warmups=0: one cold
+    launch), where wave durations vary and demand-driven imbalance
+    shows up (the paper saw an SM run 60 CTAs instead of the expected
+    64); the round-robin probe comes from the Listing-3
+    microbenchmark.
+    """
     jobs = []
-    for gpu, name in obs_cells:
+    for gpu, name in _OBS_CELLS:
         jobs.append(microbench_job(gpu, staggered=False, scheduler=name,
                                    seed=seed))
         jobs.append(measure_job(abbr, gpu, plan="baseline", scheduler=name,
                                 warmups=0, seed=seed))
-    for name in sens_names:
+    for name in SCHEDULERS:
         jobs.append(measure_job(abbr, TESLA_K40, plan="baseline",
                                 scheduler=name, seed=seed))
         jobs.append(measure_job(abbr, TESLA_K40, plan="rd", scheduler=name,
                                 seed=seed))
         jobs.append(measure_job(abbr, TESLA_K40, plan="clu", scheme="CLU",
                                 scheduler=name, seed=seed))
-    results = runner.run(jobs)
+    return jobs
 
-    for i, (gpu, name) in enumerate(obs_cells):
+
+def _assemble_study(abbr: str, results) -> SchedulerStudyResult:
+    study = SchedulerStudyResult(workload_abbr=abbr)
+    for i, (gpu, name) in enumerate(_OBS_CELLS):
         probe, metrics = results[2 * i], results[2 * i + 1]
         study.observations.append(DispatchObservation(
             gpu_name=gpu.name, scheduler=name,
             ctas_per_sm=list(metrics.ctas_per_sm),
             first_turnaround_rr=_first_turnaround_is_rr(probe, gpu.num_sms)))
-
-    offset = 2 * len(obs_cells)
-    for i, name in enumerate(sens_names):
+    offset = 2 * len(_OBS_CELLS)
+    for i, name in enumerate(SCHEDULERS):
         base, rd, clu = results[offset + 3 * i: offset + 3 * i + 3]
         study.sensitivity.append(SchedulerSensitivity(
             scheduler=name,
             rd_speedup=base.cycles / rd.cycles,
             clu_speedup=base.cycles / clu.cycles))
     return study
+
+
+@register
+class SchedulerStudyDriver:
+    """Dispatch observation + scheduler sensitivity, one batch."""
+
+    name = "scheduler"
+    workload_abbr = "NN"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return _study_jobs(self.workload_abbr, ctx.seed)
+
+    def render(self, ctx: RunContext, results) -> SchedulerStudyResult:
+        return _assemble_study(self.workload_abbr, results)
+
+
+def run_scheduler_study(abbr: str = "NN", seed: int = 0,
+                        runner: SweepRunner = None) -> SchedulerStudyResult:
+    """Run both halves of the scheduler study as one engine batch."""
+    runner = runner if runner is not None else SweepRunner()
+    return _assemble_study(abbr, runner.run(_study_jobs(abbr, seed)))
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from repro.gpu.config import GpuConfig
 from repro.gpu.metrics import KernelMetrics
 from repro.gpu.occupancy import max_ctas_per_sm
 from repro.gpu.plan import ExecutionPlan, baseline_plan
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 from repro.workloads.base import Workload
 
 #: Figure 12/13 bar order.
@@ -139,7 +139,7 @@ def run_all_schemes(workload: Workload, config: GpuConfig,
                                use_paper_agents=use_paper_agents)
     metrics = {}
     for scheme in schemes:
-        metrics[scheme] = run_measured(sim, kernel, plans[scheme], seed=seed,
-                                       warmups=warmups)
+        metrics[scheme] = simulate(sim, kernel, plans[scheme], seed=seed,
+                                   warmups=warmups)
     return SchemeResults(workload=workload.abbr, gpu=config.name,
                          metrics=metrics)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine import SweepRunner, measure_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import GTX570, GTX980
 
@@ -78,6 +79,51 @@ def _speedup_jobs(gpu, abbr, scale, hiding_cap, join_stagger, seed=0):
             measure_job(abbr, gpu, plan="clu", scheme="CLU", **knobs))
 
 
+def _grid(hiding_caps, join_staggers):
+    return [(cap, stagger) for cap in hiding_caps
+            for stagger in join_staggers]
+
+
+def _sensitivity_jobs(grid, scale, seed) -> list:
+    jobs = []
+    for cap, stagger in grid:
+        for abbr, gpu in COMPARISONS:
+            jobs.extend(_speedup_jobs(gpu, abbr, scale, cap, stagger,
+                                      seed=seed))
+    return jobs
+
+
+def _assemble_sensitivity(grid, measured) -> SensitivityResult:
+    result = SensitivityResult()
+    per_cell = 2 * len(COMPARISONS)
+    for i, (cap, stagger) in enumerate(grid):
+        cell = measured[per_cell * i: per_cell * (i + 1)]
+        speedups = [cell[2 * j].cycles / cell[2 * j + 1].cycles
+                    for j in range(len(COMPARISONS))]
+        result.cells.append(SensitivityCell(
+            hiding_cap=cap, join_stagger=stagger,
+            nn_fermi=speedups[0], atx_fermi=speedups[1],
+            atx_maxwell=speedups[2], bs_fermi=speedups[3]))
+    return result
+
+
+@register
+class SensitivityDriver:
+    """The guard-rail grid, pinned to its historical 0.5 scale so a
+    full-run ``--scale`` cannot quietly weaken the guarantee."""
+
+    name = "sensitivity"
+    scale = 0.5
+
+    def jobs(self, ctx: RunContext) -> list:
+        return _sensitivity_jobs(_grid(HIDING_CAPS, JOIN_STAGGERS),
+                                 self.scale, ctx.seed)
+
+    def render(self, ctx: RunContext, results) -> SensitivityResult:
+        return _assemble_sensitivity(_grid(HIDING_CAPS, JOIN_STAGGERS),
+                                     results)
+
+
 def run_sensitivity(scale: float = 0.5,
                     hiding_caps=HIDING_CAPS,
                     join_staggers=JOIN_STAGGERS,
@@ -90,26 +136,9 @@ def run_sensitivity(scale: float = 0.5,
     needs most is also the one that parallelizes best.
     """
     runner = runner if runner is not None else SweepRunner()
-    grid = [(cap, stagger) for cap in hiding_caps
-            for stagger in join_staggers]
-    jobs = []
-    for cap, stagger in grid:
-        for abbr, gpu in COMPARISONS:
-            jobs.extend(_speedup_jobs(gpu, abbr, scale, cap, stagger,
-                                      seed=seed))
-    measured = runner.run(jobs)
-
-    result = SensitivityResult()
-    per_cell = 2 * len(COMPARISONS)
-    for i, (cap, stagger) in enumerate(grid):
-        cell = measured[per_cell * i: per_cell * (i + 1)]
-        speedups = [cell[2 * j].cycles / cell[2 * j + 1].cycles
-                    for j in range(len(COMPARISONS))]
-        result.cells.append(SensitivityCell(
-            hiding_cap=cap, join_stagger=stagger,
-            nn_fermi=speedups[0], atx_fermi=speedups[1],
-            atx_maxwell=speedups[2], bs_fermi=speedups[3]))
-    return result
+    grid = _grid(hiding_caps, join_staggers)
+    return _assemble_sensitivity(
+        grid, runner.run(_sensitivity_jobs(grid, scale, seed)))
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.gpu.config import EVALUATION_PLATFORMS, KB
 
@@ -23,6 +24,19 @@ class Table1Result:
                    "Regs(K)", "SMem(KB)"]
         return format_table(headers, self.rows,
                             title="Table 1: Experiment Platforms")
+
+
+@register
+class Table1Driver:
+    """No simulation at all — the table reads the platform models."""
+
+    name = "table1"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return []
+
+    def render(self, ctx: RunContext, results) -> "Table1Result":
+        return run_table1()
 
 
 def run_table1() -> Table1Result:

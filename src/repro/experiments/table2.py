@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine import SweepRunner, table2_job
+from repro.experiments.driver import RunContext, register
 from repro.experiments.report import format_table
 from repro.workloads.base import Workload
 from repro.workloads.registry import table2_workloads
@@ -84,16 +85,29 @@ class Table2Result:
                         f"{100 * self.match_fraction:.0f}% of cells")
 
 
+@register
+class Table2Driver:
+    """Occupancy-model CTA quadruples for every Table-2 workload."""
+
+    name = "table2"
+
+    def jobs(self, ctx: RunContext) -> list:
+        return [table2_job(workload) for workload in table2_workloads()]
+
+    def render(self, ctx: RunContext, results) -> Table2Result:
+        result = Table2Result()
+        for workload, model in zip(table2_workloads(), results):
+            result.rows.append(Table2Row(workload=workload,
+                                         model_ctas=tuple(model)))
+        return result
+
+
 def run_table2(runner: SweepRunner = None) -> Table2Result:
     """Build Table 2 from the registry plus the occupancy model."""
     runner = runner if runner is not None else SweepRunner()
-    workloads = table2_workloads()
-    quadruples = runner.run([table2_job(workload) for workload in workloads])
-    result = Table2Result()
-    for workload, model in zip(workloads, quadruples):
-        result.rows.append(Table2Row(workload=workload,
-                                     model_ctas=tuple(model)))
-    return result
+    driver = Table2Driver()
+    ctx = RunContext()
+    return driver.render(ctx, runner.run(driver.jobs(ctx)))
 
 
 if __name__ == "__main__":

@@ -22,7 +22,12 @@ from repro.gpu.scheduler import (
     RoundRobinScheduler,
     SCHEDULERS,
 )
-from repro.gpu.simulator import GpuSimulator, run_baseline
+from repro.gpu.simulator import (
+    GpuSimulator,
+    run_baseline,
+    run_measured,
+    simulate,
+)
 
 __all__ = [
     "Architecture", "BY_ARCHITECTURE", "EVALUATION_PLATFORMS", "GTX570",
@@ -30,5 +35,5 @@ __all__ = [
     "platform", "KernelMetrics", "geometric_mean", "max_ctas_per_sm",
     "occupancy_report", "ExecutionPlan", "baseline_plan", "ObservedScheduler",
     "RandomizedScheduler", "RoundRobinScheduler", "SCHEDULERS", "GpuSimulator",
-    "run_baseline",
+    "run_baseline", "run_measured", "simulate",
 ]

@@ -68,7 +68,8 @@ class SetAssociativeCache:
     """
 
     __slots__ = ("line_size", "n_sets", "assoc", "write_policy", "_sets",
-                 "stats", "_random_replacement", "_rng_state")
+                 "stats", "_random_replacement", "_rng_state", "_tracer",
+                 "_level")
 
     def __init__(self, size: int, line_size: int, assoc: int,
                  write_policy: WritePolicy = WritePolicy.WRITE_EVICT,
@@ -86,6 +87,19 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._random_replacement = random_replacement
         self._rng_state = seed & 0xFFFFFFFF
+        self._tracer = None
+        self._level = "cache"
+
+    def set_tracer(self, tracer, level: str = None) -> None:
+        """Attach (or with ``None`` detach) an event tracer.
+
+        The tracer observes misses, reserved hits and capacity
+        evictions; it never influences cache behaviour, so attaching
+        one leaves all counters and timings bit-identical.
+        """
+        self._tracer = tracer
+        if level is not None:
+            self._level = level
 
     def _victim(self, cset) -> int:
         """Pick the line to evict from a full set."""
@@ -119,6 +133,9 @@ class SetAssociativeCache:
             if ready is not None:
                 del cset[line]
                 stats.write_evictions += 1
+                if self._tracer is not None:
+                    self._tracer.cache_event(self._level, "write_eviction",
+                                             now)
             stats.misses += 1
             return False, now
 
@@ -129,12 +146,19 @@ class SetAssociativeCache:
                 cset[line] = ready  # LRU touch
             if ready > now:
                 stats.reserved_hits += 1
+                if self._tracer is not None:
+                    self._tracer.cache_event(self._level, "reserved_hit",
+                                             now)
                 return True, ready
             return True, now
 
         stats.misses += 1
+        if self._tracer is not None:
+            self._tracer.cache_event(self._level, "miss", now)
         if len(cset) >= self.assoc:
             del cset[self._victim(cset)]
+            if self._tracer is not None:
+                self._tracer.cache_event(self._level, "eviction", now)
         cset[line] = now + miss_fill_latency
         return False, now + miss_fill_latency
 
@@ -151,6 +175,8 @@ class SetAssociativeCache:
             del cset[line]
         elif len(cset) >= self.assoc:
             del cset[self._victim(cset)]
+            if self._tracer is not None:
+                self._tracer.cache_event(self._level, "eviction", ready_at)
         cset[line] = ready_at
 
     def flush(self) -> None:
@@ -206,6 +232,11 @@ class SectoredCache:
 
     def contains(self, addr: int, sector: int = 0) -> bool:
         return self._parts[sector % self.sectors].contains(addr)
+
+    def set_tracer(self, tracer, level: str = None) -> None:
+        """Attach/detach an event tracer on every sector."""
+        for part in self._parts:
+            part.set_tracer(tracer, level)
 
     def flush(self) -> None:
         for part in self._parts:

@@ -30,6 +30,7 @@ conclusions are measured exactly.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from heapq import heapify, heappop, heappush
 
@@ -61,16 +62,24 @@ class GpuSimulator:
     ``hiding_cap`` bounds how many outstanding memory latencies an SM
     can overlap (MSHR/LSU limit); it is the knob that keeps memory-
     bound kernels memory-bound even at full occupancy.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`-shaped object, or ``None``)
+    observes wave dispatch/retire, per-CTA execution, scheduler
+    turnaround boundaries and cache events.  Tracing is observation
+    only: metrics are bit-identical with and without one attached, and
+    the disabled path costs a single ``is not None`` test per event
+    site.
     """
 
     def __init__(self, config: GpuConfig, scheduler: CtaScheduler = None,
                  hiding_cap: float = 14.0, l1_enabled: bool = True,
-                 join_stagger: int = 6):
+                 join_stagger: int = 6, tracer=None):
         self.config = config
         self.scheduler = scheduler if scheduler is not None else DEFAULT_SCHEDULER
         self.hiding_cap = hiding_cap
         self.l1_enabled = l1_enabled
         self.join_stagger = join_stagger
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # public API
@@ -84,15 +93,17 @@ class GpuSimulator:
 
     def run(self, kernel: KernelSpec, plan: ExecutionPlan = None,
             record_per_cta: bool = False, seed: int = 0,
-            caches=None) -> KernelMetrics:
+            caches=None, tracer=None) -> KernelMetrics:
         """Simulate one kernel launch and return its metrics.
 
         ``caches`` lets callers carry cache *contents* across launches
         (GPUs do not flush caches between kernel invocations); counters
         are reset so the returned metrics cover this launch only.
+        ``tracer`` overrides the simulator's own tracer for this launch.
         """
         plan = plan if plan is not None else baseline_plan()
         config = self.config
+        tracer = tracer if tracer is not None else self.tracer
         metrics = KernelMetrics(
             gpu_name=config.name,
             kernel_name=kernel.name,
@@ -111,18 +122,32 @@ class GpuSimulator:
             l1.flush()
         l2.reset_stats()
         l2.settle()
+        if tracer is not None:
+            for l1 in l1s:
+                l1.set_tracer(tracer, "L1")
+            l2.set_tracer(tracer, "L2")
+            tracer.launch(kernel.name, config.name, plan.scheme,
+                          kernel.n_ctas)
 
-        if plan.mode == "scheduled":
-            self._run_scheduled(kernel, plan, metrics, l1s, l2,
-                                record_per_cta, seed)
-        else:
-            self._run_placed(kernel, plan, metrics, l1s, l2,
-                             record_per_cta)
+        try:
+            if plan.mode == "scheduled":
+                self._run_scheduled(kernel, plan, metrics, l1s, l2,
+                                    record_per_cta, seed, tracer)
+            else:
+                self._run_placed(kernel, plan, metrics, l1s, l2,
+                                 record_per_cta, tracer)
+        finally:
+            if tracer is not None:
+                for l1 in l1s:
+                    l1.set_tracer(None)
+                l2.set_tracer(None)
 
         for l1 in l1s:
             metrics.l1.merge(l1.stats)
         metrics.l2.merge(l2.stats)
         metrics.cycles = max(metrics.sm_cycles) if metrics.sm_cycles else 0.0
+        if tracer is not None:
+            tracer.retire(kernel.name, metrics.cycles)
         return metrics
 
     # ------------------------------------------------------------------
@@ -130,7 +155,7 @@ class GpuSimulator:
     # ------------------------------------------------------------------
 
     def _run_scheduled(self, kernel, plan, metrics, l1s, l2,
-                       record_per_cta, seed):
+                       record_per_cta, seed, tracer=None):
         config = self.config
         capacity = max_ctas_per_sm(config, kernel)
         state = self.scheduler.start(kernel.n_ctas, config.num_sms, capacity, seed)
@@ -164,6 +189,9 @@ class GpuSimulator:
                 # like per-retire hardware dispatch.
                 take = max(1, min(capacity, tail_quota[sm]))
             positions = state.take(sm, take)
+            if tracer is not None:
+                tracer.dispatch(sm, turnarounds[sm], take, len(positions),
+                                now)
             if tail_quota is not None:
                 tail_quota[sm] -= len(positions)
             if not positions:
@@ -172,18 +200,21 @@ class GpuSimulator:
             overhead = plan.per_cta_overhead * len(originals)
             duration = self._execute_wave(
                 kernel, originals, now + 0.0, l1s[sm], l2, metrics,
-                record_per_cta, sm, turnarounds[sm], None, plan)
+                record_per_cta, sm, turnarounds[sm], None, plan, tracer)
             duration += overhead
             metrics.overhead_cycles += overhead
             metrics.ctas_executed += len(originals)
             metrics.ctas_per_sm[sm] += len(originals)
             clocks[sm] = now + duration
+            if tracer is not None:
+                tracer.wave(sm, turnarounds[sm], now, duration,
+                            len(originals))
             turnarounds[sm] += 1
             heappush(heap, (clocks[sm], sm))
         metrics.sm_cycles = clocks
 
     def _run_placed(self, kernel, plan, metrics, l1s, l2,
-                    record_per_cta):
+                    record_per_cta, tracer=None):
         config = self.config
         agents = plan.active_agents
         queues = [deque(tasks) for tasks in plan.sm_tasks]
@@ -201,18 +232,23 @@ class GpuSimulator:
             if not queue:
                 continue
             wave = [queue.popleft() for _ in range(min(agents, len(queue)))]
+            if tracer is not None:
+                tracer.dispatch(sm, turnarounds[sm], agents, len(wave), now)
             prefetch_targets = None
             if plan.prefetch_depth > 0:
                 prefetch_targets = list(queue)[:len(wave)]
             overhead = plan.per_task_overhead * len(wave)
             duration = self._execute_wave(
                 kernel, wave, now, l1s[sm], l2, metrics,
-                record_per_cta, sm, turnarounds[sm], prefetch_targets, plan)
+                record_per_cta, sm, turnarounds[sm], prefetch_targets, plan,
+                tracer)
             duration += overhead
             metrics.overhead_cycles += overhead
             metrics.ctas_executed += len(wave)
             metrics.ctas_per_sm[sm] += len(wave)
             clocks[sm] = now + duration
+            if tracer is not None:
+                tracer.wave(sm, turnarounds[sm], now, duration, len(wave))
             turnarounds[sm] += 1
             if queue:
                 heappush(heap, (clocks[sm], sm))
@@ -224,7 +260,7 @@ class GpuSimulator:
 
     def _execute_wave(self, kernel, cta_ids, start, l1, l2, metrics,
                       record_per_cta, sm_id, turnaround,
-                      prefetch_targets, plan):
+                      prefetch_targets, plan, tracer=None):
         config = self.config
         n = len(cta_ids)
         warps = kernel.warps_per_cta
@@ -291,6 +327,9 @@ class GpuSimulator:
         fixed = kernel.fixed_compute_cycles * n / issue_width
         duration = (cursor - start) + fixed
         metrics.occupancy_weighted_warps += resident_warps * duration
+        if tracer is not None:
+            for slot, v in enumerate(cta_ids):
+                tracer.cta(sm_id, v, turnaround, cta_cycles[slot])
         if record_per_cta:
             for slot, v in enumerate(cta_ids):
                 metrics.cta_records.append(CtaRecord(
@@ -399,25 +438,56 @@ class GpuSimulator:
         return cost
 
 
+def simulate(gpu, kernel: KernelSpec, plan: ExecutionPlan = None, *,
+             seed: int = 0, warmups: int = 1,
+             record_per_cta: bool = False, tracer=None,
+             caches=None) -> KernelMetrics:
+    """The single measurement entry point.
+
+    Runs ``warmups`` warm-up launches with preserved cache contents,
+    then measures — the paper's average-of-multiple-runs methodology
+    (on real hardware the L2 survives between launches, so measured
+    runs see a warm memory hierarchy).  ``warmups=0`` is a single cold
+    launch, the old ``run_baseline`` behaviour.  Each warm-up uses a
+    distinct scheduler seed (``seed + i``); the measurement uses
+    ``seed + warmups``, so a given ``(seed, warmups)`` pair is fully
+    deterministic.
+
+    ``gpu`` may be a :class:`~repro.gpu.config.GpuConfig` or an
+    already-constructed :class:`GpuSimulator` (to keep custom
+    scheduler/timing knobs).  ``tracer`` observes the *measured*
+    launch only — warm-ups stay untraced so profiles describe the run
+    the returned metrics describe.
+    """
+    simulator = gpu if isinstance(gpu, GpuSimulator) else GpuSimulator(gpu)
+    if warmups < 0:
+        raise ValueError(f"warmups must be >= 0, got {warmups}")
+    if caches is None:
+        caches = simulator.fresh_caches()
+    for i in range(warmups):
+        simulator.run(kernel, plan, seed=seed + i, caches=caches)
+    return simulator.run(kernel, plan, record_per_cta=record_per_cta,
+                         seed=seed + warmups, caches=caches, tracer=tracer)
+
+
 def run_baseline(config: GpuConfig, kernel: KernelSpec,
                  seed: int = 0) -> KernelMetrics:
-    """Convenience: simulate the untransformed kernel on a platform."""
-    return GpuSimulator(config).run(kernel, baseline_plan(), seed=seed)
+    """Deprecated: use ``simulate(config, kernel, warmups=0)``."""
+    warnings.warn(
+        "run_baseline() is deprecated; use "
+        "simulate(config, kernel, warmups=0)",
+        DeprecationWarning, stacklevel=2)
+    return simulate(config, kernel, baseline_plan(), seed=seed, warmups=0)
 
 
 def run_measured(simulator: GpuSimulator, kernel: KernelSpec,
                  plan: ExecutionPlan = None, seed: int = 0,
                  warmups: int = 1,
                  record_per_cta: bool = False) -> KernelMetrics:
-    """Run warm-up launches, then measure — the paper's methodology.
-
-    The evaluation reports "the average of multiple runs"; on real
-    hardware the L2 (and L1) contents survive between launches, so the
-    measured runs see a warm memory hierarchy.  Each warm-up uses a
-    distinct scheduler seed, the measurement another.
-    """
-    caches = simulator.fresh_caches()
-    for i in range(warmups):
-        simulator.run(kernel, plan, seed=seed + i, caches=caches)
-    return simulator.run(kernel, plan, record_per_cta=record_per_cta,
-                         seed=seed + warmups, caches=caches)
+    """Deprecated: use ``simulate(simulator, kernel, plan, ...)``."""
+    warnings.warn(
+        "run_measured() is deprecated; use simulate(simulator, kernel, "
+        "plan, seed=..., warmups=...)",
+        DeprecationWarning, stacklevel=2)
+    return simulate(simulator, kernel, plan, seed=seed, warmups=warmups,
+                    record_per_cta=record_per_cta)

@@ -1,0 +1,63 @@
+"""repro.obs — the structured observability layer.
+
+Everything the simulator, the sweep engine and the CLI expose about
+their own execution flows through this package:
+
+* :class:`~repro.obs.tracer.Tracer` — the event protocol the
+  simulator and cache models emit into (no-op by default; attaching
+  one never changes simulation results);
+* :class:`~repro.obs.tracer.RecordingTracer` — aggregating tracer
+  with the bounded wave timeline behind the Chrome trace export;
+* :class:`~repro.obs.timers.PhaseTimer` /
+  :class:`~repro.obs.timers.EtaPrinter` — wall-clock phase ledger and
+  jobs/sec + ETA progress lines (used inside the sweep runner);
+* :class:`~repro.obs.profile.ProfileSession` — collects one run's
+  phases, job spans, engine counters and per-cell metrics, and writes
+  the ``--profile`` JSON summary plus the ``chrome://tracing``
+  timeline;
+* :func:`~repro.obs.schema.validate_profile` — validates a summary
+  artifact against the checked-in ``profile_schema.json``.
+
+The package deliberately has no dependency on the simulator or the
+engine modules (it observes them through duck-typed protocols), so it
+can never introduce an import cycle into the hot paths it watches.
+"""
+
+from repro.obs.chrome import ChromeTrace, add_wave_spans
+from repro.obs.profile import CellSample, JobSpan, ProfileSession, histogram
+from repro.obs.schema import (
+    PROFILE_SCHEMA_PATH,
+    SchemaError,
+    load_profile_schema,
+    validate,
+    validate_profile,
+)
+from repro.obs.timers import EtaPrinter, PhaseTimer
+from repro.obs.tracer import (
+    CACHE_EVENT_KINDS,
+    NULL_TRACER,
+    RecordingTracer,
+    Tracer,
+    WaveSpan,
+)
+
+__all__ = [
+    "CACHE_EVENT_KINDS",
+    "CellSample",
+    "ChromeTrace",
+    "EtaPrinter",
+    "JobSpan",
+    "NULL_TRACER",
+    "PROFILE_SCHEMA_PATH",
+    "PhaseTimer",
+    "ProfileSession",
+    "RecordingTracer",
+    "SchemaError",
+    "Tracer",
+    "WaveSpan",
+    "add_wave_spans",
+    "histogram",
+    "load_profile_schema",
+    "validate",
+    "validate_profile",
+]

@@ -1,0 +1,104 @@
+"""Chrome trace-event (``chrome://tracing`` / Perfetto) export.
+
+The builder collects *complete* (``"ph": "X"``) events on
+``(pid, tid)`` tracks and serializes the standard JSON object format
+(``{"traceEvents": [...]}``).  Two track families are used here:
+
+* engine job spans — ``pid`` is the worker process, ``tid`` 0, ``ts``
+  the worker's own monotonic clock (tracks from different workers are
+  not mutually aligned; within a track ``ts`` is monotonic, which is
+  what the format requires);
+* simulator wave spans — ``pid`` the synthetic "GPU" process, ``tid``
+  the SM id, ``ts`` the simulated cycle (1 cycle rendered as 1 µs).
+
+``normalize()`` rebases every track to its own first event so traces
+open near t=0 regardless of process uptime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: The synthetic pid wave spans are filed under.
+GPU_PID = 1_000_000
+
+
+@dataclass
+class ChromeTrace:
+    """A collection of complete events, serializable as trace JSON."""
+
+    events: "list[dict]" = field(default_factory=list)
+    metadata: "dict[str, object]" = field(default_factory=dict)
+
+    def add_complete(self, pid: int, tid: int, name: str, ts: float,
+                     dur: float, args: dict = None,
+                     category: str = "repro") -> None:
+        """Add one complete-span event (``ts``/``dur`` in microseconds)."""
+        event = {"ph": "X", "pid": pid, "tid": tid, "name": name,
+                 "cat": category, "ts": ts, "dur": max(0.0, dur)}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def add_process_name(self, pid: int, name: str) -> None:
+        self.events.append({"ph": "M", "pid": pid, "tid": 0,
+                            "name": "process_name",
+                            "args": {"name": name}})
+
+    def add_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.events.append({"ph": "M", "pid": pid, "tid": tid,
+                            "name": "thread_name",
+                            "args": {"name": name}})
+
+    def normalize(self) -> None:
+        """Rebase each pid's spans to that pid's earliest ``ts``.
+
+        Tracks from different processes have unrelated clock bases;
+        rebasing keeps every track starting near zero while preserving
+        per-track monotonicity.
+        """
+        bases: "dict[int, float]" = {}
+        for event in self.events:
+            if event["ph"] != "X":
+                continue
+            pid = event["pid"]
+            bases[pid] = min(bases.get(pid, event["ts"]), event["ts"])
+        for event in self.events:
+            if event["ph"] == "X":
+                event["ts"] -= bases.get(event["pid"], 0.0)
+
+    def sorted_events(self) -> "list[dict]":
+        """Metadata first, then spans ordered by (pid, tid, ts)."""
+        meta = [e for e in self.events if e["ph"] == "M"]
+        spans = sorted((e for e in self.events if e["ph"] != "M"),
+                       key=lambda e: (e["pid"], e["tid"], e["ts"]))
+        return meta + spans
+
+    def to_dict(self) -> dict:
+        return {"traceEvents": self.sorted_events(),
+                "displayTimeUnit": "ms",
+                "otherData": dict(self.metadata)}
+
+    def write(self, path) -> None:
+        self.normalize()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+
+def add_wave_spans(trace: ChromeTrace, tracer,
+                   label: str = "GPU simulator") -> None:
+    """File a :class:`~repro.obs.tracer.RecordingTracer`'s wave
+    timeline under the synthetic GPU process, one thread per SM."""
+    trace.add_process_name(GPU_PID, label)
+    seen_sms = set()
+    for span in tracer.waves:
+        if span.sm not in seen_sms:
+            seen_sms.add(span.sm)
+            trace.add_thread_name(GPU_PID, span.sm, f"SM {span.sm}")
+        trace.add_complete(
+            pid=GPU_PID, tid=span.sm,
+            name=f"wave t{span.turnaround}",
+            ts=span.start, dur=span.duration,
+            args={"ctas": span.n_ctas, "turnaround": span.turnaround},
+            category="sim")

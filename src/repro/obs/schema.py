@@ -1,0 +1,111 @@
+"""A minimal JSON-Schema validator for the profile artifact.
+
+The container must stay dependency-free, so instead of requiring
+``jsonschema`` this module implements the small subset the checked-in
+``profile_schema.json`` uses: ``type`` (including type lists),
+``properties`` + ``required`` + ``additionalProperties`` (boolean
+form), ``items``, ``enum``, ``minimum``.  Anything else in a schema is
+rejected loudly rather than silently ignored, so the schema file
+cannot drift ahead of the validator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: The checked-in schema for the ``--profile`` summary artifact.
+PROFILE_SCHEMA_PATH = Path(__file__).with_name("profile_schema.json")
+
+_SUPPORTED_KEYS = {"$schema", "title", "description", "type", "properties",
+                   "required", "additionalProperties", "items", "enum",
+                   "minimum"}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the schema (or the schema uses
+    an unsupported keyword)."""
+
+
+def _check_type(value, expected: "str | list", path: str) -> None:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        if name == "number":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return
+        elif name == "integer":
+            if isinstance(value, int) and not isinstance(value, bool):
+                return
+        elif name in _TYPES:
+            if isinstance(value, _TYPES[name]):
+                # bool is an int subclass; don't let it satisfy others
+                if isinstance(value, bool) and name != "boolean":
+                    continue
+                return
+        else:
+            raise SchemaError(f"{path}: unsupported schema type {name!r}")
+    raise SchemaError(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__} ({value!r:.60})")
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Validate ``instance`` against the supported schema subset.
+
+    Raises :class:`SchemaError` naming the offending path; returns
+    ``None`` on success.
+    """
+    unsupported = set(schema) - _SUPPORTED_KEYS
+    if unsupported:
+        raise SchemaError(f"{path}: schema uses unsupported keywords "
+                          f"{sorted(unsupported)}")
+
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            raise SchemaError(f"{path}: {instance!r} not in {schema['enum']}")
+        return
+
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+
+    if "minimum" in schema:
+        if not isinstance(instance, (int, float)) or isinstance(instance, bool):
+            raise SchemaError(f"{path}: minimum applied to non-number")
+        if instance < schema["minimum"]:
+            raise SchemaError(f"{path}: {instance} < minimum "
+                              f"{schema['minimum']}")
+
+    if isinstance(instance, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        if schema.get("additionalProperties", True) is False:
+            extras = set(instance) - set(properties)
+            if extras:
+                raise SchemaError(f"{path}: unexpected keys "
+                                  f"{sorted(extras)}")
+        for name, subschema in properties.items():
+            if name in instance:
+                validate(instance[name], subschema, f"{path}.{name}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def load_profile_schema() -> dict:
+    with open(PROFILE_SCHEMA_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate_profile(document: dict) -> None:
+    """Validate a ``--profile`` summary against the checked-in schema."""
+    validate(document, load_profile_schema())

@@ -1,0 +1,108 @@
+"""Wall-clock accounting primitives shared by the engine and the CLI.
+
+:class:`PhaseTimer` accumulates seconds into named phases — the
+"where did the 57 seconds go" ledger.  :class:`EtaPrinter` turns a
+known job count into ``jobs/sec`` + ETA progress lines on stderr.
+Both are dependency-free so the engine can use them without importing
+anything heavier than this module.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Named wall-clock accumulator.
+
+    ``with timer.phase("execute"): ...`` adds the block's elapsed time
+    to the ``execute`` bucket; phases can repeat and nest (each block
+    accounts its own wall time independently).
+    """
+
+    def __init__(self):
+        self.seconds: "dict[str, float]" = {}
+        self.counts: "dict[str, int]" = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def snapshot(self) -> "dict[str, float]":
+        """Phase -> seconds, ordered by descending cost."""
+        return dict(sorted(self.seconds.items(),
+                           key=lambda kv: -kv[1]))
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, seconds in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+            self.counts[name] = (self.counts.get(name, 0)
+                                 + other.counts.get(name, 0))
+
+
+class EtaPrinter:
+    """Progress lines for a batch of known size.
+
+    Prints ``[label 12/552 2% 3.1 jobs/s ETA 174s]`` to ``stream``
+    after every ``step()``; disabled instances are free.  The line is
+    carriage-return-refreshed on TTYs and newline-separated otherwise
+    (CI logs stay readable).
+    """
+
+    def __init__(self, total: int, label: str = "sweep",
+                 enabled: bool = True, stream=None, min_interval: float = 0.2):
+        self.total = total
+        self.label = label
+        self.enabled = enabled and total > 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self._start = time.perf_counter()
+        self._last_print = 0.0
+        self._line_open = False
+
+    def step(self, note: str = "") -> None:
+        self.done += 1
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self.done < self.total and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        elapsed = max(1e-9, now - self._start)
+        rate = self.done / elapsed
+        remaining = (self.total - self.done) / rate if rate > 0 else 0.0
+        line = (f"[{self.label} {self.done}/{self.total} "
+                f"{100.0 * self.done / self.total:.0f}% "
+                f"{rate:.1f} jobs/s ETA {remaining:.0f}s]")
+        if note:
+            line += f" {note}"
+        isatty = getattr(self.stream, "isatty", lambda: False)()
+        if isatty:
+            self.stream.write("\r" + line.ljust(60))
+            self._line_open = True
+            if self.done >= self.total:
+                self.stream.write("\n")
+                self._line_open = False
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False

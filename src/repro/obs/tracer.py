@@ -1,0 +1,145 @@
+"""The tracing protocol the simulator and cache models emit into.
+
+A tracer observes the simulator's internal timeline without touching
+it: wave dispatch/retire, per-CTA execution, scheduler turnaround
+boundaries, and the cache events behind the paper's counters (misses,
+reserved hits, evictions).  The contract every emitter honours:
+
+* **observation only** — a tracer never feeds back into simulation
+  state, so metrics are bit-identical with and without one attached;
+* **zero cost when off** — emit sites hold a ``tracer`` reference that
+  defaults to ``None`` and guard every call with an ``is not None``
+  check, so the disabled hot path pays one pointer test at most.
+
+:class:`Tracer` doubles as the protocol definition and the no-op
+default: subclass it and override only the events you care about.
+:class:`RecordingTracer` is the batteries-included subclass behind
+``--profile``: it aggregates counters and keeps the bounded wave
+timeline a Chrome trace needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cache-event kinds a tracer can receive (the event taxonomy's
+#: ``cache.*`` leaf names; see DESIGN.md "Observability").
+CACHE_EVENT_KINDS = ("miss", "reserved_hit", "eviction", "write_eviction")
+
+
+class Tracer:
+    """No-op tracer: the protocol and the disabled default in one.
+
+    Every method is an event sink; the base implementations do
+    nothing, so a subclass overrides only what it wants to observe.
+    Emitters call these with positional arguments on hot paths —
+    keep signatures stable.
+    """
+
+    __slots__ = ()
+
+    def launch(self, kernel_name: str, gpu_name: str, scheme: str,
+               n_ctas: int) -> None:
+        """A kernel launch is starting under this tracer."""
+
+    def retire(self, kernel_name: str, cycles: float) -> None:
+        """The launch finished; ``cycles`` is the kernel wall clock."""
+
+    def dispatch(self, sm: int, turnaround: int, requested: int,
+                 granted: int, now: float) -> None:
+        """A scheduler turnaround boundary: one SM asked for CTAs."""
+
+    def wave(self, sm: int, turnaround: int, start: float,
+             duration: float, n_ctas: int) -> None:
+        """One wave of co-resident CTAs ran on one SM."""
+
+    def cta(self, sm: int, cta_id: int, turnaround: int,
+            cycles: float) -> None:
+        """One CTA finished its access trace."""
+
+    def cache_event(self, level: str, kind: str, now: float) -> None:
+        """A cache miss / reserved hit / (write) eviction occurred.
+
+        ``level`` is the emitting cache's label (``"L1"``/``"L2"``);
+        ``kind`` is one of :data:`CACHE_EVENT_KINDS`.
+        """
+
+
+#: Module-level no-op instance for callers that want a non-None
+#: default without paying an allocation.
+NULL_TRACER = Tracer()
+
+
+@dataclass
+class WaveSpan:
+    """One wave's timeline entry, the unit of the Chrome trace."""
+
+    sm: int
+    turnaround: int
+    start: float
+    duration: float
+    n_ctas: int
+
+
+@dataclass
+class RecordingTracer(Tracer):
+    """Aggregating tracer: counters plus a bounded wave timeline.
+
+    Cache events are folded into per-``(level, kind)`` counters (their
+    volume scales with the trace, so individual records would dwarf
+    the simulation); waves and dispatches are kept as records — their
+    count is bounded by ``n_ctas / capacity`` per SM.  ``max_spans``
+    caps the timeline so a pathological sweep cannot exhaust memory;
+    overflow increments :attr:`dropped_spans` instead of failing.
+    """
+
+    max_spans: int = 100_000
+    launches: "list[tuple[str, str, str, int]]" = field(default_factory=list)
+    waves: "list[WaveSpan]" = field(default_factory=list)
+    cta_cycles: "dict[int, float]" = field(default_factory=dict)
+    cta_count: int = 0
+    dispatches: int = 0
+    dispatch_shortfalls: int = 0
+    cache_counters: "dict[tuple[str, str], int]" = field(default_factory=dict)
+    dropped_spans: int = 0
+
+    # Tracer has empty __slots__; the dataclass needs a __dict__.
+    __slots__ = ("__dict__",)
+
+    def launch(self, kernel_name, gpu_name, scheme, n_ctas):
+        self.launches.append((kernel_name, gpu_name, scheme, n_ctas))
+
+    def dispatch(self, sm, turnaround, requested, granted, now):
+        self.dispatches += 1
+        if granted < requested:
+            self.dispatch_shortfalls += 1
+
+    def wave(self, sm, turnaround, start, duration, n_ctas):
+        if len(self.waves) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.waves.append(WaveSpan(sm=sm, turnaround=turnaround,
+                                   start=start, duration=duration,
+                                   n_ctas=n_ctas))
+
+    def cta(self, sm, cta_id, turnaround, cycles):
+        self.cta_count += 1
+        self.cta_cycles[sm] = self.cta_cycles.get(sm, 0.0) + cycles
+
+    def cache_event(self, level, kind, now):
+        key = (level, kind)
+        self.cache_counters[key] = self.cache_counters.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+
+    def cache_count(self, level: str, kind: str) -> int:
+        return self.cache_counters.get((level, kind), 0)
+
+    def busy_cycles_per_sm(self) -> "dict[int, float]":
+        """Sum of wave durations per SM (the SM-utilization view)."""
+        busy: "dict[int, float]" = {}
+        for span in self.waves:
+            busy[span.sm] = busy.get(span.sm, 0.0) + span.duration
+        return busy

@@ -7,7 +7,7 @@ import pytest
 from repro.core.inspector import (
     affinity_order, conserved_affinity, inspect_kernel, inspector_plan)
 from repro.gpu.config import TESLA_K40
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 from repro.kernels.access import read
 from repro.kernels.kernel import AddressSpace, Dim3, KernelSpec
 
@@ -87,9 +87,9 @@ class TestInspectorPlan:
         kernel = permuted_band_kernel()
         gpu = TESLA_K40
         sim = GpuSimulator(gpu)
-        base = run_measured(sim, kernel)
+        base = simulate(sim, kernel)
         plan, inspection = inspector_plan(kernel, gpu)
-        clustered = run_measured(sim, kernel, plan)
+        clustered = simulate(sim, kernel, plan)
         assert plan.scheme == "CLU+INS"
         assert clustered.cycles < 0.85 * base.cycles
         assert clustered.l2_transactions < 0.4 * base.l2_transactions
@@ -106,7 +106,7 @@ class TestInspectorPlan:
         from repro.workloads.registry import workload
         kernel = workload("BTR").kernel(scale=0.4, config=TESLA_K40)
         sim = GpuSimulator(TESLA_K40)
-        base = run_measured(sim, kernel)
+        base = simulate(sim, kernel)
         plan, _ = inspector_plan(kernel, TESLA_K40)
-        clustered = run_measured(sim, kernel, plan)
+        clustered = simulate(sim, kernel, plan)
         assert 0.9 <= clustered.cycles / base.cycles <= 1.1

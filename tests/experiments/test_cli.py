@@ -45,3 +45,33 @@ class TestMain:
     def test_invalid_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_bad_jobs_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+
+
+class TestProfileFlag:
+    def test_profile_and_trace_artifacts_written(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_profile
+
+        profile_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(["fig2", "--platforms", "Kepler", "--scale", "0.3",
+                     "--profile", str(profile_path),
+                     "--trace", str(trace_path)]) == 0
+
+        summary = json.loads(profile_path.read_text())
+        validate_profile(summary)
+        assert summary["meta"]["label"] == "fig2"
+        assert [p["name"] for p in summary["phases"]] == ["fig2"]
+        assert summary["engine"]["executed"] > 0
+
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == summary["engine"]["executed"]
+
+        out = capsys.readouterr().out
+        assert "profile summary written" in out
+        assert "chrome trace written" in out

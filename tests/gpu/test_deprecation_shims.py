@@ -1,0 +1,39 @@
+"""The pre-1.1 entry points must warn *and* stay result-compatible."""
+
+import warnings
+
+import pytest
+
+from repro.gpu.simulator import (
+    GpuSimulator,
+    run_baseline,
+    run_measured,
+    simulate,
+)
+
+
+class TestRunBaselineShim:
+    def test_warns_and_matches_cold_simulate(self, kepler,
+                                             shared_table_kernel):
+        with pytest.warns(DeprecationWarning, match="run_baseline"):
+            legacy = run_baseline(kepler, shared_table_kernel, seed=2)
+        modern = simulate(kepler, shared_table_kernel, seed=2, warmups=0)
+        assert legacy.cycles == modern.cycles
+        assert legacy.l2_transactions == modern.l2_transactions
+        assert legacy.scheme == "BSL"
+
+
+class TestRunMeasuredShim:
+    def test_warns_and_matches_simulate(self, kepler, shared_table_kernel):
+        with pytest.warns(DeprecationWarning, match="run_measured"):
+            legacy = run_measured(GpuSimulator(kepler), shared_table_kernel,
+                                  seed=2, warmups=1)
+        modern = simulate(GpuSimulator(kepler), shared_table_kernel,
+                          seed=2, warmups=1)
+        assert legacy.cycles == modern.cycles
+        assert legacy.l1.hits == modern.l1.hits
+
+    def test_modern_path_does_not_warn(self, kepler, streaming_kernel):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate(GpuSimulator(kepler), streaming_kernel)

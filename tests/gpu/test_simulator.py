@@ -6,7 +6,7 @@ from repro.core.agent import agent_plan
 from repro.core.indexing import X_PARTITION
 from repro.core.redirection import redirection_plan
 from repro.gpu.scheduler import RoundRobinScheduler
-from repro.gpu.simulator import GpuSimulator, run_baseline, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 
 from tests.conftest import make_row_band_kernel, make_streaming_kernel
 
@@ -31,8 +31,8 @@ class TestBaselineExecution:
         assert metrics.l2_write_transactions > 0
         assert metrics.dram_transactions > 0
 
-    def test_run_baseline_helper(self, kepler, streaming_kernel):
-        metrics = run_baseline(kepler, streaming_kernel)
+    def test_cold_simulate_helper(self, kepler, streaming_kernel):
+        metrics = simulate(kepler, streaming_kernel, warmups=0)
         assert metrics.scheme == "BSL"
         assert metrics.gpu_name == kepler.name
 
@@ -167,19 +167,19 @@ class TestWarmMeasurement:
     def test_warm_run_sees_warm_l2(self, kepler, shared_table_kernel):
         sim = GpuSimulator(kepler)
         cold = sim.run(shared_table_kernel)
-        warm = run_measured(sim, shared_table_kernel, warmups=1)
+        warm = simulate(sim, shared_table_kernel, warmups=1)
         assert warm.dram_transactions < cold.dram_transactions
 
     def test_warm_run_l1_is_cold(self, kepler, streaming_kernel):
         # L1s are invalidated at kernel-launch boundaries
         sim = GpuSimulator(kepler)
-        warm = run_measured(sim, streaming_kernel, warmups=2)
+        warm = simulate(sim, streaming_kernel, warmups=2)
         assert warm.l1.hits == 0
 
     def test_counters_cover_measured_launch_only(self, kepler,
                                                  shared_table_kernel):
         sim = GpuSimulator(kepler)
         single = sim.run(shared_table_kernel)
-        warm = run_measured(sim, shared_table_kernel, warmups=3)
+        warm = simulate(sim, shared_table_kernel, warmups=3)
         assert warm.l1.accesses == single.l1.accesses
         assert warm.ctas_executed == shared_table_kernel.n_ctas

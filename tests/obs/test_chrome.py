@@ -1,0 +1,81 @@
+"""Chrome trace export tests: well-formed JSON, monotonic tracks."""
+
+import json
+
+from repro.gpu.simulator import GpuSimulator, simulate
+from repro.obs import ChromeTrace, ProfileSession, RecordingTracer
+from repro.obs.chrome import GPU_PID, add_wave_spans
+
+from tests.conftest import make_shared_table_kernel
+
+
+def assert_well_formed(document):
+    """The structural contract ``chrome://tracing`` needs."""
+    assert set(document) >= {"traceEvents"}
+    tracks = {}
+    for event in document["traceEvents"]:
+        assert event["ph"] in ("X", "M")
+        if event["ph"] == "M":
+            assert event["name"] in ("process_name", "thread_name")
+            continue
+        assert event["dur"] >= 0
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= tracks.get(track, float("-inf")), \
+            f"ts not monotonic on track {track}"
+        tracks[track] = event["ts"]
+    return tracks
+
+
+class TestChromeTrace:
+    def test_sorted_events_put_metadata_first(self):
+        trace = ChromeTrace()
+        trace.add_complete(pid=1, tid=0, name="b", ts=5.0, dur=1.0)
+        trace.add_complete(pid=1, tid=0, name="a", ts=2.0, dur=1.0)
+        trace.add_process_name(1, "worker")
+        events = trace.sorted_events()
+        assert events[0]["ph"] == "M"
+        assert [e["name"] for e in events[1:]] == ["a", "b"]
+
+    def test_normalize_rebases_each_pid(self):
+        trace = ChromeTrace()
+        trace.add_complete(pid=1, tid=0, name="a", ts=100.0, dur=1.0)
+        trace.add_complete(pid=2, tid=0, name="b", ts=900.0, dur=1.0)
+        trace.normalize()
+        assert {e["ts"] for e in trace.events} == {0.0}
+
+    def test_negative_duration_is_clamped(self):
+        trace = ChromeTrace()
+        trace.add_complete(pid=1, tid=0, name="a", ts=0.0, dur=-0.5)
+        assert trace.events[0]["dur"] == 0.0
+
+
+class TestWrittenArtifact:
+    def test_profiled_run_writes_monotonic_trace(self, tmp_path, kepler):
+        session = ProfileSession(label="trace-test")
+        tracer = RecordingTracer()
+        kernel = make_shared_table_kernel()
+        simulate(GpuSimulator(kepler), kernel, tracer=tracer)
+        session.tracer = tracer
+        session.job_span("job-a", 10.0, 0.5, pid=41)
+        session.job_span("job-b", 10.6, 0.5, pid=41)
+        session.job_span("job-c", 10.2, 0.7, pid=42)
+
+        path = tmp_path / "trace.json"
+        session.write_trace(path)
+        document = json.loads(path.read_text())
+        tracks = assert_well_formed(document)
+
+        # engine worker tracks plus one GPU track per SM with waves
+        assert (41, 0) in tracks and (42, 0) in tracks
+        sm_tracks = [t for t in tracks if t[0] == GPU_PID]
+        assert len(sm_tracks) == len({s.sm for s in tracer.waves})
+
+    def test_wave_spans_carry_cta_args(self, kepler):
+        tracer = RecordingTracer()
+        simulate(GpuSimulator(kepler), make_shared_table_kernel(),
+                 tracer=tracer)
+        trace = ChromeTrace()
+        add_wave_spans(trace, tracer)
+        spans = [e for e in trace.events if e["ph"] == "X"]
+        assert len(spans) == len(tracer.waves)
+        assert all(e["args"]["ctas"] >= 1 for e in spans)

@@ -1,0 +1,89 @@
+"""ProfileSession artifact tests: schema-valid summaries, trace export."""
+
+import json
+
+import pytest
+
+from repro.engine import SweepRunner, schemes_job
+from repro.gpu.config import TESLA_K40
+from repro.obs import (
+    ProfileSession,
+    SchemaError,
+    histogram,
+    validate,
+    validate_profile,
+)
+
+
+def profiled_session():
+    """One tiny profiled sweep, the way the CLI wires it."""
+    session = ProfileSession(label="test", argv=["fig12"])
+    runner = SweepRunner(profile=session)
+    with session.phase("fig12"):
+        results = runner.run([
+            schemes_job("BS", TESLA_K40, scale=0.3, seed=0,
+                        use_paper_agents=True, schemes=("BSL", "CLU"))])
+        session.observe_results(results)
+    session.observe_runner(runner)
+    return session
+
+
+class TestSummary:
+    def test_summary_validates_against_checked_in_schema(self):
+        validate_profile(profiled_session().summary())
+
+    def test_summary_survives_json_round_trip(self, tmp_path):
+        path = tmp_path / "profile.json"
+        written = profiled_session().write(path)
+        loaded = json.loads(path.read_text())
+        validate_profile(loaded)
+        assert loaded["meta"]["label"] == written["meta"]["label"] == "test"
+
+    def test_engine_counters_and_cells_recorded(self):
+        document = profiled_session().summary()
+        assert document["engine"]["executed"] == 1
+        assert document["cells"]["observed"] == 2  # BSL + CLU
+        top = document["cells"]["top"]
+        assert {c["scheme"] for c in top} == {"BSL", "CLU"}
+        assert all(c["kernel"] == "BS" for c in top)
+        assert document["phases"][0]["name"] == "fig12"
+        assert document["job_spans"] == 1
+
+    def test_empty_session_is_still_schema_valid(self):
+        validate_profile(ProfileSession().summary())
+
+    def test_schema_rejects_corrupted_document(self):
+        document = profiled_session().summary()
+        del document["engine"]
+        with pytest.raises(SchemaError):
+            validate_profile(document)
+        with pytest.raises(SchemaError):
+            validate_profile({"schema_version": "not-an-int"})
+
+
+class TestHistogram:
+    def test_empty_is_none(self):
+        assert histogram([]) is None
+
+    def test_constant_values_fill_first_bin(self):
+        h = histogram([5.0, 5.0, 5.0], bins=4)
+        assert h["min"] == h["max"] == 5.0
+        assert h["counts"] == [3, 0, 0, 0]
+
+    def test_counts_partition_the_values(self):
+        h = histogram(range(100), bins=8)
+        assert sum(h["counts"]) == 100
+        assert h["min"] == 0.0 and h["max"] == 99.0
+
+
+class TestValidateSubset:
+    def test_unsupported_keyword_is_loud(self):
+        with pytest.raises(SchemaError):
+            validate({}, {"type": "object", "patternProperties": {}})
+
+    def test_enum_and_minimum(self):
+        validate(1, {"type": "integer", "enum": [1, 2], "minimum": 0})
+        with pytest.raises(SchemaError):
+            validate(3, {"enum": [1, 2]})
+        with pytest.raises(SchemaError):
+            validate(-1, {"type": "integer", "minimum": 0})

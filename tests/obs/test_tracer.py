@@ -1,0 +1,93 @@
+"""Tracer contract tests: observation only, bit-identical metrics."""
+
+from repro.gpu.simulator import GpuSimulator, simulate
+from repro.obs import CACHE_EVENT_KINDS, NULL_TRACER, RecordingTracer, Tracer
+
+from tests.conftest import make_shared_table_kernel
+
+
+def metric_tuple(m):
+    """Every detailed counter a tracer could plausibly perturb."""
+    return (m.cycles, m.l1.hits, m.l1.misses, m.l1.accesses,
+            m.l2.hits, m.l2.misses, m.l2.accesses,
+            m.l2_read_transactions, m.l2_write_transactions,
+            m.dram_transactions, m.ctas_executed, tuple(m.ctas_per_sm),
+            tuple(m.sm_cycles))
+
+
+class TestObservationOnly:
+    def test_disabled_and_null_and_recording_are_bit_identical(self, kepler):
+        kernel = make_shared_table_kernel()
+        plain = simulate(GpuSimulator(kepler), kernel, seed=3)
+        nulled = simulate(GpuSimulator(kepler), kernel, seed=3,
+                          tracer=NULL_TRACER)
+        recorded = simulate(GpuSimulator(kepler), kernel, seed=3,
+                            tracer=RecordingTracer())
+        assert metric_tuple(plain) == metric_tuple(nulled)
+        assert metric_tuple(plain) == metric_tuple(recorded)
+
+    def test_tracer_detached_after_run(self, kepler, shared_table_kernel):
+        sim = GpuSimulator(kepler)
+        tracer = RecordingTracer()
+        simulate(sim, shared_table_kernel, tracer=tracer)
+        follow_up = RecordingTracer()
+        simulate(sim, shared_table_kernel, tracer=follow_up)
+        # the first tracer stopped receiving events after its run
+        assert tracer.cta_count == shared_table_kernel.n_ctas
+        assert follow_up.cta_count == shared_table_kernel.n_ctas
+
+
+class TestRecordingTracer:
+    def test_launch_and_cta_accounting(self, kepler, shared_table_kernel):
+        tracer = RecordingTracer()
+        metrics = simulate(GpuSimulator(kepler), shared_table_kernel,
+                           tracer=tracer)
+        assert tracer.launches == [
+            (shared_table_kernel.name, kepler.name, "BSL",
+             shared_table_kernel.n_ctas)]
+        assert tracer.cta_count == metrics.ctas_executed
+        assert sum(tracer.cta_cycles.values()) > 0
+
+    def test_wave_timeline_covers_every_cta(self, kepler,
+                                            shared_table_kernel):
+        tracer = RecordingTracer()
+        simulate(GpuSimulator(kepler), shared_table_kernel, tracer=tracer)
+        assert tracer.waves, "no wave spans recorded"
+        assert sum(s.n_ctas for s in tracer.waves) == \
+            shared_table_kernel.n_ctas
+        assert all(s.duration >= 0 for s in tracer.waves)
+        assert tracer.dispatches > 0
+
+    def test_cache_events_on_cold_run(self, kepler, shared_table_kernel):
+        tracer = RecordingTracer()
+        metrics = simulate(GpuSimulator(kepler), shared_table_kernel,
+                           warmups=0, tracer=tracer)
+        assert tracer.cache_count("L1", "miss") == metrics.l1.misses
+        assert tracer.cache_count("L2", "miss") == metrics.l2.misses
+        for level, kind in tracer.cache_counters:
+            assert kind in CACHE_EVENT_KINDS
+
+    def test_max_spans_bounds_the_timeline(self, kepler,
+                                           shared_table_kernel):
+        tracer = RecordingTracer(max_spans=2)
+        simulate(GpuSimulator(kepler), shared_table_kernel, tracer=tracer)
+        assert len(tracer.waves) == 2
+        assert tracer.dropped_spans > 0
+
+    def test_busy_cycles_view(self, kepler, shared_table_kernel):
+        tracer = RecordingTracer()
+        simulate(GpuSimulator(kepler), shared_table_kernel, tracer=tracer)
+        busy = tracer.busy_cycles_per_sm()
+        assert busy
+        assert all(v >= 0 for v in busy.values())
+
+
+class TestProtocolDefault:
+    def test_base_tracer_is_a_silent_sink(self):
+        tracer = Tracer()
+        tracer.launch("k", "g", "BSL", 4)
+        tracer.retire("k", 1.0)
+        tracer.dispatch(0, 0, 2, 2, 0.0)
+        tracer.wave(0, 0, 0.0, 1.0, 2)
+        tracer.cta(0, 0, 0, 1.0)
+        tracer.cache_event("L1", "miss", 0.0)

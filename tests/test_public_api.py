@@ -1,5 +1,7 @@
 """Public API surface tests: the README quickstart must keep working."""
 
+import pytest
+
 import repro
 
 
@@ -9,16 +11,15 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_readme_quickstart(self):
-        wl = repro.workload("NN")
-        kernel = wl.kernel(scale=0.3, config=repro.GTX980)
-        sim = repro.GpuSimulator(repro.GTX980)
-        baseline = repro.run_measured(sim, kernel)
-        clustered = repro.run_measured(
-            sim, kernel, repro.agent_plan(kernel, repro.GTX980,
-                                          repro.Y_PARTITION))
+        kernel = repro.workload("NN").kernel(scale=0.3, config=repro.GTX980)
+        baseline = repro.simulate(kernel, repro.GTX980)
+        clustered = repro.simulate(
+            kernel, repro.GTX980,
+            plan=repro.cluster(kernel, "CLU", gpu=repro.GTX980,
+                               direction=repro.Y_PARTITION))
         assert clustered.speedup_over(baseline) > 1.0
 
     def test_platform_lookup(self):
@@ -28,3 +29,69 @@ class TestPublicSurface:
         assert len(repro.table2_workloads()) == 23
         assert len(repro.figure3_workloads()) == 33
         assert len(repro.all_workloads()) == 40
+
+
+class TestFacadeSimulate:
+    def test_accepts_abbreviation_and_platform_name(self):
+        metrics = repro.simulate("NN", "Tesla K40", scale=0.3)
+        assert metrics.scheme == "BSL"
+        assert metrics.gpu_name == "Tesla K40"
+
+    def test_scheme_speeds_up_nn(self):
+        base = repro.simulate("NN", repro.TESLA_K40, scale=0.3)
+        clu = repro.simulate("NN", repro.TESLA_K40, scale=0.3, scheme="CLU")
+        assert base.cycles / clu.cycles > 1.0
+
+    def test_scheme_and_plan_are_exclusive(self):
+        with pytest.raises(ValueError):
+            repro.simulate("NN", repro.TESLA_K40, scale=0.3,
+                           scheme="CLU", plan=repro.baseline_plan())
+
+    def test_unknown_platform_and_scheme_raise(self):
+        with pytest.raises(KeyError):
+            repro.simulate("NN", "Voodoo2", scale=0.3)
+        with pytest.raises(KeyError):
+            repro.cluster("NN", "MAGIC", gpu=repro.TESLA_K40)
+
+    def test_simulator_instance_is_reused(self):
+        sim = repro.GpuSimulator(repro.TESLA_K40)
+        metrics = repro.simulate("BS", sim, scale=0.3)
+        assert metrics.gpu_name == repro.TESLA_K40.name
+
+    def test_bad_types_raise(self):
+        with pytest.raises(TypeError):
+            repro.simulate(42, repro.TESLA_K40)
+        with pytest.raises(TypeError):
+            repro.simulate("NN", 42)
+
+
+class TestFacadeCluster:
+    def test_bsl_is_baseline_plan(self):
+        plan = repro.cluster("NN", "BSL", gpu=repro.TESLA_K40)
+        assert plan.scheme == "BSL"
+
+    def test_direction_defaults_to_analysis(self):
+        kernel = repro.workload("NN").kernel(scale=0.3,
+                                             config=repro.TESLA_K40)
+        auto = repro.cluster(kernel, "CLU", gpu=repro.TESLA_K40)
+        explicit = repro.cluster(
+            kernel, "CLU", gpu=repro.TESLA_K40,
+            direction=repro.analyze_direction(kernel).direction)
+        assert auto.sm_tasks == explicit.sm_tasks
+
+    def test_throttled_scheme_honours_explicit_agents(self):
+        kernel = repro.workload("ATX").kernel(scale=0.3,
+                                              config=repro.TESLA_K40)
+        plan = repro.cluster(kernel, "CLU+TOT", gpu=repro.TESLA_K40,
+                             active_agents=2)
+        assert plan.active_agents == 2
+
+
+class TestFacadeSweep:
+    def test_default_runner_matches_direct_execution(self):
+        from repro.engine import schemes_job
+        job = schemes_job("BS", repro.TESLA_K40, scale=0.3, seed=0,
+                          use_paper_agents=True, schemes=("BSL", "CLU"))
+        (result,) = repro.sweep([job])
+        direct = repro.simulate("BS", repro.TESLA_K40, scale=0.3)
+        assert result.metrics["BSL"].cycles == direct.cycles

@@ -7,7 +7,7 @@ import pytest
 from repro.core.agent import agent_plan
 from repro.experiments.schemes import partition_for
 from repro.gpu.config import GTX570, GTX980, TESLA_K40
-from repro.gpu.simulator import GpuSimulator, run_measured
+from repro.gpu.simulator import GpuSimulator, simulate
 from repro.workloads.registry import workload
 
 
@@ -16,9 +16,9 @@ def clustered_vs_baseline(abbr, gpu, scale=0.5, active_agents=None):
     kernel = wl.kernel(scale=scale, config=gpu)
     part = partition_for(wl, kernel)
     sim = GpuSimulator(gpu)
-    base = run_measured(sim, kernel)
+    base = simulate(sim, kernel)
     plan = agent_plan(kernel, gpu, part, active_agents=active_agents)
-    clu = run_measured(sim, kernel, plan)
+    clu = simulate(sim, kernel, plan)
     return base, clu
 
 
@@ -95,8 +95,8 @@ class TestThrottlingMechanism:
         kernel = wl.kernel(scale=0.5, config=GTX570)
         sim = GpuSimulator(GTX570)
         part = partition_for(wl, kernel)
-        full = run_measured(sim, kernel, agent_plan(kernel, GTX570, part))
-        one = run_measured(sim, kernel,
-                           agent_plan(kernel, GTX570, part, active_agents=1))
+        full = simulate(sim, kernel, agent_plan(kernel, GTX570, part))
+        one = simulate(sim, kernel,
+                       agent_plan(kernel, GTX570, part, active_agents=1))
         assert one.l1_hit_rate > full.l1_hit_rate
         assert one.l2_transactions < full.l2_transactions
