@@ -9,10 +9,20 @@ breakdown, and the commit it measured.  Over the repo's history those
 entries are the performance trajectory the ROADMAP's "as fast as the
 hardware allows" goal is steered by.
 
+Each entry also records the *warm* fast-vs-reference comparison: the
+same matrix timed on the flat-array fast simulation core and on the
+dict-based reference oracle (best of ``--passes`` warm passes each),
+whose ratio is the fast path's speedup on real sweep work.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py            # append
     PYTHONPATH=src python scripts/bench_trajectory.py --dry-run  # print only
+    PYTHONPATH=src python scripts/bench_trajectory.py --check    # CI guard
+
+``--check`` is the CI bench guard: it times the warm serial matrix and
+fails (exit 1) if it regressed more than ``--tolerance`` (default 20%)
+against the last recorded entry, without appending anything.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from datetime import datetime, timezone
 
 from repro import __version__
 from repro.engine import SweepRunner, schemes_job
+from repro.gpu.cache import FAST_MODEL_ENV
 from repro.gpu.config import TESLA_K40
 
 WORKLOADS = ("NN", "ATX", "BS")
@@ -69,15 +80,81 @@ def _measure(jobs: int) -> dict:
     }
 
 
+def _warm_seconds(passes: int) -> float:
+    """Best warm wall time for the serial matrix (noise-resistant)."""
+    SweepRunner(jobs=1).run(_batch())  # warm traces/compiled streams
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        SweepRunner(jobs=1).run(_batch())
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_fastpath(passes: int) -> dict:
+    """Warm fast-core vs reference-oracle comparison on the matrix."""
+    saved = os.environ.get(FAST_MODEL_ENV)
+    seconds = {}
+    try:
+        for label, flag in (("reference", "0"), ("fast", "1")):
+            os.environ[FAST_MODEL_ENV] = flag
+            seconds[label] = _warm_seconds(passes)
+    finally:
+        if saved is None:
+            os.environ.pop(FAST_MODEL_ENV, None)
+        else:
+            os.environ[FAST_MODEL_ENV] = saved
+    return {
+        "reference_seconds": round(seconds["reference"], 3),
+        "fast_seconds": round(seconds["fast"], 3),
+        "speedup": round(seconds["reference"] / seconds["fast"], 2),
+        "passes": passes,
+    }
+
+
+def _check(output: str, passes: int, tolerance: float) -> int:
+    """CI bench guard: warm serial time vs the last recorded entry."""
+    if not os.path.exists(output):
+        print(f"bench check: no {output}; nothing to compare, passing")
+        return 0
+    with open(output) as handle:
+        trajectory = json.load(handle)
+    if not trajectory:
+        print("bench check: empty trajectory, passing")
+        return 0
+    last = trajectory[-1]
+    baseline = last.get("fastpath", {}).get("fast_seconds")
+    kind = "warm fast-path"
+    if baseline is None:
+        baseline = last["serial"]["wall_seconds"]
+        kind = "serial (cold, pre-fastpath entry)"
+    current = _warm_seconds(passes)
+    limit = baseline * (1.0 + tolerance)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(f"bench check: warm serial matrix {current:.3f}s vs "
+          f"{kind} baseline {baseline:.3f}s from commit "
+          f"{last.get('commit', '?')} (limit {limit:.3f}s) -> {verdict}")
+    return 0 if current <= limit else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes for the parallel pass")
+    parser.add_argument("--passes", type=int, default=3,
+                        help="warm passes per timed configuration; the "
+                             "minimum is reported (default 3)")
     parser.add_argument("--output", default=None,
                         help="trajectory file (default: BENCH_sweep.json "
                              "at the repo root)")
     parser.add_argument("--dry-run", action="store_true",
                         help="print the entry without appending it")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the last recorded entry and "
+                             "exit 1 on a regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown for --check "
+                             "(default 0.20)")
     args = parser.parse_args(argv)
 
     output = args.output
@@ -85,6 +162,9 @@ def main(argv=None) -> int:
         output = os.path.join(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
             "BENCH_sweep.json")
+
+    if args.check:
+        return _check(output, args.passes, args.tolerance)
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -95,6 +175,7 @@ def main(argv=None) -> int:
                    "platform": TESLA_K40.name, "scale": SCALE, "seed": 0},
         "serial": _measure(jobs=1),
         "parallel": _measure(jobs=args.jobs),
+        "fastpath": _measure_fastpath(args.passes),
     }
 
     print(json.dumps(entry, indent=2))

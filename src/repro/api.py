@@ -110,7 +110,8 @@ def cluster(kernel, scheme: str = "CLU", *, gpu,
 
 def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
              scale: float = 1.0, seed: int = 0, warmups: int = 1,
-             record_per_cta: bool = False, tracer=None) -> KernelMetrics:
+             record_per_cta: bool = False, tracer=None,
+             fast: bool = None) -> KernelMetrics:
     """Measure one workload (or kernel) on one platform.
 
     ``workload`` is a registry abbreviation (``"NN"``), a
@@ -126,6 +127,11 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     then measures — the paper's methodology.  ``tracer`` (a
     :class:`repro.Tracer`) observes the measured launch only and never
     changes the returned metrics.
+
+    ``fast`` selects the simulation core (default: the fast flat-array
+    path; ``REPRO_FAST_MODEL=0`` flips the process default).  Fast and
+    reference cores are bit-identical, so the flag never changes a
+    result — only wall-clock time.
     """
     if scheme is not None and plan is not None:
         raise ValueError("pass either scheme= or plan=, not both")
@@ -135,7 +141,8 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
         plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed)
     return _simulate_kernel(simulator if simulator is not None else config,
                             kernel, plan, seed=seed, warmups=warmups,
-                            record_per_cta=record_per_cta, tracer=tracer)
+                            record_per_cta=record_per_cta, tracer=tracer,
+                            fast=fast)
 
 
 def sweep(jobs, *, runner=None) -> list:

@@ -30,11 +30,13 @@ with one track per worker process.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.engine import default_runner
 from repro.experiments.driver import RunContext, get_driver
+from repro.gpu.cache import FAST_MODEL_ENV
 from repro.gpu.config import EVALUATION_PLATFORMS
 
 ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
@@ -83,9 +85,17 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace-event timeline of the "
                              "run (chrome://tracing / Perfetto)")
+    parser.add_argument("--ref-model", action="store_true",
+                        help="simulate on the dict-based reference cache "
+                             "models instead of the fast path (bit-"
+                             "identical results, mainly for debugging "
+                             "and differential testing)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.ref_model:
+        # Via the environment so ProcessPool workers inherit the choice.
+        os.environ[FAST_MODEL_ENV] = "0"
     wanted = list(args.artifacts) or list(ARTIFACTS)
 
     profile = None

@@ -5,9 +5,11 @@ and achieved occupancy (Figures 12 and 13).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
-from repro.gpu.cache import CacheStats
+from repro.gpu.refmodel import CacheStats
 
 
 @dataclass
@@ -85,6 +87,56 @@ class KernelMetrics:
             f"cycles={self.cycles:>12.0f} l1_hit={self.l1_hit_rate:6.1%} "
             f"l2_trans={self.l2_transactions:>9d} occ={self.achieved_occupancy:5.1%}"
         )
+
+
+def canonical_metrics(metrics: KernelMetrics) -> dict:
+    """Lossless, JSON-stable dict form of one :class:`KernelMetrics`.
+
+    Floats are rendered with ``repr`` (shortest round-trip form), so
+    two metrics canonicalize identically **iff** they are bit-identical
+    — the property both the fast-vs-reference differential harness and
+    the golden regression fixtures assert on.
+    """
+    def f(value: float) -> str:
+        return repr(float(value))
+
+    def stats(s: CacheStats) -> dict:
+        return {"accesses": s.accesses, "hits": s.hits,
+                "misses": s.misses, "reserved_hits": s.reserved_hits,
+                "write_evictions": s.write_evictions}
+
+    return {
+        "gpu_name": metrics.gpu_name,
+        "kernel_name": metrics.kernel_name,
+        "scheme": metrics.scheme,
+        "cycles": f(metrics.cycles),
+        "sm_cycles": [f(c) for c in metrics.sm_cycles],
+        "l1": stats(metrics.l1),
+        "l2": stats(metrics.l2),
+        "l2_read_transactions": metrics.l2_read_transactions,
+        "l2_write_transactions": metrics.l2_write_transactions,
+        "dram_transactions": metrics.dram_transactions,
+        "warp_accesses": metrics.warp_accesses,
+        "ctas_executed": metrics.ctas_executed,
+        "overhead_cycles": f(metrics.overhead_cycles),
+        "prefetch_issues": metrics.prefetch_issues,
+        "occupancy_weighted_warps": f(metrics.occupancy_weighted_warps),
+        "warp_slots": metrics.warp_slots,
+        "ctas_per_sm": list(metrics.ctas_per_sm),
+        "cta_records": [
+            {"original_id": r.original_id, "sm_id": r.sm_id,
+             "turnaround": r.turnaround,
+             "access_cycles": f(r.access_cycles)}
+            for r in metrics.cta_records
+        ],
+    }
+
+
+def metrics_fingerprint(metrics: KernelMetrics) -> str:
+    """SHA-256 over the canonical form — the golden-fixture identity."""
+    blob = json.dumps(canonical_metrics(metrics), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def geometric_mean(values) -> float:

@@ -34,7 +34,8 @@ import warnings
 from collections import deque
 from heapq import heapify, heappop, heappush
 
-from repro.gpu.cache import make_l1, make_l2
+from repro.gpu import fastpath
+from repro.gpu.cache import default_fast, make_l1, make_l2
 from repro.gpu.config import GpuConfig
 from repro.gpu.metrics import CtaRecord, KernelMetrics
 from repro.gpu.occupancy import max_ctas_per_sm
@@ -73,13 +74,19 @@ class GpuSimulator:
 
     def __init__(self, config: GpuConfig, scheduler: CtaScheduler = None,
                  hiding_cap: float = 14.0, l1_enabled: bool = True,
-                 join_stagger: int = 6, tracer=None):
+                 join_stagger: int = 6, tracer=None, fast: bool = None):
         self.config = config
         self.scheduler = scheduler if scheduler is not None else DEFAULT_SCHEDULER
         self.hiding_cap = hiding_cap
         self.l1_enabled = l1_enabled
         self.join_stagger = join_stagger
         self.tracer = tracer
+        #: ``fast=None`` follows the process default (the fast path,
+        #: unless ``REPRO_FAST_MODEL=0``); ``False`` pins the
+        #: reference models — the differential oracle.
+        self.fast = default_fast() if fast is None else bool(fast)
+        self.interleave_chunk = INTERLEAVE_CHUNK
+        self.reserved_exposure = RESERVED_EXPOSURE
 
     # ------------------------------------------------------------------
     # public API
@@ -88,8 +95,9 @@ class GpuSimulator:
     def fresh_caches(self):
         """New cold per-SM L1s and a cold shared L2."""
         config = self.config
-        return ([make_l1(config) for _ in range(config.num_sms)],
-                make_l2(config))
+        return ([make_l1(config, fast=self.fast)
+                 for _ in range(config.num_sms)],
+                make_l2(config, fast=self.fast))
 
     def run(self, kernel: KernelSpec, plan: ExecutionPlan = None,
             record_per_cta: bool = False, seed: int = 0,
@@ -114,6 +122,14 @@ class GpuSimulator:
         if caches is None:
             caches = self.fresh_caches()
         l1s, l2 = caches
+        # The fused loop needs the flat-array models; a caller handing
+        # us reference caches gets the reference loop (still correct,
+        # just slower).  Either loop drives either cache type through
+        # the same arithmetic, so results never depend on this choice.
+        self._use_fastpath = (self.fast
+                              and fastpath.is_fast_caches(l1s, l2)
+                              and l1s[0].line_size == self.config.l1_line
+                              and l2.line_size == self.config.l2_line)
         # Kernel-launch boundary semantics: the non-coherent per-SM L1s
         # are invalidated between launches, while the L2 keeps its
         # contents (with any in-flight fills long since completed).
@@ -261,6 +277,11 @@ class GpuSimulator:
     def _execute_wave(self, kernel, cta_ids, start, l1, l2, metrics,
                       record_per_cta, sm_id, turnaround,
                       prefetch_targets, plan, tracer=None):
+        if self._use_fastpath:
+            return fastpath.execute_wave(
+                self, kernel, cta_ids, start, l1, l2, metrics,
+                record_per_cta, sm_id, turnaround, prefetch_targets,
+                plan, tracer)
         config = self.config
         n = len(cta_ids)
         warps = kernel.warps_per_cta
@@ -441,7 +462,7 @@ class GpuSimulator:
 def simulate(gpu, kernel: KernelSpec, plan: ExecutionPlan = None, *,
              seed: int = 0, warmups: int = 1,
              record_per_cta: bool = False, tracer=None,
-             caches=None) -> KernelMetrics:
+             caches=None, fast: bool = None) -> KernelMetrics:
     """The single measurement entry point.
 
     Runs ``warmups`` warm-up launches with preserved cache contents,
@@ -458,8 +479,25 @@ def simulate(gpu, kernel: KernelSpec, plan: ExecutionPlan = None, *,
     scheduler/timing knobs).  ``tracer`` observes the *measured*
     launch only — warm-ups stay untraced so profiles describe the run
     the returned metrics describe.
+
+    ``fast`` selects the simulation core: ``True`` (the process
+    default) runs the flat-array fast path of
+    :mod:`repro.gpu.fastpath`, ``False`` the dict-based reference
+    models of :mod:`repro.gpu.refmodel`.  The two are bit-identical —
+    the differential harness proves it on every CI run — so the flag
+    only ever changes wall-clock time, never a result.
     """
-    simulator = gpu if isinstance(gpu, GpuSimulator) else GpuSimulator(gpu)
+    if isinstance(gpu, GpuSimulator):
+        simulator = gpu
+        if fast is not None and bool(fast) != simulator.fast:
+            simulator = GpuSimulator(
+                simulator.config, scheduler=simulator.scheduler,
+                hiding_cap=simulator.hiding_cap,
+                l1_enabled=simulator.l1_enabled,
+                join_stagger=simulator.join_stagger,
+                tracer=simulator.tracer, fast=fast)
+    else:
+        simulator = GpuSimulator(gpu, fast=fast)
     if warmups < 0:
         raise ValueError(f"warmups must be >= 0, got {warmups}")
     if caches is None:

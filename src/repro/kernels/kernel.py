@@ -16,7 +16,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.kernels.access import WarpAccess
+from repro.kernels.access import WarpAccess, compile_trace
 
 
 class LocalityCategory(enum.Enum):
@@ -178,6 +178,13 @@ class KernelSpec:
     #: ``dataclasses.replace`` never shares a memo across variants.
     _trace_memo: "OrderedDict | None" = field(
         default=None, init=False, repr=False, compare=False)
+    #: LRU of (linear id, l1_line, l2_line) -> compiled op stream, plus
+    #: the intern table that dedups identical ops across CTAs.  Like
+    #: ``_trace_memo``, private to each dataclass instance.
+    _compiled_memo: "OrderedDict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _op_intern: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def n_ctas(self) -> int:
@@ -219,6 +226,36 @@ class KernelSpec:
         if len(memo) > TRACE_CACHE_CTAS:
             memo.popitem(last=False)
         return trace
+
+    def compiled_trace(self, linear_id: int, l1_line: int,
+                       l2_line: int) -> tuple:
+        """Precompiled fast-path op stream for one CTA.
+
+        The compilation (coalescing into L1 segments, L2 sub-
+        transactions and bypass segments) depends only on the cache
+        line geometry, so one compiled stream serves every plan,
+        scheme, warm-up and platform sharing ``(l1_line, l2_line)`` in
+        a sweep.  Memoized under the same LRU bound as raw traces;
+        identical ops are interned across CTAs.
+        """
+        memo = self._compiled_memo
+        if memo is None:
+            memo = self._compiled_memo = OrderedDict()
+        key = (linear_id, l1_line, l2_line)
+        compiled = memo.get(key)
+        if compiled is not None:
+            memo.move_to_end(key)
+            return compiled
+        intern = self._op_intern
+        if intern is None:
+            intern = {}
+            self._op_intern = intern
+        compiled = compile_trace(self.cta_trace(linear_id), l1_line,
+                                 l2_line, intern)
+        memo[key] = compiled
+        if len(memo) > TRACE_CACHE_CTAS:
+            memo.popitem(last=False)
+        return compiled
 
     def reads_and_writes_same_array(self) -> bool:
         """Whether some array is both read and written (write-related hint)."""

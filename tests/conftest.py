@@ -9,6 +9,15 @@ from repro.kernels.access import read, write
 from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec, LocalityCategory
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden fingerprint fixtures under "
+             "tests/integration/goldens/ with freshly computed values "
+             "(use after an intentional simulator behaviour change; "
+             "commit the diff together with the change that caused it)")
+
+
 @pytest.fixture(params=EVALUATION_PLATFORMS, ids=lambda g: g.name)
 def any_gpu(request):
     """Parametrized over the paper's four evaluation platforms."""

@@ -1,0 +1,109 @@
+"""Property-based invariants of the clustering algebra (Eqs 3-8).
+
+Hypothesis drives the paper's closed-form partition/inversion/binding
+machinery across the whole parameter space instead of a handful of
+hand-picked examples.  The invariants:
+
+* ``f⁻¹(f(v)) = v`` — assign/invert are exact inverses (Eqs 3-7);
+* cluster sizes are balanced to within one CTA and sum to ``|V|``;
+* ``g_RR`` (Eq. 8) hits every ``(w, i)`` pair exactly once;
+* a redirection plan's dispatch table is a permutation of the grid;
+* an agent plan's per-SM task lists cover every CTA exactly once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import agent_plan
+from repro.core.binding import rr_binding
+from repro.core.indexing import (ColumnMajorIndexing, RowMajorIndexing,
+                                 TileWiseIndexing)
+from repro.core.partition import BalancedPartition, CtaPartitioner
+from repro.core.redirection import redirection_plan
+from repro.gpu.config import EVALUATION_PLATFORMS
+from repro.kernels.kernel import Dim3
+from tests.conftest import make_row_band_kernel
+
+sizes = st.integers(min_value=1, max_value=600)
+clusters = st.integers(min_value=1, max_value=40)
+
+
+@given(n_ctas=sizes, n_clusters=clusters)
+def test_assign_invert_round_trip(n_ctas, n_clusters):
+    part = BalancedPartition(n_ctas, n_clusters)
+    for v in range(n_ctas):
+        pos = part.assign(v)
+        assert part.invert(pos.w, pos.i) == v
+        assert 0 <= pos.i < n_clusters
+        assert 0 <= pos.w < part.cluster_size(pos.i)
+
+
+@given(n_ctas=sizes, n_clusters=clusters)
+def test_cluster_sizes_balanced_and_exhaustive(n_ctas, n_clusters):
+    part = BalancedPartition(n_ctas, n_clusters)
+    cluster_sizes = [part.cluster_size(i) for i in range(n_clusters)]
+    assert sum(cluster_sizes) == n_ctas
+    assert max(cluster_sizes) - min(cluster_sizes) <= 1
+    # Members enumerate [0, n) exactly once across clusters.
+    members = [v for i in range(n_clusters) for v in part.cluster_members(i)]
+    assert sorted(members) == list(range(n_ctas))
+
+
+@given(n_ctas=sizes, n_clusters=clusters)
+def test_rr_binding_is_a_bijection(n_ctas, n_clusters):
+    """Eq. 8 maps new-kernel CTA ids 1:1 onto (w, i) pairs."""
+    seen = set()
+    for u in range(n_ctas):
+        pos = rr_binding(u, n_clusters)
+        assert (pos.w, pos.i) not in seen
+        seen.add((pos.w, pos.i))
+        # And it inverts by construction: u = w*M + i.
+        assert pos.w * n_clusters + pos.i == u
+    assert len(seen) == n_ctas
+
+
+@given(grid_x=st.integers(1, 24), grid_y=st.integers(1, 24),
+       n_clusters=st.integers(1, 20),
+       indexing_cls=st.sampled_from([RowMajorIndexing, ColumnMajorIndexing,
+                                     TileWiseIndexing]))
+def test_partitioner_tasks_cover_grid(grid_x, grid_y, n_clusters,
+                                      indexing_cls):
+    """Every grid CTA appears in exactly one cluster task list, and
+    cluster_of/task agree in both directions."""
+    indexing = indexing_cls(Dim3(grid_x, grid_y))
+    part = CtaPartitioner(indexing, n_clusters)
+    tasks = part.all_cluster_tasks()
+    flat = [v for cluster in tasks for v in cluster]
+    assert sorted(flat) == list(range(grid_x * grid_y))
+    for i, cluster in enumerate(tasks):
+        for w, v in enumerate(cluster):
+            bx, by = v % grid_x, v // grid_x
+            pos = part.cluster_of(bx, by)
+            assert (pos.w, pos.i) == (w, i)
+            assert part.task(w, i) == (bx, by)
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid_x=st.integers(1, 12), grid_y=st.integers(1, 10),
+       gpu=st.sampled_from(EVALUATION_PLATFORMS))
+def test_redirection_dispatch_is_a_permutation(grid_x, grid_y, gpu):
+    kernel = make_row_band_kernel(grid_x=grid_x, grid_y=grid_y)
+    plan = redirection_plan(kernel, gpu)
+    n = grid_x * grid_y
+    dispatched = sorted(plan.resolve(u) for u in range(n))
+    assert dispatched == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid_x=st.integers(1, 12), grid_y=st.integers(1, 10),
+       gpu=st.sampled_from(EVALUATION_PLATFORMS))
+def test_agent_plan_tasks_cover_every_cta_once(grid_x, grid_y, gpu):
+    kernel = make_row_band_kernel(grid_x=grid_x, grid_y=grid_y)
+    plan = agent_plan(kernel, gpu)
+    assert plan.mode == "placed"
+    assert len(plan.sm_tasks) == gpu.num_sms
+    flat = [v for tasks in plan.sm_tasks for v in tasks]
+    assert sorted(flat) == list(range(grid_x * grid_y))
+    assert plan.active_agents >= 1

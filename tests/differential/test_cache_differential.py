@@ -1,0 +1,166 @@
+"""Cache-level differential fuzzing: fast models vs the golden oracle.
+
+Random operation streams (access/install/contains/flush/settle/
+reset_stats, random geometries, both write policies, LRU and
+pseudo-random replacement) are driven through a
+:mod:`repro.gpu.refmodel` cache and its :mod:`repro.gpu.fastpath`
+twin in lockstep.  Every return value and every counter must match
+exactly — floats bit for bit, since both sides must run the same
+arithmetic in the same order.
+
+The case count scales with ``REPRO_FUZZ_CASES`` (the per-test number
+of random sequences; CI runs the default).  Only :mod:`random` is
+used — the harness must stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.gpu.config import WritePolicy
+from repro.gpu.fastpath import FastSectoredCache, FastSetAssociativeCache
+from repro.gpu.refmodel import SectoredCache, SetAssociativeCache
+
+#: Sequences per fuzz test; override with REPRO_FUZZ_CASES to fuzz
+#: longer locally (the seed space is disjoint per test).
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "80"))
+
+#: (line_size, assoc, n_sets) geometries, spanning the platform zoo
+#: plus deliberately tiny caches that force constant eviction.
+GEOMETRIES = [
+    (128, 4, 2),
+    (128, 4, 32),
+    (32, 8, 4),
+    (32, 8, 64),
+    (32, 2, 1),
+    (64, 1, 8),  # direct-mapped
+]
+
+
+def stats_tuple(cache):
+    s = cache.stats
+    return (s.accesses, s.hits, s.misses, s.reserved_hits,
+            s.write_evictions)
+
+
+def random_ops(rng, line_size, n_ops):
+    """A random op stream over a footprint that stresses aliasing."""
+    footprint = rng.choice([4, 16, 64]) * line_size
+    ops = []
+    now = 0.0
+    for _ in range(n_ops):
+        now += rng.choice([0.0, 1.0, 7.5, 100.0])
+        addr = rng.randrange(footprint)
+        kind = rng.random()
+        if kind < 0.70:
+            ops.append(("access", addr, now, rng.choice([10.0, 200.0, 350.0]),
+                        rng.random() < 0.25))
+        elif kind < 0.80:
+            ops.append(("install", addr, now + rng.choice([0.0, 50.0])))
+        elif kind < 0.90:
+            ops.append(("contains", addr))
+        elif kind < 0.94:
+            ops.append(("flush",))
+        elif kind < 0.98:
+            ops.append(("settle",))
+        else:
+            ops.append(("reset_stats",))
+    return ops
+
+
+def run_lockstep(ref, fast, ops, sectored=False, rng=None):
+    """Apply ops to both caches, asserting identical results as we go."""
+    for step, op in enumerate(ops):
+        sector = rng.randrange(4) if sectored and rng is not None else 0
+        if op[0] == "access":
+            _, addr, now, fill, is_write = op
+            if sectored:
+                got_ref = ref.access(addr, now, fill, is_write, sector)
+                got_fast = fast.access(addr, now, fill, is_write, sector)
+            else:
+                got_ref = ref.access(addr, now, fill, is_write)
+                got_fast = fast.access(addr, now, fill, is_write)
+            assert got_ref == got_fast, f"step {step}: access {op}"
+            # bit-identity, not just ==
+            assert repr(got_ref[1]) == repr(got_fast[1]), f"step {step}"
+        elif op[0] == "install":
+            _, addr, ready = op
+            if sectored:
+                ref.install(addr, ready, sector)
+                fast.install(addr, ready, sector)
+            else:
+                ref.install(addr, ready)
+                fast.install(addr, ready)
+        elif op[0] == "contains":
+            _, addr = op
+            if sectored:
+                assert ref.contains(addr, sector) == fast.contains(
+                    addr, sector), f"step {step}"
+            else:
+                assert ref.contains(addr) == fast.contains(addr), \
+                    f"step {step}"
+        elif op[0] == "flush":
+            ref.flush()
+            fast.flush()
+        elif op[0] == "settle":
+            ref.settle()
+            fast.settle()
+        elif op[0] == "reset_stats":
+            ref.reset_stats()
+            fast.reset_stats()
+        assert stats_tuple(ref) == stats_tuple(fast), f"step {step}: {op}"
+
+
+@pytest.mark.parametrize("policy", [WritePolicy.WRITE_EVICT,
+                                    WritePolicy.WRITE_BACK_ALLOCATE])
+@pytest.mark.parametrize("random_replacement", [False, True])
+def test_set_associative_lockstep(policy, random_replacement):
+    for case in range(CASES):
+        rng = random.Random(0xD1FF + case)
+        line, assoc, n_sets = rng.choice(GEOMETRIES)
+        size = line * assoc * n_sets
+        ref = SetAssociativeCache(size, line, assoc, policy,
+                                  random_replacement=random_replacement)
+        fast = FastSetAssociativeCache(size, line, assoc, policy,
+                                       random_replacement=random_replacement)
+        ops = random_ops(rng, line, n_ops=rng.randrange(40, 200))
+        run_lockstep(ref, fast, ops)
+
+
+@pytest.mark.parametrize("sectors", [1, 2, 4])
+def test_sectored_lockstep(sectors):
+    for case in range(CASES // 2):
+        rng = random.Random(0x5EC7 + 1000 * sectors + case)
+        line, assoc, n_sets = rng.choice(GEOMETRIES)
+        size = line * assoc * n_sets * sectors
+        ref = SectoredCache(size, line, assoc, sectors,
+                            WritePolicy.WRITE_EVICT)
+        fast = FastSectoredCache(size, line, assoc, sectors,
+                                 WritePolicy.WRITE_EVICT)
+        ops = random_ops(rng, line, n_ops=rng.randrange(40, 160))
+        run_lockstep(ref, fast, ops, sectored=True, rng=rng)
+
+
+def test_random_replacement_rng_state_tracks():
+    """The LCG state itself must stay in lockstep through evictions.
+
+    A long write-back-allocate stream over a 2-set cache forces
+    thousands of pseudo-random victim picks; one skipped or extra LCG
+    step on either side desynchronizes every subsequent eviction.
+    """
+    rng = random.Random(7)
+    ref = SetAssociativeCache(32 * 8 * 2, 32, 8,
+                              WritePolicy.WRITE_BACK_ALLOCATE,
+                              random_replacement=True)
+    fast = FastSetAssociativeCache(32 * 8 * 2, 32, 8,
+                                   WritePolicy.WRITE_BACK_ALLOCATE,
+                                   random_replacement=True)
+    for i in range(2000):
+        addr = rng.randrange(64 * 32)
+        is_write = rng.random() < 0.3
+        assert ref.access(addr, float(i), 200.0, is_write) == \
+            fast.access(addr, float(i), 200.0, is_write), f"op {i}"
+    assert stats_tuple(ref) == stats_tuple(fast)

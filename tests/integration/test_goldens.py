@@ -1,0 +1,79 @@
+"""Golden regression fixtures for the Figure-12/13 scheme matrix.
+
+Each golden is the SHA-256 fingerprint of the *canonicalized* metrics
+(:func:`repro.gpu.metrics.metrics_fingerprint`, floats via ``repr``)
+for one fixed-seed cell of the evaluation matrix: workload x platform
+x scheme at a reduced scale.  Any change to the simulator, the cache
+models, the planners or the workload models that moves even one
+counter or one float bit flips a fingerprint and fails here — the
+tightest regression net the repo has.
+
+When a behaviour change is *intentional*, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_goldens.py \
+        --update-goldens
+
+and commit the fixture diff alongside the change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.gpu.metrics import metrics_fingerprint
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "scheme_fingerprints.json"
+
+#: Fixed-seed sub-matrix of the Figure-12 scheme progression (and the
+#: Figure-13 cross-platform slice): small enough to run on every CI
+#: push, wide enough to cover both cache geometries, every plan mode
+#: and the bypass path.
+WORKLOADS = ("NN", "ATX", "BS")
+GPUS = ("Tesla K40", "GTX980")
+SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT+BPS")
+SCALE = 0.2
+SEED = 0
+WARMUPS = 1
+
+
+def compute_fingerprints() -> "dict[str, str]":
+    out = {}
+    for wl in WORKLOADS:
+        for gpu in GPUS:
+            for scheme in SCHEMES:
+                metrics = api.simulate(wl, gpu, scheme=scheme, scale=SCALE,
+                                       seed=SEED, warmups=WARMUPS)
+                out[f"{wl}/{gpu}/{scheme}"] = metrics_fingerprint(metrics)
+    return out
+
+
+def test_scheme_matrix_matches_goldens(request):
+    got = compute_fingerprints()
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(got, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"goldens rewritten at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), \
+        "no golden fixture checked in; run with --update-goldens"
+    golden = json.loads(GOLDEN_PATH.read_text())
+    drifted = sorted(cell for cell in golden
+                     if got.get(cell) != golden[cell])
+    assert got == golden, (
+        f"{len(drifted)} golden cell(s) drifted: {drifted[:6]}... "
+        f"If the behaviour change is intentional, regenerate with "
+        f"--update-goldens and commit the fixture diff.")
+
+
+def test_goldens_are_deterministic():
+    """The same cell computed twice in-process fingerprints identically
+    (guards accidental global state in kernels/planners/schedulers)."""
+    a = api.simulate("NN", "Tesla K40", scheme="CLU", scale=SCALE,
+                     seed=SEED, warmups=WARMUPS)
+    b = api.simulate("NN", "Tesla K40", scheme="CLU", scale=SCALE,
+                     seed=SEED, warmups=WARMUPS)
+    assert metrics_fingerprint(a) == metrics_fingerprint(b)
