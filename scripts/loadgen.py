@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the repro.service daemon.
+
+``--concurrency`` worker threads each own one keep-alive
+:class:`~repro.service.client.ServiceClient` and issue ``simulate``
+requests back-to-back until the shared budget of ``--requests`` is
+spent.  Requests rotate through ``--distinct`` unique job shapes
+(seed-varied), so the ratio distinct/requests directly controls how
+much single-flight dedup and result-cache traffic the run generates —
+``--distinct 1`` is a pure dedup storm, ``--distinct == --requests``
+never dedups.
+
+The run reports wall time, throughput and latency percentiles, plus
+the dedup/cache hit ratios read from the server's ``/metrics`` delta,
+and exits 1 if *any* request failed — which is what the CI smoke job
+keys off.  With ``--record`` the same entry is appended to
+``BENCH_service.json`` at the repo root, the serving counterpart of
+``BENCH_sweep.json``'s engine trajectory.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.service --port 8766 --workers 2 &
+    PYTHONPATH=src python scripts/loadgen.py --port 8766 \
+        --requests 50 --concurrency 8
+    PYTHONPATH=src python scripts/loadgen.py --port 8766 --record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as _platform
+import subprocess
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import __version__  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.service.metrics import percentile  # noqa: E402
+
+#: The job shapes the generator rotates through (seed varies per slot).
+WORKLOAD, GPU, SCALE = "NN", "GTX980", 0.2
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+class Worker(threading.Thread):
+    """One closed-loop client: request, await, repeat."""
+
+    def __init__(self, host: str, port: int, counter, latencies, errors,
+                 distinct: int, check: bool, expected):
+        super().__init__(daemon=True)
+        self.client = ServiceClient(host=host, port=port, timeout=120.0)
+        self.counter = counter
+        self.latencies = latencies
+        self.errors = errors
+        self.distinct = distinct
+        self.check = check
+        self.expected = expected
+
+    def run(self):
+        while True:
+            slot = self.counter.take()
+            if slot is None:
+                break
+            seed = slot % self.distinct
+            started = time.perf_counter()
+            try:
+                result = self.client.simulate(WORKLOAD, GPU, scale=SCALE,
+                                              seed=seed)
+            except (ServiceError, OSError) as exc:
+                self.errors.append(f"request {slot} (seed {seed}): {exc}")
+                continue
+            finally:
+                self.latencies.append(time.perf_counter() - started)
+            if self.check and result != self.expected[seed]:
+                self.errors.append(
+                    f"request {slot}: served result for seed {seed} "
+                    f"differs from direct repro.api.simulate")
+        self.client.close()
+
+
+class Budget:
+    """Thread-safe countdown of remaining requests."""
+
+    def __init__(self, total: int):
+        self._remaining = total
+        self._lock = threading.Lock()
+
+    def take(self):
+        with self._lock:
+            if self._remaining <= 0:
+                return None
+            self._remaining -= 1
+            return self._remaining
+
+
+def wait_ready(client: ServiceClient, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.readyz():
+                return True
+        except OSError:
+            pass
+        time.sleep(0.1)
+    return False
+
+
+def run_load(args) -> "tuple[dict, list[str]]":
+    control = ServiceClient(host=args.host, port=args.port, timeout=30.0)
+    if not wait_ready(control, args.ready_timeout):
+        return {}, [f"service at {args.host}:{args.port} never became "
+                    f"ready within {args.ready_timeout:g}s"]
+
+    expected = {}
+    if args.check:
+        # Direct in-process baselines, one per distinct job shape; the
+        # served results must match bit-for-bit.
+        from repro.api import simulate
+        from repro.gpu.metrics import canonical_metrics
+        for seed in range(args.distinct):
+            expected[seed] = canonical_metrics(
+                simulate(WORKLOAD, GPU, scale=SCALE, seed=seed))
+
+    before = control.metrics()
+    budget = Budget(args.requests)
+    latencies, errors = [], []
+    workers = [Worker(args.host, args.port, budget, latencies, errors,
+                      args.distinct, args.check, expected)
+               for _ in range(args.concurrency)]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    after = control.metrics()
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(after, handle, indent=2)
+            handle.write("\n")
+    control.close()
+
+    jobs_delta = after["jobs"]["submitted"] - before["jobs"]["submitted"]
+    dedup_delta = after["jobs"]["dedup_hits"] - before["jobs"]["dedup_hits"]
+    cache_delta = after["jobs"]["cache_hits"] - before["jobs"]["cache_hits"]
+    ordered = sorted(latencies)
+    summary = {
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "distinct": args.distinct,
+        "errors": len(errors),
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(args.requests / wall, 2) if wall else 0,
+        "latency_ms": {
+            "p50": round(percentile(ordered, 0.50) * 1e3, 2),
+            "p95": round(percentile(ordered, 0.95) * 1e3, 2),
+            "p99": round(percentile(ordered, 0.99) * 1e3, 2),
+            "max": round(ordered[-1] * 1e3, 2) if ordered else 0.0,
+        },
+        "server": {
+            "jobs_submitted": jobs_delta,
+            "dedup_hits": dedup_delta,
+            "cache_hits": cache_delta,
+            "dedup_hit_ratio": (round(dedup_delta / jobs_delta, 4)
+                                if jobs_delta else 0.0),
+            "cache_hit_ratio": (round(cache_delta / jobs_delta, 4)
+                                if jobs_delta else 0.0),
+            "executed": after["jobs"]["executed"] - before["jobs"]["executed"],
+            "rejected_queue_full":
+                after["requests"]["rejected_queue_full"]
+                - before["requests"]["rejected_queue_full"],
+        },
+    }
+    return summary, errors
+
+
+def record(summary: dict, output: str) -> None:
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "version": __version__,
+        "python": _platform.python_version(),
+        "job": {"workload": WORKLOAD, "gpu": GPU, "scale": SCALE},
+        **summary,
+    }
+    trajectory = []
+    if os.path.exists(output):
+        with open(output) as handle:
+            trajectory = json.load(handle)
+    trajectory.append(entry)
+    tmp = output + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, output)
+    print(f"appended entry #{len(trajectory)} to {output}", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="port the service is listening on")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="total requests to issue (default 50)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads (default 8)")
+    parser.add_argument("--distinct", type=int, default=8,
+                        help="unique job shapes to rotate through; lower "
+                             "means more dedup/cache traffic (default 8)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify every served result bit-for-bit "
+                             "against direct repro.api.simulate")
+    parser.add_argument("--ready-timeout", type=float, default=30.0,
+                        help="seconds to wait for /readyz (default 30)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="dump the server's final /metrics document")
+    parser.add_argument("--record", action="store_true",
+                        help="append the summary to BENCH_service.json")
+    parser.add_argument("--output", default=None,
+                        help="trajectory file for --record (default: "
+                             "BENCH_service.json at the repo root)")
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.concurrency < 1 or args.distinct < 1:
+        parser.error("--requests, --concurrency and --distinct must be >= 1")
+    args.distinct = min(args.distinct, args.requests)
+
+    summary, errors = run_load(args)
+    if summary:
+        print(json.dumps(summary, indent=2))
+    for line in errors[:10]:
+        print(f"ERROR: {line}", file=sys.stderr)
+    if len(errors) > 10:
+        print(f"... and {len(errors) - 10} more", file=sys.stderr)
+    if errors:
+        return 1
+
+    if args.record:
+        output = args.output or os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_service.json")
+        record(summary, output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

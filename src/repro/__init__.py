@@ -93,7 +93,15 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def version_line() -> str:
+    """The one-line version banner both CLIs print for ``--version``:
+    package release plus the engine schema version that salts the
+    persistent result cache."""
+    from repro.engine.job import ENGINE_VERSION
+    return f"repro {__version__} (engine schema {ENGINE_VERSION})"
 
 __all__ = [
     "SCHEMES", "cluster", "simulate", "sweep",
@@ -110,5 +118,5 @@ __all__ = [
     "read", "write",
     "ProfileSession", "RecordingTracer", "Tracer",
     "all_workloads", "by_category", "figure3_workloads", "table2_workloads",
-    "workload", "__version__",
+    "workload", "__version__", "version_line",
 ]

@@ -15,6 +15,11 @@ an internal module:
   :class:`~repro.engine.SweepRunner` (parallelism, caching,
   memoization and profiling all live on the runner).
 
+The served counterpart (:mod:`repro.service`) exposes the same three
+operations over HTTP/JSON; its stdlib client is re-exported here —
+:func:`connect` / :class:`ServiceClient` — so remote callers also
+never import an internal module.
+
 Stability contract: these signatures only grow new keyword arguments;
 positional meaning and return types are fixed.  Internal modules may
 reorganize freely underneath.
@@ -33,11 +38,15 @@ from repro.gpu.plan import ExecutionPlan, baseline_plan
 from repro.gpu.simulator import GpuSimulator
 from repro.gpu.simulator import simulate as _simulate_kernel
 from repro.kernels.kernel import KernelSpec
+from repro.service.client import ServiceClient, ServiceError, connect
 from repro.workloads.base import Workload
 from repro.workloads.registry import workload as _lookup_workload
 
 #: The paper's scheme names, as `cluster`/`simulate` accept them.
 SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
+
+__all__ = ["SCHEMES", "ServiceClient", "ServiceError", "cluster",
+           "connect", "simulate", "sweep"]
 
 
 def _resolve_config(gpu) -> "tuple[GpuSimulator | None, GpuConfig]":

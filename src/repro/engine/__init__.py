@@ -21,12 +21,14 @@ process boundary, and the job's content hash doubles as the cache key.
 
 from repro.engine.cache import ResultCache, default_cache_root
 from repro.engine.executors import (
+    cluster_job,
     execute,
     framework_job,
     measure_job,
     microbench_job,
     reuse_job,
     schemes_job,
+    simulate_job,
     table2_job,
 )
 from repro.engine.job import ENGINE_VERSION, SimJob
@@ -36,6 +38,8 @@ __all__ = [
     "ENGINE_VERSION",
     "ResultCache",
     "SimJob",
+    "cluster_job",
+    "simulate_job",
     "SweepRunner",
     "SweepStats",
     "default_cache_root",

@@ -55,6 +55,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Corrupt/truncated entries found (counted in ``misses`` too) and
+    #: deleted so they can never poison a later lookup.
+    corrupt: int = 0
     get_seconds: float = 0.0
     put_seconds: float = 0.0
 
@@ -90,18 +93,34 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, job: SimJob):
-        """Cached result for ``job``, or the module's miss sentinel."""
+        """Cached result for ``job``, or the module's miss sentinel.
+
+        A corrupt or truncated entry (killed writer on a filesystem
+        without atomic replace, disk-full half-write, stale format) is
+        treated as a miss *and the bad file is deleted*, so a serving
+        request never sees the same broken entry twice and nothing
+        propagates an unpickling exception up into a request handler.
+        """
         started = time.perf_counter()
         path = self.path_for(job)
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except Exception:
-            # A missing file is the common miss; anything else means a
-            # corrupt/stale entry, and unpickling corrupt bytes can
-            # raise nearly any exception type — treat them all as
-            # misses so the job simply re-runs.
+        except FileNotFoundError:
+            # The common miss: never computed (or salt rotated).
             self.stats.misses += 1
+            self.stats.get_seconds += time.perf_counter() - started
+            return _MISS
+        except Exception:
+            # Unpickling corrupt bytes can raise nearly any exception
+            # type — count it, drop the bad entry, and miss so the job
+            # simply re-runs and overwrites it.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             self.stats.get_seconds += time.perf_counter() - started
             return _MISS
         self.stats.hits += 1

@@ -7,7 +7,10 @@ functions so the runner can ship jobs to ``ProcessPoolExecutor``
 workers; everything they return must pickle cleanly (metrics,
 dataclass records), never plans or kernels.
 
-The six kinds cover every experiment driver:
+The first six kinds cover every experiment driver; the last two wrap
+the stable :mod:`repro.api` facade so request/response front ends
+(:mod:`repro.service`) can name facade calls declaratively and share
+the engine's dedup key, persistent cache and worker offload:
 
 ========== ==================================================== =====================
 kind       meaning                                              result
@@ -18,6 +21,8 @@ microbench the Listing-3 latency probe on one GPU               ``MicrobenchResu
 reuse      inter- vs intra-CTA reuse quantification of one app  ``ReuseProfile``
 table2     occupancy-model CTAs/SM quadruple of one app         ``tuple[int, ...]``
 framework  the Fig.-11 framework's decision for one (app, GPU)  ``DecisionSummary``
+simulate   one ``repro.api.simulate`` call, named by strings    ``KernelMetrics``
+cluster    one ``repro.api.cluster`` call, named by strings     ``dict`` (plan digest)
 ========== ==================================================== =====================
 
 The companion ``*_job`` builders are the only places job extras are
@@ -283,3 +288,59 @@ def _run_framework(job: SimJob):
                         probe_kernel=workload.probe_kernel(gpu),
                         seed=job.seed)
     return decision.summarize()
+
+
+# ----------------------------------------------------------------------
+# simulate / cluster — the repro.api facade as declarative jobs
+# ----------------------------------------------------------------------
+
+def simulate_job(workload, gpu, *, scheme: str = None, scale: float = 1.0,
+                 seed: int = 0, warmups: int = 1) -> SimJob:
+    """One :func:`repro.api.simulate` call, named entirely by strings.
+
+    The executor *is* the facade call, so a result served from this
+    job — directly, from the persistent cache, or through
+    :mod:`repro.service` — is bit-identical to calling
+    ``repro.api.simulate`` with the same arguments in-process.
+    """
+    return SimJob.make("simulate", workload=_abbr(workload),
+                       gpu=_gpu_name(gpu), scheme=scheme, scale=scale,
+                       seed=seed, warmups=warmups)
+
+
+@executor("simulate")
+def _run_simulate(job: SimJob):
+    from repro.api import simulate as api_simulate
+    return api_simulate(job.workload, job.gpu, scheme=job.scheme,
+                        scale=job.scale, seed=job.seed,
+                        warmups=job.warmups)
+
+
+def cluster_job(workload, gpu, *, scheme: str = "CLU",
+                direction: str = None, active_agents: int = None,
+                seed: int = 0) -> SimJob:
+    """One :func:`repro.api.cluster` call; the result is the plan's
+    JSON-stable digest (:meth:`~repro.gpu.plan.ExecutionPlan.describe`),
+    since live plans hold callables and never cross process
+    boundaries.  ``direction`` is a name (``"X-P"``/``"Y-P"``) or
+    ``None`` for the dependence analysis's choice.
+    """
+    return SimJob.make("cluster", workload=_abbr(workload),
+                       gpu=_gpu_name(gpu), scheme=scheme, seed=seed,
+                       warmups=0, direction=direction,
+                       active_agents=active_agents)
+
+
+@executor("cluster")
+def _run_cluster(job: SimJob):
+    from repro.api import cluster as api_cluster
+    from repro.core.indexing import direction as lookup_direction
+    name = job.extra("direction")
+    part = lookup_direction(name) if name is not None else None
+    active_agents = job.extra("active_agents")
+    if active_agents is not None:
+        active_agents = int(active_agents)
+    plan = api_cluster(job.workload, job.scheme, gpu=job.gpu,
+                       direction=part, active_agents=active_agents,
+                       seed=job.seed)
+    return plan.describe()

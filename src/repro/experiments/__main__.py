@@ -34,6 +34,7 @@ import os
 import sys
 import time
 
+import repro
 from repro.engine import default_runner
 from repro.experiments.driver import RunContext, get_driver
 from repro.gpu.cache import FAST_MODEL_ENV
@@ -60,6 +61,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
+    parser.add_argument("--version", action="version",
+                        version=repro.version_line())
     parser.add_argument("artifacts", nargs="*", choices=[[], *ARTIFACTS],
                         help="artifacts to regenerate (default: all)")
     parser.add_argument("--scale", type=float, default=1.0,

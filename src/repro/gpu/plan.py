@@ -53,6 +53,37 @@ class ExecutionPlan:
             return position
         return self.dispatch_map(position)
 
+    def describe(self) -> dict:
+        """JSON-stable digest of this plan.
+
+        Plans hold live callables (``dispatch_map``) and full per-SM
+        task lists, so they never cross a process or wire boundary;
+        this digest is what the engine's ``cluster`` job kind and the
+        :mod:`repro.service` ``/v1/cluster`` endpoint return instead.
+        ``notes`` values that are not JSON scalars are rendered with
+        ``repr``.
+        """
+        digest = {
+            "scheme": self.scheme,
+            "mode": self.mode,
+            "redirected": self.dispatch_map is not None,
+            "per_cta_overhead": float(self.per_cta_overhead),
+            "active_agents": int(self.active_agents),
+            "agent_bind_overhead": float(self.agent_bind_overhead),
+            "per_task_overhead": float(self.per_task_overhead),
+            "bypass_streams": bool(self.bypass_streams),
+            "prefetch_depth": int(self.prefetch_depth),
+            "notes": {
+                str(key): value if isinstance(
+                    value, (type(None), bool, int, float, str)) else repr(value)
+                for key, value in self.notes.items()},
+        }
+        if self.sm_tasks is not None:
+            counts = [len(tasks) for tasks in self.sm_tasks]
+            digest["sm_task_counts"] = counts
+            digest["n_tasks"] = sum(counts)
+        return digest
+
 
 def baseline_plan() -> ExecutionPlan:
     """The untransformed kernel: identity dispatch, no overheads."""

@@ -1,0 +1,52 @@
+"""repro.service — the request/response serving layer.
+
+A dependency-free asyncio HTTP/JSON daemon exposing the stable
+:mod:`repro.api` surface (``simulate``/``cluster``/``sweep``) plus
+``/healthz``, ``/readyz`` and ``/metrics``, layered on the machinery
+the batch CLIs already use: requests canonicalize to engine
+:class:`~repro.engine.job.SimJob` content hashes (single-flight dedup
++ persistent :class:`~repro.engine.cache.ResultCache`), misses are
+micro-batched onto a bounded worker pool, and robustness —
+backpressure, deadlines, crash recovery, graceful drain — is
+first-class.  See DESIGN.md "Serving architecture".
+
+Importing this package is cheap (client + config only); the server
+machinery loads on first use::
+
+    python -m repro.service --port 8373 --workers 4      # the daemon
+
+    from repro.api import connect                        # the client
+    connect(port=8373).simulate("NN", "GTX980", scheme="CLU")
+
+    from repro.service import EmbeddedService            # in-process
+"""
+
+from repro.service.client import ServiceClient, ServiceError, connect
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EmbeddedService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationService",
+    "connect",
+]
+
+#: Lazily resolved server-side names, so ``from repro.api import
+#: connect`` never drags the asyncio server machinery along.
+_LAZY = {
+    "EmbeddedService": ("repro.service.embed", "EmbeddedService"),
+    "SimulationService": ("repro.service.core", "SimulationService"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), attr)

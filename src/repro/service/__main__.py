@@ -1,0 +1,125 @@
+"""Launcher: ``python -m repro.service`` runs the serving daemon.
+
+Usage::
+
+    python -m repro.service --port 8373 --workers 4
+    python -m repro.service --port 0 --workers 0 --queue-depth 8
+    python -m repro.service --profile service_profile.json
+    python -m repro.service --version
+
+The process serves until SIGTERM/SIGINT, then drains gracefully:
+``/readyz`` flips to 503, admitted requests finish, the pool shuts
+down, and — when ``--profile`` was given — the run's profile summary
+(phases, per-job worker spans, hottest observed cells; same schema as
+the experiments CLI's ``--profile``) is written on the way out.  Exit
+code 0 means every admitted request was answered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+import repro
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.core import SimulationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve repro.api (simulate/cluster/sweep) over "
+                    "HTTP/JSON with single-flight dedup, result caching, "
+                    "micro-batching and backpressure.")
+    parser.add_argument("--version", action="version",
+                        version=repro.version_line())
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port; 0 picks an ephemeral port "
+                             f"(default {DEFAULT_PORT})")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="simulation worker processes; 0 = one "
+                             "in-process worker thread (default 1)")
+    parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                        help="max admitted-but-unfinished jobs before "
+                             "admission answers 429 (default 64)")
+    parser.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                        help="default/maximum per-request deadline in "
+                             "seconds (default 30)")
+    parser.add_argument("--batch-max", type=int, default=8, metavar="N",
+                        help="max jobs per pool micro-batch (default 8)")
+    parser.add_argument("--batch-window", type=float, default=0.005,
+                        metavar="S",
+                        help="micro-batch collection window in seconds "
+                             "(default 0.005)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        metavar="S",
+                        help="max seconds to wait for in-flight work on "
+                             "shutdown (default 10)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="serve without the persistent result cache "
+                             "in .repro_cache/")
+    parser.add_argument("--cache-root", default=None, metavar="DIR",
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or ./.repro_cache)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="write a profile JSON summary (same schema "
+                             "as the experiments CLI) at shutdown")
+    return parser
+
+
+def config_from_args(args) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, deadline_s=args.deadline,
+        batch_max=args.batch_max, batch_window_s=args.batch_window,
+        drain_timeout_s=args.drain_timeout, cache=not args.no_cache,
+        cache_root=args.cache_root)
+
+
+async def serve(config: ServiceConfig, profile_path: str = None) -> int:
+    profile = None
+    if profile_path:
+        from repro.obs import ProfileSession
+        profile = ProfileSession(label="service", argv=sys.argv[1:])
+    service = SimulationService(config, profile=profile)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, service.request_shutdown)
+        except NotImplementedError:  # non-Unix event loop
+            signal.signal(signum,
+                          lambda *_: service.request_shutdown())
+    print(f"repro.service {repro.__version__} listening on "
+          f"http://{config.host}:{service.port} "
+          f"(workers={config.workers}, queue-depth={config.queue_depth}, "
+          f"deadline={config.deadline_s:g}s, "
+          f"cache={'on' if config.cache else 'off'})", flush=True)
+    await service.wait_closed()
+    metrics = service.metrics
+    print(f"[drained: {metrics.requests_total} requests, "
+          f"{metrics.jobs_submitted} jobs "
+          f"({metrics.dedup_hits} deduped, {metrics.cache_hits} cached, "
+          f"{metrics.executed} executed, {metrics.job_errors} failed)]",
+          flush=True)
+    if profile is not None:
+        profile.write(profile_path)
+        print(f"[profile summary written to {profile_path}]", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(serve(config_from_args(args),
+                                 profile_path=args.profile))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Thin stdlib client for the simulation service.
+
+Only ``http.client`` and ``json`` — importable anywhere the package
+is, with zero server machinery attached, which is why ``repro.api``
+re-exports it.  One :class:`ServiceClient` wraps one keep-alive
+connection (reconnecting transparently when the server or an
+intermediary drops it); it is *not* thread-safe — give each thread its
+own client, as ``scripts/loadgen.py`` does.
+
+    >>> from repro.api import connect
+    >>> client = connect(port=8373)
+    >>> client.simulate("NN", "GTX980", scheme="CLU")["cycles"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from repro.service.config import DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """A structured non-200 answer from the service."""
+
+    def __init__(self, status: int, payload: dict):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or f"service answered {status}"
+        super().__init__(f"[{status}/{error.get('code', 'unknown')}] "
+                         f"{message}")
+        self.status = status
+        self.code = error.get("code", "unknown")
+        self.payload = payload
+        self.retry_after_s = error.get("retry_after_s")
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one service instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: dict = None,
+                 *, _retried: bool = False) -> "tuple[int, dict]":
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError,
+                socket.timeout, OSError):
+            # Stale keep-alive connection (server restarted, idle
+            # timeout): reconnect once, then let the error out.
+            self.close()
+            if _retried:
+                raise
+            return self._request(method, path, payload, _retried=True)
+        if response.will_close:
+            self.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            document = {"raw": raw.decode("latin-1")}
+        return response.status, document
+
+    def _call(self, method: str, path: str, payload: dict = None) -> dict:
+        status, document = self._request(method, path, payload)
+        if status != 200:
+            raise ServiceError(status, document)
+        return document
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def simulate(self, workload: str, gpu: str, *, scheme: str = None,
+                 scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                 deadline_s: float = None, full: bool = False) -> dict:
+        """One served measurement; returns the canonical metrics dict
+        (bit-comparable to ``canonical_metrics(repro.api.simulate(...))``).
+        ``full=True`` returns the whole envelope (``key``/``source``/
+        ``result``) instead.
+        """
+        payload = {"workload": workload, "gpu": gpu, "scale": scale,
+                   "seed": seed, "warmups": warmups}
+        if scheme is not None:
+            payload["scheme"] = scheme
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/simulate", payload)
+        return envelope if full else envelope["result"]
+
+    def cluster(self, workload: str, gpu: str, *, scheme: str = "CLU",
+                direction: str = None, active_agents: int = None,
+                seed: int = 0, deadline_s: float = None,
+                full: bool = False) -> dict:
+        """Plan digest for one scheme (see ``ExecutionPlan.describe``)."""
+        payload = {"workload": workload, "gpu": gpu, "scheme": scheme,
+                   "seed": seed}
+        if direction is not None:
+            payload["direction"] = direction
+        if active_agents is not None:
+            payload["active_agents"] = active_agents
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/cluster", payload)
+        return envelope if full else envelope["plan"]
+
+    def sweep(self, jobs: "list[dict]", *, deadline_s: float = None,
+              full: bool = False) -> list:
+        """A batch of job descriptors; results in submission order."""
+        payload: dict = {"jobs": list(jobs)}
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/sweep", payload)
+        return envelope if full else envelope["results"]
+
+    def healthz(self) -> bool:
+        status, _ = self._request("GET", "/healthz")
+        return status == 200
+
+    def readyz(self) -> bool:
+        status, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metrics")
+
+
+def connect(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+            timeout: float = 120.0) -> ServiceClient:
+    """The one-line way to a client (re-exported by ``repro.api``)."""
+    return ServiceClient(host=host, port=port, timeout=timeout)

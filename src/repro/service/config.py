@@ -1,0 +1,59 @@
+"""Service tunables, in one frozen dataclass.
+
+Every knob the ``python -m repro.service`` launcher exposes (and a few
+it keeps at sane defaults) lives here, so embedding the service in a
+test or a notebook configures it exactly the way the daemon does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default TCP port ("RE" + "PRO" on a phone keypad would be absurd;
+#: this is just an unassigned high port).
+DEFAULT_PORT = 8373
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`~repro.service.core.SimulationService` needs.
+
+    ``workers`` is the simulation process pool size; ``0`` switches to
+    a single in-process worker thread — no fork, fully monkeypatchable,
+    the mode the unit tests and single-core containers use.
+    ``queue_depth`` bounds *admitted-but-unfinished* jobs: admission
+    beyond it answers 429 with a ``Retry-After`` hint (backpressure
+    instead of unbounded memory).  ``deadline_s`` is the default
+    per-request deadline (requests may ask for less via
+    ``deadline_s`` in their JSON body, never for more).  Cache misses
+    are micro-batched: a batch closes after ``batch_window_s`` or at
+    ``batch_max`` jobs, whichever comes first, amortizing pool IPC
+    without adding tail latency.  On SIGTERM the service stops
+    accepting, finishes what it admitted, and force-closes whatever
+    still runs after ``drain_timeout_s``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 1
+    queue_depth: int = 64
+    deadline_s: float = 30.0
+    batch_max: int = 8
+    batch_window_s: float = 0.005
+    drain_timeout_s: float = 10.0
+    cache: bool = True
+    cache_root: "str | None" = None
+    max_body_bytes: int = 8 << 20
+    max_sweep_jobs: int = 256
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")

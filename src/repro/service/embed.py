@@ -1,0 +1,99 @@
+"""Run the service inside the current process, on a background thread.
+
+The daemon normally owns the process (``python -m repro.service``), but
+tests, notebooks and fixtures want a real served endpoint without a
+subprocess.  :class:`EmbeddedService` runs a private event loop on a
+daemon thread, binds to an ephemeral port by default, and tears down
+through exactly the same graceful-drain path SIGTERM takes::
+
+    with EmbeddedService(workers=0, cache=False) as service:
+        metrics = service.client().simulate("NN", "GTX980")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.core import SimulationService
+
+
+class EmbeddedService:
+    """Context manager owning one in-process service instance.
+
+    Keyword overrides are :class:`~repro.service.config.ServiceConfig`
+    fields; the embedded defaults differ from the daemon's where it
+    matters in-process: ephemeral port, no persistent cache.
+    """
+
+    def __init__(self, *, profile=None, **overrides):
+        overrides.setdefault("port", 0)
+        overrides.setdefault("cache", False)
+        self.config = ServiceConfig(**overrides)
+        self.profile = profile
+        self.service: "SimulationService | None" = None
+        self.port: "int | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._ready = threading.Event()
+        self._error: "BaseException | None" = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "EmbeddedService":
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("embedded service did not become ready")
+        if self._error is not None:
+            raise RuntimeError(
+                f"embedded service failed to start: {self._error!r}") \
+                from self._error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("embedded service did not drain in time")
+        self._thread = None
+
+    def __enter__(self) -> "EmbeddedService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        if self.port is None:
+            raise RuntimeError("service is not running")
+        return ServiceClient(host=self.config.host, port=self.port,
+                             timeout=timeout)
+
+    # ------------------------------------------------------------------
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.service = SimulationService(self.config, profile=self.profile)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            raise
+        self.port = self.service.port
+        self._ready.set()
+        await self.service.wait_closed()

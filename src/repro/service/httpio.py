@@ -1,0 +1,166 @@
+"""A deliberately small HTTP/1.1 layer over asyncio streams.
+
+The service speaks plain HTTP/1.1 with JSON bodies and keep-alive —
+enough for ``curl``, ``http.client`` and any load balancer's health
+checks — without pulling a web framework into a repository whose only
+runtime dependency is numpy.  Limits are enforced while *reading*
+(oversized headers or bodies are rejected before they are buffered),
+and every error surfaces as an :class:`HttpError` carrying the status
+code and a machine-readable error code, which the server renders into
+the one structured error shape every endpoint shares::
+
+    {"error": {"code": "queue_full", "message": "...", ...}}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Cap on the request line + headers block.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that ends with a structured non-200 response.
+
+    ``code`` is the stable machine-readable identifier clients switch
+    on (``bad_json``, ``queue_full``, ``deadline_exceeded``, ...);
+    ``retry_after_s``, when set, is surfaced both in the JSON body and
+    as a ``Retry-After`` header; ``detail`` merges extra fields into
+    the error object.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after_s: float = None, detail: dict = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+        self.detail = detail or {}
+
+    def payload(self) -> dict:
+        error = {"code": self.code, "message": self.message}
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = self.retry_after_s
+        error.update(self.detail)
+        return {"error": error}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: "dict[str, str]" = field(default_factory=dict)
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        """Parse the body as JSON; empty bodies parse as ``{}``."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, "bad_json",
+                            f"request body is not valid JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       max_body: int) -> "HttpRequest | None":
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed or oversized input and
+    ``ConnectionError``/``asyncio.IncompleteReadError`` on a peer that
+    vanishes mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers_too_large",
+                        "request headers exceed the per-request limit")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers_too_large",
+                        "request headers exceed the per-request limit")
+
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "bad_request_line",
+                        f"malformed request line: {lines[0]!r}") from None
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "bad_content_length",
+                            f"unparseable Content-Length {length!r}") from None
+        if n < 0:
+            raise HttpError(400, "bad_content_length",
+                            "negative Content-Length")
+        if n > max_body:
+            raise HttpError(413, "body_too_large",
+                            f"request body of {n} bytes exceeds the "
+                            f"{max_body}-byte limit")
+        body = await reader.readexactly(n)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "unsupported_transfer_encoding",
+                        "chunked request bodies are not supported; "
+                        "send Content-Length")
+    return HttpRequest(method=method.upper(), path=split.path, query=query,
+                       headers=headers, body=body)
+
+
+def render_response(status: int, payload, *, keep_alive: bool = True,
+                    retry_after_s: float = None) -> bytes:
+    """Serialize one JSON response (status line + headers + body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after_s is not None:
+        lines.append(f"Retry-After: {max(1, round(retry_after_s))}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,198 @@
+"""Request canonicalization: JSON bodies become engine ``SimJob``s.
+
+This module is the service's validation boundary.  Every request body
+is checked against the registries *before* any work is admitted —
+unknown workloads, platforms, schemes or job kinds answer 400 with the
+known names, never a traceback from deep inside a worker — and the
+resulting :class:`~repro.engine.job.SimJob` content hash is what the
+single-flight table and the persistent cache key on, so two requests
+that mean the same computation collapse no matter how their JSON was
+spelled (key order, int-vs-float scale, defaulted fields).
+
+The reverse direction lives here too: :func:`jsonable` renders any
+executor result into plain JSON, with ``KernelMetrics`` going through
+:func:`~repro.gpu.metrics.canonical_metrics` so a served ``simulate``
+response is *bit-comparable* to an in-process call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.executors import (
+    EXECUTORS,
+    cluster_job,
+    simulate_job,
+)
+from repro.engine.job import SimJob
+from repro.gpu.metrics import KernelMetrics, canonical_metrics
+from repro.service.httpio import HttpError
+
+
+def _bad(field: str, message: str) -> HttpError:
+    return HttpError(400, "bad_request",
+                     f"invalid {field!r}: {message}")
+
+
+def _string(payload: dict, field: str, *, required: bool = False,
+            default: str = None) -> "str | None":
+    value = payload.get(field, default)
+    if value is None:
+        if required:
+            raise _bad(field, "field is required")
+        return None
+    if not isinstance(value, str):
+        raise _bad(field, f"expected a string, got {type(value).__name__}")
+    return value
+
+
+def _number(payload: dict, field: str, default, *, cast=float,
+            minimum=None, maximum=None):
+    value = payload.get(field, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(field, f"expected a number, got {type(value).__name__}")
+    value = cast(value)
+    if minimum is not None and value < minimum:
+        raise _bad(field, f"must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise _bad(field, f"must be <= {maximum}, got {value}")
+    return value
+
+
+def _check_workload(abbr: str) -> str:
+    from repro.workloads.registry import REGISTRY
+    if abbr not in REGISTRY:
+        raise _bad("workload", f"unknown workload {abbr!r}; "
+                               f"known: {sorted(REGISTRY)}")
+    return abbr
+
+
+def _check_gpu(name: str) -> str:
+    from repro.gpu.config import PLATFORMS
+    if name not in PLATFORMS:
+        raise _bad("gpu", f"unknown platform {name!r}; "
+                          f"known: {sorted(PLATFORMS)}")
+    return name
+
+
+def _check_scheme(name: "str | None", *, required: bool) -> "str | None":
+    from repro.api import SCHEMES
+    if name is None:
+        if required:
+            raise _bad("scheme", "field is required")
+        return None
+    if name not in SCHEMES:
+        raise _bad("scheme", f"unknown scheme {name!r}; known: {SCHEMES}")
+    return name
+
+
+def build_simulate_job(payload: dict) -> SimJob:
+    """``POST /v1/simulate`` body -> a canonical ``simulate`` job."""
+    workload = _check_workload(_string(payload, "workload", required=True))
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    scheme = _check_scheme(_string(payload, "scheme"), required=False)
+    scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
+    seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    return simulate_job(workload, gpu, scheme=scheme, scale=scale,
+                        seed=seed, warmups=warmups)
+
+
+def build_cluster_job(payload: dict) -> SimJob:
+    """``POST /v1/cluster`` body -> a canonical ``cluster`` job."""
+    workload = _check_workload(_string(payload, "workload", required=True))
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    scheme = _check_scheme(_string(payload, "scheme", default="CLU"),
+                           required=True)
+    direction = _string(payload, "direction")
+    if direction is not None and direction not in ("X-P", "Y-P"):
+        raise _bad("direction", f"expected 'X-P' or 'Y-P', got {direction!r}")
+    active_agents = _number(payload, "active_agents", None, cast=int,
+                            minimum=1)
+    seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    return cluster_job(workload, gpu, scheme=scheme, direction=direction,
+                       active_agents=active_agents, seed=seed)
+
+
+def build_sweep_jobs(payload: dict, *, max_jobs: int) -> "list[SimJob]":
+    """``POST /v1/sweep`` body -> the canonical job list.
+
+    Each entry is either a full engine descriptor (``kind`` plus the
+    shared fields and ``extras``) or, for the two facade kinds, the
+    same shape the dedicated endpoints take.
+    """
+    entries = payload.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise _bad("jobs", "expected a non-empty list of job descriptors")
+    if len(entries) > max_jobs:
+        raise HttpError(413, "too_many_jobs",
+                        f"sweep of {len(entries)} jobs exceeds the "
+                        f"{max_jobs}-job per-request limit")
+    jobs = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise _bad(f"jobs[{index}]", "expected an object")
+        try:
+            jobs.append(_build_one(entry))
+        except HttpError as exc:
+            raise HttpError(exc.status, exc.code,
+                            f"jobs[{index}]: {exc.message}",
+                            detail=exc.detail) from None
+    return jobs
+
+
+def _build_one(entry: dict) -> SimJob:
+    kind = _string(entry, "kind", default="simulate")
+    if kind == "simulate":
+        return build_simulate_job(entry)
+    if kind == "cluster":
+        return build_cluster_job(entry)
+    if kind not in EXECUTORS:
+        raise _bad("kind", f"unknown job kind {kind!r}; "
+                           f"known: {sorted(EXECUTORS)}")
+    workload = _string(entry, "workload")
+    if workload is not None:
+        _check_workload(workload)
+    gpu = _string(entry, "gpu")
+    if gpu is not None:
+        _check_gpu(gpu)
+    extras = entry.get("extras", {})
+    if not isinstance(extras, dict):
+        raise _bad("extras", "expected an object")
+    try:
+        return SimJob.make(
+            kind, workload=workload, gpu=gpu,
+            scheme=_string(entry, "scheme"),
+            scale=_number(entry, "scale", 1.0, minimum=1e-6, maximum=16.0),
+            seed=_number(entry, "seed", 0, cast=int, minimum=0),
+            warmups=_number(entry, "warmups", 1, cast=int, minimum=0,
+                            maximum=8),
+            **extras)
+    except TypeError as exc:
+        raise _bad("extras", str(exc)) from None
+
+
+def jsonable(value):
+    """Render one executor result as plain JSON.
+
+    ``KernelMetrics`` canonicalize losslessly (floats via ``repr``, so
+    equality of the JSON implies bit-identity of the metrics); nested
+    dataclasses, sequences and mappings recurse; anything else falls
+    back to ``repr`` rather than failing the response.
+    """
+    if isinstance(value, KernelMetrics):
+        return canonical_metrics(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    return repr(value)

@@ -1,0 +1,78 @@
+"""ResultCache: roundtrip, salt rotation, and corrupt-entry recovery."""
+
+import pickle
+
+import pytest
+
+from repro.engine import ResultCache, simulate_job
+
+
+@pytest.fixture
+def job():
+    return simulate_job("NN", "GTX980", scale=0.2)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, cache, job):
+        assert ResultCache.is_miss(cache.get(job))
+        cache.put(job, {"cycles": 42})
+        assert cache.get(job) == {"cycles": 42}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_cached_none_is_not_a_miss(self, cache, job):
+        cache.put(job, None)
+        assert not ResultCache.is_miss(cache.get(job))
+
+    def test_salt_rotation_invalidates(self, tmp_path, job):
+        old = ResultCache(tmp_path / "cache", salt="1.1.0/2")
+        old.put(job, "stale")
+        new = ResultCache(tmp_path / "cache", salt="1.2.0/2")
+        assert ResultCache.is_miss(new.get(job))
+
+
+class TestCorruptEntries:
+    """A broken pickle must read as a miss, be counted, and be deleted
+    so the next lookup after the re-run overwrites a clean file —
+    never an unpickling traceback inside a request handler."""
+
+    def corrupt(self, cache, job, payload: bytes):
+        path = cache.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        return path
+
+    @pytest.mark.parametrize("payload", [
+        b"",                                     # zero-length file
+        b"not a pickle at all",                  # garbage bytes
+        pickle.dumps({"cycles": 42})[:-4],       # truncated mid-stream
+        b"\x80\x05garbage",                      # valid magic, bad body
+    ])
+    def test_corrupt_entry_is_miss_and_deleted(self, cache, job, payload):
+        path = self.corrupt(cache, job, payload)
+        assert ResultCache.is_miss(cache.get(job))
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        assert not path.exists(), "bad entry must not survive the miss"
+
+    def test_recompute_overwrites_cleanly(self, cache, job):
+        self.corrupt(cache, job, b"garbage")
+        assert ResultCache.is_miss(cache.get(job))
+        cache.put(job, {"cycles": 7})
+        assert cache.get(job) == {"cycles": 7}
+        assert cache.stats.corrupt == 1
+
+    def test_unreadable_entry_counts_once_per_lookup(self, cache, job):
+        self.corrupt(cache, job, b"junk")
+        cache.get(job)
+        # The file is gone, so the second lookup is a plain miss.
+        assert ResultCache.is_miss(cache.get(job))
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2

@@ -51,6 +51,19 @@ class TestMain:
             main(["table1", "--jobs", "0"])
 
 
+class TestVersionFlag:
+    def test_version_names_package_and_engine(self, capsys):
+        import repro
+        from repro.engine.job import ENGINE_VERSION
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert f"engine schema {ENGINE_VERSION}" in out
+
+
 class TestProfileFlag:
     def test_profile_and_trace_artifacts_written(self, tmp_path, capsys):
         import json

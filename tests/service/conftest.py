@@ -1,0 +1,28 @@
+"""Service-test fixtures: isolated caches, embedded servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.embed import EmbeddedService
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every service test gets its own empty persistent-cache root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def service_factory():
+    """Start embedded services that are always drained at teardown."""
+    running = []
+
+    def start(**overrides) -> EmbeddedService:
+        service = EmbeddedService(**overrides).start()
+        running.append(service)
+        return service
+
+    yield start
+    for service in running:
+        service.stop()

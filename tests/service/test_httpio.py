@@ -1,0 +1,109 @@
+"""Unit tests for the minimal HTTP layer (parse + render)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.httpio import (
+    HttpError,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, *, max_body: int = 1 << 20):
+    """Feed raw bytes through read_request on a private loop."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body=max_body)
+    return asyncio.run(run())
+
+
+class TestParse:
+    def test_get_with_query(self):
+        request = parse(b"GET /metrics?verbose=1 HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/metrics"
+        assert request.query == {"verbose": "1"}
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_json_body(self):
+        body = json.dumps({"workload": "NN"}).encode()
+        request = parse(b"POST /v1/simulate HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+        assert request.json() == {"workload": "NN"}
+
+    def test_connection_close_honoured(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_bad_json_is_http_error(self):
+        request = parse(b"POST /v1/simulate HTTP/1.1\r\n"
+                        b"Content-Length: 3\r\n\r\n{{{")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_json"
+
+    def test_empty_body_parses_as_empty_object(self):
+        request = parse(b"POST /v1/simulate HTTP/1.1\r\n\r\n")
+        assert request.json() == {}
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+                  + b"x" * 100, max_body=10)
+        assert excinfo.value.status == 413
+
+    def test_bad_request_line_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_chunked_bodies_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.code == "unsupported_transfer_encoding"
+
+    def test_bad_content_length_rejected(self):
+        with pytest.raises(HttpError):
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+
+class TestRender:
+    def test_response_roundtrip(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_retry_after_header(self):
+        raw = render_response(429, {"error": {}}, retry_after_s=1.0)
+        assert b"Retry-After: 1" in raw
+
+    def test_connection_close(self):
+        raw = render_response(200, {}, keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_error_payload_shape(self):
+        error = HttpError(429, "queue_full", "full", retry_after_s=2.0,
+                          detail={"depth": 9})
+        payload = error.payload()
+        assert payload["error"]["code"] == "queue_full"
+        assert payload["error"]["retry_after_s"] == 2.0
+        assert payload["error"]["depth"] == 9

@@ -1,0 +1,127 @@
+"""Request canonicalization: JSON -> SimJob, results -> JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import simulate
+from repro.engine import execute
+from repro.gpu.metrics import canonical_metrics
+from repro.service.httpio import HttpError
+from repro.service.jobs import (
+    build_cluster_job,
+    build_simulate_job,
+    build_sweep_jobs,
+    jsonable,
+)
+
+
+class TestSimulateJob:
+    def test_identical_requests_share_one_key(self):
+        # Different JSON spellings of the same computation must
+        # canonicalize to one content hash — that key *is* the
+        # single-flight dedup identity.
+        a = build_simulate_job({"workload": "NN", "gpu": "GTX980"})
+        b = build_simulate_job({"workload": "NN", "gpu": "GTX980",
+                                "scale": 1, "seed": 0, "warmups": 1})
+        assert a.key == b.key
+
+    def test_different_seed_different_key(self):
+        a = build_simulate_job({"workload": "NN", "gpu": "GTX980"})
+        b = build_simulate_job({"workload": "NN", "gpu": "GTX980",
+                                "seed": 1})
+        assert a.key != b.key
+
+    def test_executor_is_the_facade(self):
+        job = build_simulate_job({"workload": "NN", "gpu": "GTX980",
+                                  "scale": 0.2, "seed": 5})
+        direct = simulate("NN", "GTX980", scale=0.2, seed=5)
+        assert canonical_metrics(execute(job)) == canonical_metrics(direct)
+
+    @pytest.mark.parametrize("payload, field", [
+        ({"gpu": "GTX980"}, "workload"),
+        ({"workload": "NN"}, "gpu"),
+        ({"workload": "NOPE", "gpu": "GTX980"}, "workload"),
+        ({"workload": "NN", "gpu": "GTX999"}, "gpu"),
+        ({"workload": "NN", "gpu": "GTX980", "scheme": "WAT"}, "scheme"),
+        ({"workload": "NN", "gpu": "GTX980", "scale": -1}, "scale"),
+        ({"workload": "NN", "gpu": "GTX980", "scale": "big"}, "scale"),
+        ({"workload": 7, "gpu": "GTX980"}, "workload"),
+    ])
+    def test_validation_is_a_400(self, payload, field):
+        with pytest.raises(HttpError) as excinfo:
+            build_simulate_job(payload)
+        assert excinfo.value.status == 400
+        assert field in excinfo.value.message
+
+
+class TestClusterJob:
+    def test_returns_plan_digest(self):
+        job = build_cluster_job({"workload": "NN", "gpu": "GTX980",
+                                 "scheme": "CLU", "direction": "Y-P"})
+        digest = execute(job)
+        assert digest["scheme"] == "CLU"
+        assert digest["mode"] == "placed"
+        assert digest["n_tasks"] == sum(digest["sm_task_counts"])
+        json.dumps(digest)  # must be JSON-clean as-is
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(HttpError):
+            build_cluster_job({"workload": "NN", "gpu": "GTX980",
+                               "direction": "Z-P"})
+
+
+class TestSweepJobs:
+    def test_mixed_kinds(self):
+        jobs = build_sweep_jobs({"jobs": [
+            {"workload": "NN", "gpu": "GTX980", "scale": 0.2},
+            {"kind": "cluster", "workload": "NN", "gpu": "GTX980"},
+            {"kind": "table2", "workload": "NN"},
+        ]}, max_jobs=16)
+        assert [job.kind for job in jobs] == ["simulate", "cluster",
+                                              "table2"]
+
+    def test_over_limit_is_413(self):
+        entries = [{"workload": "NN", "gpu": "GTX980"}] * 3
+        with pytest.raises(HttpError) as excinfo:
+            build_sweep_jobs({"jobs": entries}, max_jobs=2)
+        assert excinfo.value.status == 413
+
+    def test_bad_entry_names_its_index(self):
+        with pytest.raises(HttpError) as excinfo:
+            build_sweep_jobs({"jobs": [
+                {"workload": "NN", "gpu": "GTX980"},
+                {"workload": "NOPE", "gpu": "GTX980"},
+            ]}, max_jobs=16)
+        assert "jobs[1]" in excinfo.value.message
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            build_sweep_jobs({"jobs": [{"kind": "teleport"}]}, max_jobs=4)
+        assert "teleport" in excinfo.value.message
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(HttpError):
+            build_sweep_jobs({"jobs": []}, max_jobs=4)
+
+
+class TestJsonable:
+    def test_metrics_canonicalize(self):
+        metrics = simulate("NN", "GTX980", scale=0.2)
+        assert jsonable(metrics) == canonical_metrics(metrics)
+
+    def test_scheme_results_recurse(self):
+        from repro.experiments.schemes import run_all_schemes
+        from repro.gpu.config import GTX980
+        from repro.workloads.registry import workload
+        results = run_all_schemes(workload("NN"), GTX980, scale=0.2,
+                                  schemes=("BSL",))
+        document = jsonable(results)
+        json.dumps(document)
+        assert document["metrics"]["BSL"]["scheme"] == "BSL"
+
+    def test_opaque_objects_fall_back_to_repr(self):
+        document = jsonable({"x": object()})
+        assert isinstance(document["x"], str)

@@ -1,0 +1,87 @@
+"""Launcher tests: the real ``python -m repro.service`` process.
+
+One subprocess boot is slow (~1s) so the lifecycle test does the whole
+journey at once: boot on an ephemeral port, parse the banner, serve a
+request, SIGTERM, assert the graceful-drain exit.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.service.client import ServiceClient
+
+
+def launch(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--port", "0", "--workers", "0", *extra],
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def read_banner_port(process, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    pytest.fail("launcher never printed its listening banner")
+
+
+class TestVersionFlag:
+    def test_version_prints_both_versions(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.service", "--version"],
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True, text=True, timeout=60)
+        assert out.returncode == 0
+        from repro.engine.job import ENGINE_VERSION
+        assert repro.__version__ in out.stdout
+        assert f"engine schema {ENGINE_VERSION}" in out.stdout
+
+
+class TestDaemonLifecycle:
+    def test_boot_serve_sigterm_drain(self, tmp_path):
+        profile_path = tmp_path / "service_profile.json"
+        process = launch(tmp_path, "--profile", str(profile_path))
+        try:
+            port = read_banner_port(process)
+            client = ServiceClient(port=port, timeout=60.0)
+            assert client.healthz()
+            assert client.readyz()
+            served = client.simulate("NN", "GTX980", scale=0.2, full=True)
+            assert served["source"] == "executed"
+            client.close()
+            process.send_signal(signal.SIGTERM)
+            exit_code = process.wait(timeout=30)
+            output = process.stdout.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert exit_code == 0, output
+        assert "[drained:" in output
+        assert "1 executed" in output
+
+        from repro.obs import validate_profile
+        import json
+        summary = json.loads(profile_path.read_text())
+        validate_profile(summary)
+        assert summary["job_spans"] == 1

@@ -11,7 +11,19 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
+
+    def test_version_line_names_both_versions(self):
+        from repro.engine.job import ENGINE_VERSION
+        line = repro.version_line()
+        assert repro.__version__ in line
+        assert ENGINE_VERSION in line
+
+    def test_service_client_reexported(self):
+        from repro.api import ServiceClient, ServiceError, connect
+        client = connect(port=1)  # no I/O until a call happens
+        assert isinstance(client, ServiceClient)
+        assert issubclass(ServiceError, RuntimeError)
 
     def test_readme_quickstart(self):
         kernel = repro.workload("NN").kernel(scale=0.3, config=repro.GTX980)
