@@ -12,7 +12,9 @@ hardware allows" goal is steered by.
 Each entry also records the *warm* fast-vs-reference comparison: the
 same matrix timed on the flat-array fast simulation core and on the
 dict-based reference oracle (best of ``--passes`` warm passes each),
-whose ratio is the fast path's speedup on real sweep work.
+whose ratio is the fast path's speedup on real sweep work, plus a
+cold-vs-warm-cache ``repro.tuner`` timing (the warm tune must perform
+zero new simulations; its wall time is the search overhead alone).
 
 Usage::
 
@@ -112,6 +114,55 @@ def _measure_fastpath(passes: int) -> dict:
     }
 
 
+def _measure_tuner(passes: int) -> dict:
+    """Cold vs warm-cache tune timing on one small hillclimb search.
+
+    The warm passes run against the cache the cold pass filled, so
+    they perform zero new simulations — their best wall time is the
+    tuner's pure search overhead, and ``warm_new_simulations`` being 0
+    is re-asserted here so a caching regression shows up in the
+    trajectory, not just in CI.
+    """
+    import tempfile
+
+    from repro.engine import default_runner
+    from repro.tuner import tune
+
+    knobs = dict(strategy="hillclimb", budget=12, scale=SCALE, seed=0)
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-tune-") as root:
+        os.environ["REPRO_CACHE_DIR"] = root
+        try:
+            start = time.perf_counter()
+            result = tune("NN", TESLA_K40.name, **knobs)
+            cold = time.perf_counter() - start
+            warm_best, hits, misses = float("inf"), 0, 0
+            for _ in range(passes):
+                runner = default_runner(jobs=1, cached=True, memo=True)
+                start = time.perf_counter()
+                tune("NN", TESLA_K40.name, runner=runner, **knobs)
+                warm_best = min(warm_best, time.perf_counter() - start)
+                stats = runner.cache.stats()
+                hits, misses = stats["hits"], stats["misses"]
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+    return {
+        "workload": "NN",
+        "strategy": knobs["strategy"],
+        "budget": knobs["budget"],
+        "evaluations": result.evaluations,
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm_best, 3),
+        "speedup": round(cold / warm_best, 2),
+        "warm_cache_hits": hits,
+        "warm_new_simulations": misses,
+        "passes": passes,
+    }
+
+
 def _check(output: str, passes: int, tolerance: float) -> int:
     """CI bench guard: warm serial time vs the last recorded entry."""
     if not os.path.exists(output):
@@ -176,6 +227,7 @@ def main(argv=None) -> int:
         "serial": _measure(jobs=1),
         "parallel": _measure(jobs=args.jobs),
         "fastpath": _measure_fastpath(args.passes),
+        "tuner": _measure_tuner(args.passes),
     }
 
     print(json.dumps(entry, indent=2))

@@ -21,7 +21,7 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
 The layers underneath:
 
 * ``repro.api`` — the stable entry points: ``simulate``, ``cluster``,
-  ``sweep`` (everything here is re-exported at top level).
+  ``sweep``, ``tune`` (everything here is re-exported at top level).
 * ``repro.gpu`` — platforms (Table 1), caches, GigaThread scheduler
   models, the cycle-approximate simulator.
 * ``repro.core`` — the contribution: partitioning/inverting/binding,
@@ -29,6 +29,8 @@ The layers underneath:
   prefetching, the classifier and the Fig.-11 framework.
 * ``repro.engine`` — declarative simulation jobs and the parallel,
   cached sweep runner.
+* ``repro.tuner`` — budget-aware, seed-deterministic search over
+  clustering configurations (``grid``/``hillclimb``/``halving``).
 * ``repro.obs`` — observability: simulator tracers, phase timers,
   ``--profile`` artifacts and Chrome trace export.
 * ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments`` —
@@ -36,7 +38,7 @@ The layers underneath:
   per-table/figure drivers.
 """
 
-from repro.api import SCHEMES, cluster, simulate, sweep
+from repro.api import SCHEMES, cluster, simulate, sweep, tune
 from repro.core import (
     CtaPartitioner,
     OptimizationDecision,
@@ -93,7 +95,7 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def version_line() -> str:
@@ -104,7 +106,7 @@ def version_line() -> str:
     return f"repro {__version__} (engine schema {ENGINE_VERSION})"
 
 __all__ = [
-    "SCHEMES", "cluster", "simulate", "sweep",
+    "SCHEMES", "cluster", "simulate", "sweep", "tune",
     "CtaPartitioner", "OptimizationDecision", "TileWiseIndexing",
     "X_PARTITION", "Y_PARTITION", "agent_plan", "analyze_direction",
     "classify", "direction", "generate_from_decision", "inspector_plan",

@@ -13,7 +13,11 @@ an internal module:
   ``PFH+TOT``) without running anything;
 * :func:`sweep` — run a declarative job batch through a
   :class:`~repro.engine.SweepRunner` (parallelism, caching,
-  memoization and profiling all live on the runner).
+  memoization and profiling all live on the runner);
+* :func:`tune` — search the clustering configuration space of one
+  (workload, platform) pair with a budgeted, seed-deterministic
+  strategy and return the best plan plus a ranked leaderboard
+  (:mod:`repro.tuner`).
 
 The served counterpart (:mod:`repro.service`) exposes the same three
 operations over HTTP/JSON; its stdlib client is re-exported here —
@@ -46,7 +50,7 @@ from repro.workloads.registry import workload as _lookup_workload
 SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
 
 __all__ = ["SCHEMES", "ServiceClient", "ServiceError", "cluster",
-           "connect", "simulate", "sweep"]
+           "connect", "simulate", "sweep", "tune"]
 
 
 def _resolve_config(gpu) -> "tuple[GpuSimulator | None, GpuConfig]":
@@ -168,3 +172,42 @@ def sweep(jobs, *, runner=None) -> list:
         from repro.engine import SweepRunner
         runner = SweepRunner()
     return runner.run(jobs)
+
+
+def tune(workload, gpu, *, objective: str = "cycles",
+         strategy: str = "hillclimb", budget: int = None,
+         scale: float = 1.0, seed: int = 0, warmups: int = 1,
+         runner=None, progress: bool = False, profile=None):
+    """Search clustering configurations for one (workload, GPU) pair.
+
+    ``workload`` is a registry abbreviation, ``gpu`` a platform name
+    or config.  ``strategy`` is ``"grid"``/``"hillclimb"``/
+    ``"halving"`` and ``objective`` is ``"cycles"`` (the paper's
+    metric), ``"l2_transactions"`` or ``"dram_transactions"`` — lower
+    is always better.  ``budget`` bounds candidate evaluations.
+
+    Returns a :class:`~repro.tuner.TuneResult`: the winning
+    :class:`~repro.gpu.plan.ExecutionPlan` (``best_plan``), the ranked
+    full-fidelity ``leaderboard``, and the framework's rule-based pick
+    as ``baseline``.  The warm start guarantees
+    ``best.score <= baseline.score`` — tuning never regresses the
+    Fig.-11 rules.  Results are bit-deterministic for a fixed
+    (seed, budget) and candidate evaluations persist in the engine's
+    result cache, so a repeat tune re-simulates nothing.
+    """
+    from repro.tuner import DEFAULT_BUDGET, tune as _tune
+    _, config = _resolve_config(gpu)
+    return _tune(_abbr_of(workload), config.name, objective=objective,
+                 strategy=strategy,
+                 budget=DEFAULT_BUDGET if budget is None else budget,
+                 scale=scale, seed=seed, warmups=warmups, runner=runner,
+                 progress=progress, profile=profile)
+
+
+def _abbr_of(workload) -> str:
+    if isinstance(workload, Workload):
+        return workload.abbr
+    if isinstance(workload, str):
+        return _lookup_workload(workload).abbr
+    raise TypeError(f"workload must be a Workload or registry "
+                    f"abbreviation, got {type(workload).__name__}")

@@ -51,6 +51,11 @@ class DecisionSummary:
     expected_speedup: float
     cycles_by_scheme: "tuple[tuple[str, float], ...]" = ()
     reasoning: "tuple[str, ...]" = ()
+    #: Chosen throttling degree and the occupancy bound it was chosen
+    #: from (both 0 for scheduled-mode plans, e.g. baseline) — enough
+    #: for the tuner to reconstruct this decision as a warm start.
+    active_agents: int = 0
+    max_agents: int = 0
 
 
 @dataclass
@@ -88,7 +93,9 @@ class OptimizationDecision:
             scheme=self.scheme,
             expected_speedup=self.expected_speedup,
             cycles_by_scheme=tuple(sorted(self.cycles_by_scheme.items())),
-            reasoning=tuple(self.reasoning))
+            reasoning=tuple(self.reasoning),
+            active_agents=int(self.plan.active_agents),
+            max_agents=int(self.plan.notes.get("max_agents", 0)))
 
 
 def _empirical_direction(sim: GpuSimulator, kernel: KernelSpec,

@@ -30,6 +30,7 @@ from repro.engine.executors import (
     schemes_job,
     simulate_job,
     table2_job,
+    tune_job,
 )
 from repro.engine.job import ENGINE_VERSION, SimJob
 from repro.engine.runner import SweepRunner, SweepStats, default_runner
@@ -51,4 +52,5 @@ __all__ = [
     "reuse_job",
     "schemes_job",
     "table2_job",
+    "tune_job",
 ]

@@ -74,15 +74,24 @@ class ResultCache:
 
     A corrupt or unreadable entry is treated as a miss and re-run —
     the cache can always be deleted wholesale without losing anything
-    but time.
+    but time.  Counters live behind :meth:`stats`, the supported
+    read-only view — consumers (tuner, ``/metrics``, profiles) never
+    touch the private accounting object.
     """
 
     root: Path = field(default_factory=default_cache_root)
     salt: str = field(default_factory=default_salt)
-    stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self):
         self.root = Path(self.root)
+        self._stats = CacheStats()
+
+    def stats(self) -> dict:
+        """Cheap snapshot of the hit/miss accounting as plain scalars."""
+        s = self._stats
+        return {"hits": s.hits, "misses": s.misses, "writes": s.writes,
+                "corrupt": s.corrupt, "hit_ratio": s.hit_ratio,
+                "get_seconds": s.get_seconds, "put_seconds": s.put_seconds}
 
     def _key(self, job: SimJob) -> str:
         salted = f"{job.key}:{self.salt}".encode("utf-8")
@@ -108,23 +117,23 @@ class ResultCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             # The common miss: never computed (or salt rotated).
-            self.stats.misses += 1
-            self.stats.get_seconds += time.perf_counter() - started
+            self._stats.misses += 1
+            self._stats.get_seconds += time.perf_counter() - started
             return _MISS
         except Exception:
             # Unpickling corrupt bytes can raise nearly any exception
             # type — count it, drop the bad entry, and miss so the job
             # simply re-runs and overwrites it.
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._stats.misses += 1
+            self._stats.corrupt += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
-            self.stats.get_seconds += time.perf_counter() - started
+            self._stats.get_seconds += time.perf_counter() - started
             return _MISS
-        self.stats.hits += 1
-        self.stats.get_seconds += time.perf_counter() - started
+        self._stats.hits += 1
+        self._stats.get_seconds += time.perf_counter() - started
         return value
 
     def put(self, job: SimJob, value) -> None:
@@ -143,8 +152,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
-        self.stats.put_seconds += time.perf_counter() - started
+        self._stats.writes += 1
+        self._stats.put_seconds += time.perf_counter() - started
 
     @staticmethod
     def is_miss(value) -> bool:

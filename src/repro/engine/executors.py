@@ -23,6 +23,7 @@ table2     occupancy-model CTAs/SM quadruple of one app         ``tuple[int, ...
 framework  the Fig.-11 framework's decision for one (app, GPU)  ``DecisionSummary``
 simulate   one ``repro.api.simulate`` call, named by strings    ``KernelMetrics``
 cluster    one ``repro.api.cluster`` call, named by strings     ``dict`` (plan digest)
+tune       one ``repro.tuner`` search of one (app, GPU) pair    ``TuneResult`` record
 ========== ==================================================== =====================
 
 The companion ``*_job`` builders are the only places job extras are
@@ -108,26 +109,29 @@ def _run_schemes(job: SimJob):
 
 def measure_job(workload, gpu, *, plan: str = "baseline",
                 scale: float = 1.0, seed: int = 0, warmups: int = 1,
-                scheme: str = None, active_agents: int = None,
+                scheme: str = None, direction: str = None,
+                active_agents: int = None,
                 bypass_streams: bool = False, tile: "tuple[int, int]" = None,
                 scheduler: str = None, hiding_cap: float = None,
                 join_stagger: int = None, l1_size: int = None,
                 l1_sectors: int = None, l2_divisor: int = 1) -> SimJob:
     """One measured run of one plan on one (workload, GPU) pair.
 
-    ``plan`` is ``baseline``/``rd``/``clu``/``pfh``; the partition
-    direction always comes from ``partition_for`` (Table 2 or the
-    dependency analysis), matching what every driver does.  ``tile``
-    switches the CLU plan to tile-wise indexing, the remaining knobs
-    override the platform (L1 size/sectors, scaled L2) and the timing
-    model (scheduler policy, ``hiding_cap``, ``join_stagger``).
+    ``plan`` is ``baseline``/``rd``/``clu``/``pfh``; ``direction`` is
+    a partition-direction name (``"Y-P"``/``"X-P"``) or ``None`` for
+    ``partition_for``'s pick (Table 2 or the dependency analysis),
+    matching what every driver does — the tuner passes it explicitly
+    so the direction is a searchable axis.  ``tile`` switches the CLU
+    plan to tile-wise indexing, the remaining knobs override the
+    platform (L1 size/sectors, scaled L2) and the timing model
+    (scheduler policy, ``hiding_cap``, ``join_stagger``).
     """
     if plan not in ("baseline", "rd", "clu", "pfh"):
         raise ValueError(f"unknown plan kind {plan!r}")
     return SimJob.make(
         "measure", workload=_abbr(workload), gpu=_gpu_name(gpu),
         scheme=scheme, scale=scale, seed=seed, warmups=warmups,
-        plan=plan, active_agents=active_agents,
+        plan=plan, direction=direction, active_agents=active_agents,
         bypass_streams=bypass_streams, tile=tile, scheduler=scheduler,
         hiding_cap=hiding_cap, join_stagger=join_stagger, l1_size=l1_size,
         l1_sectors=l1_sectors, l2_divisor=l2_divisor)
@@ -165,6 +169,7 @@ def _simulator_for(job: SimJob, gpu: GpuConfig) -> GpuSimulator:
 def _run_measure(job: SimJob):
     from repro.core.agent import agent_plan
     from repro.core.indexing import TileWiseIndexing
+    from repro.core.indexing import direction as lookup_direction
     from repro.core.prefetch import prefetch_plan
     from repro.core.redirection import redirection_plan
     from repro.experiments.schemes import partition_for
@@ -178,11 +183,14 @@ def _run_measure(job: SimJob):
     active_agents = job.extra("active_agents")
     if active_agents is not None:
         active_agents = int(active_agents)
+    name = job.extra("direction")
+    part = (lookup_direction(name) if name is not None
+            else partition_for(workload, kernel))
 
     if kind == "baseline":
         plan = baseline_plan()
     elif kind == "rd":
-        plan = redirection_plan(kernel, gpu, partition_for(workload, kernel))
+        plan = redirection_plan(kernel, gpu, part)
     elif kind == "clu":
         tile = job.extra("tile")
         kwargs = {"active_agents": active_agents,
@@ -195,10 +203,9 @@ def _run_measure(job: SimJob):
                                                   tile_h=height)
             plan = agent_plan(kernel, gpu, **kwargs)
         else:
-            plan = agent_plan(kernel, gpu, partition_for(workload, kernel),
-                              **kwargs)
+            plan = agent_plan(kernel, gpu, part, **kwargs)
     else:  # pfh
-        plan = prefetch_plan(kernel, gpu, partition_for(workload, kernel),
+        plan = prefetch_plan(kernel, gpu, part,
                              active_agents=active_agents)
 
     sim = _simulator_for(job, gpu)
@@ -329,6 +336,40 @@ def cluster_job(workload, gpu, *, scheme: str = "CLU",
                        gpu=_gpu_name(gpu), scheme=scheme, seed=seed,
                        warmups=0, direction=direction,
                        active_agents=active_agents)
+
+
+# ----------------------------------------------------------------------
+# tune — one repro.tuner search, named entirely by strings
+# ----------------------------------------------------------------------
+
+def tune_job(workload, gpu, *, objective: str = "cycles",
+             strategy: str = "hillclimb", budget: int = 24,
+             scale: float = 1.0, seed: int = 0,
+             warmups: int = 1) -> SimJob:
+    """One :func:`repro.tuner.tune` search as a declarative job.
+
+    The result is the plan-free :class:`~repro.tuner.core.TuneResult`
+    record — leaderboards cache and serve like any other result, and
+    a cached tune is bit-identical to recomputing it (the tuner is
+    seed-deterministic).  The executor runs the search on a *serial*
+    in-process engine: the job itself may already be executing on a
+    pool worker, and candidate evaluations still share the persistent
+    result cache either way.
+    """
+    return SimJob.make("tune", workload=_abbr(workload), gpu=_gpu_name(gpu),
+                       scale=scale, seed=seed, warmups=warmups,
+                       objective=objective, strategy=strategy, budget=budget)
+
+
+@executor("tune")
+def _run_tune(job: SimJob):
+    from repro.tuner import tune
+    result = tune(job.workload, job.gpu,
+                  objective=str(job.extra("objective", "cycles")),
+                  strategy=str(job.extra("strategy", "hillclimb")),
+                  budget=int(job.extra("budget", 24)),
+                  scale=job.scale, seed=job.seed, warmups=job.warmups)
+    return result.record()
 
 
 @executor("cluster")

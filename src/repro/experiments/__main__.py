@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments fig12 fig13 --jobs 8   # parallel sweep
     python -m repro.experiments fig2 --profile profile.json \
         --trace trace.json --progress
+    python -m repro.experiments --list       # driver registry
+    python -m repro.experiments tuning_study --strategy halving \
+        --budget 24 --objective cycles --platforms Kepler
 
 Every artifact is an :class:`~repro.experiments.driver.ExperimentDriver`
 dispatched identically: plan jobs, run the batch on one shared sweep
@@ -41,7 +44,24 @@ from repro.gpu.cache import FAST_MODEL_ENV
 from repro.gpu.config import EVALUATION_PLATFORMS
 
 ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
-             "scheduler", "ablations", "sensitivity", "framework")
+             "scheduler", "ablations", "sensitivity", "framework",
+             "tuning_study")
+
+#: Artifacts excluded from the no-argument "run everything" sweep
+#: (tuning_study simulates dozens of candidates per cell; it runs only
+#: when asked for by name).
+ON_DEMAND = ("tuning_study",)
+
+
+def _print_driver_list() -> None:
+    """The ``--list`` table: every artifact and its one-line purpose."""
+    from repro.experiments.driver import get_driver
+    print("available artifacts:")
+    for name in ARTIFACTS:
+        driver = get_driver(name)
+        doc = (driver.__doc__ or type(driver).__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        print(f"  {name:<14} {summary}")
 
 
 def _select_platforms(names):
@@ -63,6 +83,9 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("--version", action="version",
                         version=repro.version_line())
+    parser.add_argument("--list", action="store_true", dest="list_drivers",
+                        help="print the driver registry (artifact name + "
+                             "one-line description) and exit")
     parser.add_argument("artifacts", nargs="*", choices=[[], *ARTIFACTS],
                         help="artifacts to regenerate (default: all)")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -93,13 +116,36 @@ def main(argv=None) -> int:
                              "models instead of the fast path (bit-"
                              "identical results, mainly for debugging "
                              "and differential testing)")
+    parser.add_argument("--strategy", default="hillclimb",
+                        help="tuning_study search strategy: grid, "
+                             "hillclimb or halving (default hillclimb)")
+    parser.add_argument("--budget", type=int, default=16, metavar="N",
+                        help="tuning_study candidate-evaluation budget "
+                             "per (workload, GPU) cell (default 16)")
+    parser.add_argument("--objective", default="cycles",
+                        help="tuning_study objective: cycles, "
+                             "l2_transactions or dram_transactions "
+                             "(default cycles)")
     args = parser.parse_args(argv)
+    if args.list_drivers:
+        _print_driver_list()
+        return 0
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.budget < 1:
+        parser.error(f"--budget must be >= 1, got {args.budget}")
+    from repro.tuner import OBJECTIVES, STRATEGIES
+    if args.strategy not in STRATEGIES:
+        parser.error(f"unknown --strategy {args.strategy!r}; "
+                     f"known: {sorted(STRATEGIES)}")
+    if args.objective not in OBJECTIVES:
+        parser.error(f"unknown --objective {args.objective!r}; "
+                     f"known: {sorted(OBJECTIVES)}")
     if args.ref_model:
         # Via the environment so ProcessPool workers inherit the choice.
         os.environ[FAST_MODEL_ENV] = "0"
-    wanted = list(args.artifacts) or list(ARTIFACTS)
+    wanted = list(args.artifacts) or [a for a in ARTIFACTS
+                                      if a not in ON_DEMAND]
 
     profile = None
     if args.profile or args.trace:
@@ -110,7 +156,9 @@ def main(argv=None) -> int:
 
     ctx = RunContext(platforms=_select_platforms(args.platforms),
                      scale=args.scale, seed=args.seed,
-                     use_paper_agents=True)
+                     use_paper_agents=True,
+                     tune_strategy=args.strategy, tune_budget=args.budget,
+                     tune_objective=args.objective)
     runner = default_runner(jobs=args.jobs, cached=not args.no_cache,
                             memo=True, progress=args.progress,
                             profile=profile)

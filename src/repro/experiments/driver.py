@@ -52,6 +52,11 @@ class RunContext:
     scale: float = 1.0
     seed: int = 0
     use_paper_agents: bool = False
+    #: Tuner knobs (the ``tuning_study`` driver reads these; every
+    #: other driver ignores them) — see ``repro.tuner``.
+    tune_strategy: str = "hillclimb"
+    tune_budget: int = 16
+    tune_objective: str = "cycles"
 
 
 @runtime_checkable
@@ -100,6 +105,7 @@ def _load_all() -> None:
         sensitivity,
         table1,
         table2,
+        tuning_study,
     )
 
 

@@ -1,0 +1,120 @@
+"""Tuning study: searched configurations vs. the Fig.-11 rule picks.
+
+For a representative workload from each of the paper's three
+evaluation groups (algorithm / cache-line / no-exploitable), on every
+requested platform, run one :mod:`repro.tuner` search and compare the
+winner against the framework's rule-based decision under the same
+objective.  The study's headline is the *regression-free guarantee*:
+the rule pick is always a candidate (the warm start), so the tuned
+configuration beats or ties it on every row — a tuner that loses to
+its own warm start is a bug, and this driver would print REGRESS.
+
+The tuner knobs come from the run context (CLI: ``--strategy``,
+``--budget``, ``--objective``), so the study doubles as the smoke
+harness for every strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import tune_job
+from repro.experiments.driver import RunContext, register
+from repro.experiments.report import format_table
+
+#: One representative per Figure-12 evaluation group, in group order.
+STUDY_WORKLOADS = ("NN", "ATX", "BS")
+
+#: Pinned study scale: tuning simulates dozens of candidates per cell,
+#: so the study runs small; the cells stay comparable because the
+#: rule pick is evaluated at the identical scale.
+STUDY_SCALE = 0.35
+
+
+@dataclass
+class TuningCase:
+    """One (workload, platform) tuning outcome."""
+
+    result: "object"  # repro.tuner.TuneResult record
+
+    @property
+    def regression_free(self) -> bool:
+        return self.result.best.score <= self.result.baseline.score
+
+    def row(self) -> list:
+        r = self.result
+        return [
+            r.workload,
+            r.gpu,
+            r.baseline.scheme,
+            r.best.scheme,
+            f"{r.baseline.score:,.0f}",
+            f"{r.best.score:,.0f}",
+            f"{r.speedup_vs_rule:.3f}x",
+            f"{r.evaluations}/{r.budget}",
+            "ok" if self.regression_free else "REGRESS",
+        ]
+
+
+@dataclass
+class TuningStudyResult:
+    strategy: str
+    objective: str
+    budget: int
+    cases: "list[TuningCase]" = field(default_factory=list)
+
+    @property
+    def regression_free(self) -> bool:
+        """True iff no tuned pick lost to its rule-based warm start."""
+        return all(case.regression_free for case in self.cases)
+
+    @property
+    def improved(self) -> int:
+        """Cells where the search strictly beat the rule pick."""
+        return sum(case.result.best.score < case.result.baseline.score
+                   for case in self.cases)
+
+    @property
+    def mean_speedup_vs_rule(self) -> float:
+        if not self.cases:
+            return 1.0
+        product = 1.0
+        for case in self.cases:
+            product *= case.result.speedup_vs_rule
+        return product ** (1.0 / len(self.cases))
+
+    def render(self) -> str:
+        table = format_table(
+            ["App", "GPU", "Rule pick", "Tuned pick", "Rule score",
+             "Tuned score", "Delta", "Evals", "Guarantee"],
+            [case.row() for case in self.cases],
+            title=f"Tuning study ({self.strategy}, objective "
+                  f"{self.objective}, budget {self.budget})")
+        return table + (
+            f"\n improved {self.improved}/{len(self.cases)} cells, "
+            f"geomean speedup vs rule {self.mean_speedup_vs_rule:.3f}x, "
+            f"regression-free: {self.regression_free}")
+
+
+@register
+class TuningStudyDriver:
+    """Tuner-found configs vs. Fig.-11 rule picks per workload x arch."""
+
+    name = "tuning_study"
+    scale = STUDY_SCALE
+
+    def jobs(self, ctx: RunContext) -> list:
+        return [tune_job(workload, gpu, strategy=ctx.tune_strategy,
+                         budget=ctx.tune_budget,
+                         objective=ctx.tune_objective,
+                         scale=self.scale, seed=ctx.seed)
+                for workload in STUDY_WORKLOADS
+                for gpu in ctx.platforms]
+
+    def render(self, ctx: RunContext, results) -> TuningStudyResult:
+        study = TuningStudyResult(strategy=ctx.tune_strategy,
+                                  objective=ctx.tune_objective,
+                                  budget=ctx.tune_budget)
+        for result in results:
+            study.cases.append(TuningCase(result=result))
+        return study

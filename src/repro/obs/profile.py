@@ -84,6 +84,7 @@ class ProfileSession:
         self.cells: "list[CellSample]" = []
         self.job_spans: "list[JobSpan]" = []
         self.engine: "dict | None" = None
+        self.tunes: "list[dict]" = []
         self.tracer = None  # optional RecordingTracer for wave spans
 
     # ------------------------------------------------------------------
@@ -113,6 +114,12 @@ class ProfileSession:
             for item in results:
                 self.observe_results(item, gpu=gpu, kernel=kernel,
                                      scheme=scheme)
+            return
+        if hasattr(results, "leaderboard") \
+                and hasattr(results, "speedup_vs_rule"):
+            # A TuneResult record (the tune executor runs the search
+            # in-worker, so this walk is where the CLI path sees it).
+            self.observe_tuning(results)
             return
         metrics_map = getattr(results, "metrics", None)
         if isinstance(metrics_map, dict):
@@ -153,14 +160,37 @@ class ProfileSession:
         }
         cache = getattr(runner, "cache", None)
         if cache is not None:
+            stats = cache.stats()
             engine["result_cache"] = {
-                "hits": cache.stats.hits,
-                "misses": cache.stats.misses,
-                "writes": cache.stats.writes,
-                "get_s": getattr(cache.stats, "get_seconds", 0.0),
-                "put_s": getattr(cache.stats, "put_seconds", 0.0),
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "writes": stats["writes"],
+                "get_s": stats.get("get_seconds", 0.0),
+                "put_s": stats.get("put_seconds", 0.0),
             }
         self.engine = engine
+
+    def observe_tuning(self, result) -> None:
+        """Record one tuning run (:func:`repro.tuner.tune` calls this
+        when handed a session).  Candidate execution spans arrive
+        separately through :meth:`job_span` via the runner, so the
+        trace timeline shows every evaluation; this records the
+        search-level outcome the ``tune`` summary section reports."""
+        self.tunes.append({
+            "workload": result.workload,
+            "gpu": result.gpu,
+            "strategy": result.strategy,
+            "objective": result.objective,
+            "budget": result.budget,
+            "evaluations": result.evaluations,
+            "truncated": result.truncated,
+            "best_scheme": result.best.scheme,
+            "best_score": result.best.score,
+            "baseline_scheme": result.baseline.scheme,
+            "baseline_score": result.baseline.score,
+            "speedup_vs_rule": result.speedup_vs_rule,
+            "leaderboard": len(result.leaderboard),
+        })
 
     # ------------------------------------------------------------------
     # artifacts
@@ -209,6 +239,10 @@ class ProfileSession:
             "sm_cycles": {
                 "observed_sms": len(all_sm_cycles),
                 "histogram": histogram(all_sm_cycles),
+            },
+            "tune": {
+                "runs": len(self.tunes),
+                "results": list(self.tunes),
             },
             "job_spans": len(self.job_spans),
         }

@@ -137,6 +137,28 @@ class ServiceClient:
         envelope = self._call("POST", "/v1/cluster", payload)
         return envelope if full else envelope["plan"]
 
+    def tune(self, workload: str, gpu: str, *, objective: str = None,
+             strategy: str = None, budget: int = None, scale: float = 1.0,
+             seed: int = 0, deadline_s: float = None,
+             full: bool = False) -> dict:
+        """One served tuning search; returns the plan-free
+        :class:`~repro.tuner.TuneResult` record as JSON (winner,
+        rule-based baseline, ranked leaderboard).  Identical to an
+        in-process ``repro.api.tune`` with the same arguments, minus
+        the live ``best_plan``."""
+        payload = {"workload": workload, "gpu": gpu, "scale": scale,
+                   "seed": seed}
+        if objective is not None:
+            payload["objective"] = objective
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if budget is not None:
+            payload["budget"] = budget
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/tune", payload)
+        return envelope if full else envelope["result"]
+
     def sweep(self, jobs: "list[dict]", *, deadline_s: float = None,
               full: bool = False) -> list:
         """A batch of job descriptors; results in submission order."""

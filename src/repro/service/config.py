@@ -45,6 +45,9 @@ class ServiceConfig:
     cache_root: "str | None" = None
     max_body_bytes: int = 8 << 20
     max_sweep_jobs: int = 256
+    #: Upper bound on the candidate-evaluation budget a ``/v1/tune``
+    #: request may ask for (tuning runs whole searches per request).
+    max_tune_budget: int = 64
 
     def __post_init__(self):
         if self.workers < 0:

@@ -317,6 +317,24 @@ class SimulationService:
         plan, source = await self.submit(job, deadline)
         return {"key": job.key, "source": source, "plan": plan}
 
+    async def _post_tune(self, request: HttpRequest) -> dict:
+        """One tuning search; rides the same pipeline as ``simulate``.
+
+        The whole search is one ``tune`` job: identical requests
+        collapse in the single-flight table, finished leaderboards
+        persist in the result cache, and inside the worker every
+        candidate evaluation hits the engine's shared cache — so a
+        tune re-requested with a bigger budget re-simulates only the
+        configurations it has not seen.
+        """
+        payload = request.json()
+        job = jobmod.build_tune_job(
+            payload, max_budget=self.config.max_tune_budget)
+        deadline = self._deadline_from(payload)
+        value, source = await self.submit(job, deadline)
+        return {"key": job.key, "source": source,
+                "result": jobmod.jsonable(value)}
+
     async def _post_sweep(self, request: HttpRequest) -> dict:
         payload = request.json()
         batch = jobmod.build_sweep_jobs(
@@ -541,4 +559,5 @@ _ROUTES = {
     ("POST", "/v1/simulate"): SimulationService._post_simulate,
     ("POST", "/v1/cluster"): SimulationService._post_cluster,
     ("POST", "/v1/sweep"): SimulationService._post_sweep,
+    ("POST", "/v1/tune"): SimulationService._post_tune,
 }

@@ -18,11 +18,13 @@ response is *bit-comparable* to an in-process call.
 from __future__ import annotations
 
 import dataclasses
+import enum
 
 from repro.engine.executors import (
     EXECUTORS,
     cluster_job,
     simulate_job,
+    tune_job,
 )
 from repro.engine.job import SimJob
 from repro.gpu.metrics import KernelMetrics, canonical_metrics
@@ -116,6 +118,36 @@ def build_cluster_job(payload: dict) -> SimJob:
                        active_agents=active_agents, seed=seed)
 
 
+def build_tune_job(payload: dict, *, max_budget: int) -> SimJob:
+    """``POST /v1/tune`` body -> a canonical ``tune`` job.
+
+    The job content hash covers strategy, objective, budget and seed,
+    so identical tuning requests collapse through the single-flight
+    table and the persistent cache exactly like ``simulate`` requests
+    do — and the candidate evaluations the search performs inside the
+    worker persist in the engine's shared result cache, so overlapping
+    tunes (same workload, different strategy) share simulations.
+    """
+    from repro.tuner import OBJECTIVES, STRATEGIES
+    workload = _check_workload(_string(payload, "workload", required=True))
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    objective = _string(payload, "objective", default="cycles")
+    if objective not in OBJECTIVES:
+        raise _bad("objective", f"unknown objective {objective!r}; "
+                                f"known: {sorted(OBJECTIVES)}")
+    strategy = _string(payload, "strategy", default="hillclimb")
+    if strategy not in STRATEGIES:
+        raise _bad("strategy", f"unknown strategy {strategy!r}; "
+                               f"known: {sorted(STRATEGIES)}")
+    budget = _number(payload, "budget", 24, cast=int, minimum=1,
+                     maximum=max_budget)
+    scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
+    seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    return tune_job(workload, gpu, objective=objective, strategy=strategy,
+                    budget=budget, scale=scale, seed=seed, warmups=warmups)
+
+
 def build_sweep_jobs(payload: dict, *, max_jobs: int) -> "list[SimJob]":
     """``POST /v1/sweep`` body -> the canonical job list.
 
@@ -184,6 +216,8 @@ def jsonable(value):
     """
     if isinstance(value, KernelMetrics):
         return canonical_metrics(value)
+    if isinstance(value, enum.Enum):
+        return value.value
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):

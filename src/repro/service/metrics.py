@@ -125,11 +125,12 @@ class ServiceMetrics:
                               in self.timer.snapshot().items()},
         }
         if result_cache is not None:
-            stats = result_cache.stats
+            stats = result_cache.stats()
             document["result_cache"] = {
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "writes": stats.writes,
-                "corrupt": stats.corrupt,
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "writes": stats["writes"],
+                "corrupt": stats["corrupt"],
+                "hit_ratio": stats["hit_ratio"],
             }
         return document

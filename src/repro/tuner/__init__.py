@@ -1,0 +1,45 @@
+"""Budget-aware autotuning of clustering configurations.
+
+The paper's Fig.-11 framework picks an optimization by *rule*; this
+package closes the loop its evaluation suggests — the best cluster
+dimension, throttling degree and bypass choice vary per kernel x
+architecture — by *searching* the configuration space against a
+simulated objective:
+
+* :mod:`~repro.tuner.space` — the configuration axes, their canonical
+  enumeration, and the point -> job / point -> plan mappings;
+* :mod:`~repro.tuner.objective` — what "best" means (cycles, L2 or
+  DRAM traffic; lower is better);
+* :mod:`~repro.tuner.evaluate` — budgeted evaluation on the sweep
+  engine (parallel, persistently cached, bit-deterministic);
+* :mod:`~repro.tuner.strategies` — pluggable deterministic searchers
+  (``grid``, ``hillclimb``, ``halving``);
+* :mod:`~repro.tuner.core` — :func:`tune`, the entry point.
+
+Everything is seed-deterministic and warm-started from the rule-based
+pick, so a tuned configuration never regresses the framework's own.
+"""
+
+from repro.tuner.core import DEFAULT_BUDGET, TuneResult, tune
+from repro.tuner.evaluate import Evaluator
+from repro.tuner.objective import OBJECTIVES, Objective, objective
+from repro.tuner.space import (Candidate, ConfigPoint, SearchSpace,
+                               point_from_decision)
+from repro.tuner.strategies import STRATEGIES, SearchStrategy, strategy
+
+__all__ = [
+    "Candidate",
+    "ConfigPoint",
+    "DEFAULT_BUDGET",
+    "Evaluator",
+    "OBJECTIVES",
+    "Objective",
+    "STRATEGIES",
+    "SearchSpace",
+    "SearchStrategy",
+    "TuneResult",
+    "objective",
+    "point_from_decision",
+    "strategy",
+    "tune",
+]

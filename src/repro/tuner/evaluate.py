@@ -1,0 +1,109 @@
+"""Budget-accounted candidate evaluation on the sweep engine.
+
+The :class:`Evaluator` is the strategies' only doorway to simulation.
+It turns configuration points into declarative ``measure`` jobs (so
+evaluations are parallel, persistently cached and bit-deterministic —
+everything the engine already guarantees), memoizes per
+``(point, fidelity)`` within a tuning run, and charges the tuning
+*budget* one unit per fresh evaluation.  When the budget runs dry it
+truncates the batch (loudly, via the progress line) instead of
+raising, so every strategy degrades gracefully to "best found so
+far".
+
+Fidelity is a scale multiplier: evaluating at fidelity ``f`` simulates
+the workload at ``scale * f``.  Only full-fidelity (``f == 1``)
+candidates are leaderboard-eligible — cheaper rungs exist purely to
+spend budget triaging.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.tuner.objective import Objective
+from repro.tuner.space import Candidate, ConfigPoint, SearchSpace
+
+#: Leaderboard-eligible fidelity (the tune's full requested scale).
+FULL_FIDELITY = 1.0
+
+
+@dataclass
+class Evaluator:
+    """Evaluate configuration points, spending a shared budget."""
+
+    space: SearchSpace
+    runner: "object"            # SweepRunner-compatible (has .run)
+    objective: Objective
+    scale: float
+    seed: int = 0
+    warmups: int = 1
+    budget: int = 24
+    progress: bool = False
+    strategy: str = "?"
+    #: (point, fidelity) -> Candidate for everything evaluated so far.
+    seen: "dict[tuple, Candidate]" = field(default_factory=dict)
+    spent: int = 0
+    truncated: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.budget - self.spent)
+
+    def candidates(self, *, fidelity: float = FULL_FIDELITY) -> "list[Candidate]":
+        """Everything evaluated at one fidelity, in leaderboard order."""
+        found = [c for c in self.seen.values() if c.fidelity == fidelity]
+        return sorted(found, key=Candidate.rank_key)
+
+    def note(self, message: str) -> None:
+        """Strategy progress line (stderr, like the engine's ETA line)."""
+        if self.progress:
+            print(f"[tune:{self.strategy}] {message}", file=sys.stderr)
+
+    def evaluate(self, points, *, fidelity: float = FULL_FIDELITY,
+                 source: str = "search") -> "list[Candidate]":
+        """Evaluate a batch of points at one fidelity, budget allowing.
+
+        Returns one :class:`Candidate` per *distinct* requested point
+        that has a result (previously seen ones are served from the
+        run-local memo at zero budget).  Points beyond the remaining
+        budget are dropped and counted in ``truncated``.
+        """
+        wanted, fresh = [], []
+        for point in points:
+            point = self.space.normalize(point)
+            if (point, fidelity) not in self.seen and point not in fresh:
+                fresh.append(point)
+            if point not in wanted:
+                wanted.append(point)
+        if len(fresh) > self.remaining:
+            dropped = len(fresh) - self.remaining
+            self.truncated += dropped
+            self.note(f"budget exhausted: dropping {dropped} candidate(s)")
+            fresh = fresh[:self.remaining]
+        if fresh:
+            jobs = [self.space.job(point, scale=self.scale * fidelity,
+                                   seed=self.seed, warmups=self.warmups)
+                    for point in fresh]
+            self.spent += len(fresh)
+            results = self.runner.run(jobs)
+            for point, metrics in zip(fresh, results):
+                self.seen[(point, fidelity)] = Candidate(
+                    point=point,
+                    score=self.objective.score(metrics),
+                    cycles=float(metrics.cycles),
+                    l1_hit_rate=float(metrics.l1_hit_rate),
+                    l2_transactions=int(metrics.l2_transactions),
+                    dram_transactions=int(metrics.dram_transactions),
+                    fidelity=fidelity,
+                    source=source)
+            self.note(f"evaluated {len(fresh)} candidate(s) at fidelity "
+                      f"{fidelity:g} ({self.spent}/{self.budget} budget)")
+        return [self.seen[(point, fidelity)] for point in wanted
+                if (point, fidelity) in self.seen]
+
+    def score_of(self, point: ConfigPoint,
+                 fidelity: float = FULL_FIDELITY) -> "float | None":
+        """Score of an already-evaluated point (``None`` if unseen)."""
+        candidate = self.seen.get((self.space.normalize(point), fidelity))
+        return candidate.score if candidate is not None else None

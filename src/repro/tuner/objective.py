@@ -1,0 +1,59 @@
+"""Tuning objectives: what "best" means for a candidate.
+
+An objective maps one simulated :class:`~repro.gpu.metrics.KernelMetrics`
+to a single score, *lower is better* — the convention every strategy,
+the leaderboard order and the regression-free guarantee are stated in.
+The registry is tiny on purpose: cycles is the paper's figure of
+merit, the two traffic objectives are what the bypass/throttling
+related work optimizes for (interconnect and DRAM pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gpu.metrics import KernelMetrics
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring rule.  ``score`` is minimized by the tuner."""
+
+    name: str
+    description: str
+    score: Callable[[KernelMetrics], float]
+
+
+OBJECTIVES: "dict[str, Objective]" = {}
+
+
+def _objective(name: str, description: str):
+    def register(fn):
+        OBJECTIVES[name] = Objective(name, description, fn)
+        return fn
+    return register
+
+
+@_objective("cycles", "end-to-end kernel cycles (the paper's metric)")
+def _cycles(metrics: KernelMetrics) -> float:
+    return float(metrics.cycles)
+
+
+@_objective("l2_transactions", "L2/interconnect transactions")
+def _l2(metrics: KernelMetrics) -> float:
+    return float(metrics.l2_transactions)
+
+
+@_objective("dram_transactions", "DRAM transactions (memory traffic)")
+def _dram(metrics: KernelMetrics) -> float:
+    return float(metrics.dram_transactions)
+
+
+def objective(name: str) -> Objective:
+    """Look up an objective by name."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise KeyError(f"unknown objective {name!r}; "
+                       f"known: {sorted(OBJECTIVES)}") from None

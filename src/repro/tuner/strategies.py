@@ -1,0 +1,156 @@
+"""Pluggable, seed-deterministic search strategies.
+
+A strategy decides *which* points to evaluate and in what order; the
+:class:`~repro.tuner.evaluate.Evaluator` owns execution, memoization
+and the budget.  All three built-ins are fully deterministic for a
+fixed (workload, GPU, seed, budget): they draw points only from the
+space's canonical enumeration and neighborhoods, and break every tie
+by the candidates' canonical order — no RNG anywhere, so two tuning
+runs produce byte-identical leaderboards.
+
+The warm start (the Fig.-11 framework's rule-based pick) is evaluated
+at full fidelity *before* any strategy runs (see
+:func:`repro.tuner.core.tune`), which is what makes the tuner
+regression-free by construction: the rule pick is always on the
+leaderboard, so the winner can only beat or tie it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.tuner.evaluate import FULL_FIDELITY, Evaluator
+from repro.tuner.space import Candidate, ConfigPoint, SearchSpace
+
+
+class SearchStrategy(Protocol):
+    """The strategy contract: spend the evaluator's budget searching.
+
+    ``search`` runs to budget exhaustion or convergence; its return
+    value is ignored — the evaluator accumulates every candidate, and
+    the tuner reads the leaderboard off the evaluator afterwards.
+    """
+
+    name: str
+
+    def search(self, evaluator: Evaluator, space: SearchSpace,
+               warm: ConfigPoint) -> None:
+        ...
+
+
+STRATEGIES: "dict[str, type]" = {}
+
+
+def _strategy(cls):
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def strategy(name: str) -> "SearchStrategy":
+    """Instantiate a registered strategy by name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown strategy {name!r}; "
+                       f"known: {sorted(STRATEGIES)}") from None
+
+
+@_strategy
+class GridStrategy:
+    """Exhaustive sweep over the declared space, in canonical order.
+
+    The budget simply truncates the enumeration, so a small budget
+    degrades to "the first N points" — still deterministic, still
+    regression-free (the warm start was evaluated up front).
+    """
+
+    name = "grid"
+
+    def search(self, evaluator: Evaluator, space: SearchSpace,
+               warm: ConfigPoint) -> None:
+        evaluator.evaluate(space.points())
+
+
+@_strategy
+class HillClimbStrategy:
+    """Coordinate descent from the framework's rule-based pick.
+
+    Sweeps the axes in the space's fixed order, moving only on a
+    *strict* improvement (ties keep the incumbent, so the walk is
+    deterministic and cannot cycle), and stops after a full sweep
+    without a move or when the budget runs out.
+    """
+
+    name = "hillclimb"
+
+    def search(self, evaluator: Evaluator, space: SearchSpace,
+               warm: ConfigPoint) -> None:
+        current = space.normalize(warm)
+        best_score = evaluator.score_of(current)
+        while best_score is not None and evaluator.remaining:
+            moved = False
+            for axis in space.AXES:
+                if not evaluator.remaining:
+                    break
+                found = evaluator.evaluate(space.axis_variants(current, axis))
+                if not found:
+                    continue
+                best = min(found, key=Candidate.rank_key)
+                if best.score < best_score and best.point != current:
+                    current, best_score = best.point, best.score
+                    moved = True
+                    evaluator.note(f"moved along {axis} to "
+                                   f"{best.point.label()} "
+                                   f"(score {best.score:.0f})")
+            if not moved:
+                evaluator.note(f"converged at {current.label()}")
+                break
+
+
+@_strategy
+class HalvingStrategy:
+    """Successive halving across fidelity rungs.
+
+    The workload ``scale`` is the cheap fidelity: the opening
+    population runs at a fraction of the requested scale, the top half
+    (by score, canonical tie-break) advances to the next rung, and the
+    final rung is full fidelity — so survivors' scores are directly
+    leaderboard-eligible.  The warm start always advances, keeping the
+    regression-free guarantee even if triage misjudges it at low
+    fidelity.
+    """
+
+    name = "halving"
+
+    #: Fidelity rungs, cheapest first; the last must be full fidelity.
+    rungs = (0.25, 0.5, FULL_FIDELITY)
+
+    def search(self, evaluator: Evaluator, space: SearchSpace,
+               warm: ConfigPoint) -> None:
+        warm = space.normalize(warm)
+        population = [warm]
+        for point in space.points():
+            if point != warm:
+                population.append(point)
+        # Size the opening rung so the whole ladder roughly fits the
+        # budget: n + n/2 + n/4 ... <= budget.
+        weight = sum(0.5 ** i for i in range(len(self.rungs)))
+        opening = max(2, int(evaluator.remaining / weight))
+        population = population[:opening]
+        for rung, fidelity in enumerate(self.rungs):
+            found = evaluator.evaluate(population, fidelity=fidelity)
+            if not found or not evaluator.remaining:
+                break
+            if fidelity == FULL_FIDELITY:
+                break
+            ranked = sorted(found, key=Candidate.rank_key)
+            keep = max(1, len(ranked) // 2)
+            survivors = [c.point for c in ranked[:keep]]
+            if warm not in survivors:
+                survivors.append(warm)
+            evaluator.note(f"rung {rung} (fidelity {fidelity:g}): "
+                           f"{len(survivors)}/{len(population)} advance")
+            population = survivors
+        # Whatever survived triage gets a full-fidelity run so it can
+        # actually place on the leaderboard.
+        evaluator.evaluate(population, fidelity=FULL_FIDELITY)

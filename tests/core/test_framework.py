@@ -70,3 +70,118 @@ class TestDecisionObject:
         assert decision.expected_speedup > 0
         assert decision.kernel_name == kernel.name
         assert decision.gpu_name == TESLA_K40.name
+
+
+def make_tied_direction_kernel(grid: int = 10) -> "KernelSpec":
+    """2D kernel whose read refs vote X-P and Y-P with equal weight,
+    forcing ``analyze_direction`` into the indecisive tie that makes
+    the framework fall back to its empirical direction probe."""
+    from repro.kernels.access import read
+    from repro.kernels.kernel import AddressSpace, ArrayRef, Dim3, KernelSpec
+
+    space = AddressSpace()
+    rows = space.alloc("rows", grid, 32)
+    cols = space.alloc("cols", grid, 32)
+
+    def trace(bx, by, bz):
+        return [read(rows.addr(by, 0), 4, 32, 4),
+                read(cols.addr(bx, 0), 4, 32, 4)]
+
+    return KernelSpec(
+        name="tied", grid=Dim3(grid, grid), block=Dim3(64), trace=trace,
+        regs_per_thread=16, category=LocalityCategory.ALGORITHM,
+        array_refs=(
+            ArrayRef("rows", (("by",),)),     # no bx -> votes X-P
+            ArrayRef("cols", (("bx",),)),     # no by -> votes Y-P
+            ArrayRef("out", (("by",), ("bx", "tx")), is_write=True),
+        ),
+    )
+
+
+def make_nonexploitable_kernel(category, n_ctas: int = 64) -> "KernelSpec":
+    """The streaming-shaped kernel, declared under any of the three
+    non-exploitable categories (data/write/streaming)."""
+    from dataclasses import replace
+    return replace(make_streaming_kernel(n_ctas=n_ctas), category=category)
+
+
+class TestDecisionBoundaries:
+    """One test per locality category: the Fig.-11 ladder must take the
+    expected branch, with the expected scheme/throttle/bypass record."""
+
+    def _exploitable_invariants(self, decision):
+        # The exploitable ladder always measures BSL and CLU, applies
+        # the throttling vote, and records the agent degrees on the
+        # shippable summary.
+        assert "BSL" in decision.cycles_by_scheme
+        assert "CLU" in decision.cycles_by_scheme
+        assert any("throttling vote" in r for r in decision.reasoning)
+        summary = decision.summarize()
+        if summary.scheme != "BSL":
+            assert 1 <= summary.active_agents <= summary.max_agents
+
+    def test_algorithm_category_takes_clustering_path(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        assert decision.scheme.startswith("CLU") or decision.scheme == "BSL"
+        assert "PFH+TOT" not in decision.cycles_by_scheme
+        self._exploitable_invariants(decision)
+
+    def test_cache_line_category_takes_clustering_path_with_bypass(self):
+        from repro.core.bypass import bypass_is_candidate
+        from tests.conftest import make_shared_table_kernel
+        kernel = make_shared_table_kernel(n_ctas=60)
+        assert bypass_is_candidate(kernel), \
+            "fixture must mix streaming and reusable loads"
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.CACHE_LINE)
+        assert decision.scheme.startswith("CLU") or decision.scheme == "BSL"
+        # Mixed streams mean the ladder must at least *try* bypassing.
+        assert "CLU+TOT+BPS" in decision.cycles_by_scheme
+        assert any("bypass" in r for r in decision.reasoning)
+        self._exploitable_invariants(decision)
+
+    def test_data_category_takes_prefetch_path(self):
+        kernel = make_nonexploitable_kernel(LocalityCategory.DATA)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.DATA)
+        assert decision.scheme in ("PFH+TOT", "BSL")
+        assert "PFH+TOT" in decision.cycles_by_scheme
+        assert "CLU" not in decision.cycles_by_scheme
+        assert any("no exploitable" in r for r in decision.reasoning)
+
+    def test_write_category_takes_prefetch_path(self):
+        kernel = make_nonexploitable_kernel(LocalityCategory.WRITE)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.WRITE)
+        assert decision.scheme in ("PFH+TOT", "BSL")
+        assert "PFH+TOT" in decision.cycles_by_scheme
+        assert "CLU" not in decision.cycles_by_scheme
+
+    def test_streaming_category_takes_prefetch_path_with_throttle(self):
+        kernel = make_streaming_kernel(n_ctas=90)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.STREAMING)
+        assert decision.scheme in ("PFH+TOT", "BSL")
+        # The non-exploitable branch throttles via the vote and says so.
+        assert any("agents" in r for r in decision.reasoning)
+
+    def test_tied_votes_fall_back_to_empirical_probe(self):
+        from repro.core.dependence import analyze_direction
+        kernel = make_tied_direction_kernel(grid=10)
+        analysis = analyze_direction(kernel)
+        assert not analysis.decisive
+        assert analysis.x_votes == analysis.y_votes > 0
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        assert any("empirical probe" in r for r in decision.reasoning)
+        assert decision.direction.name in ("X-P", "Y-P")
+
+    def test_summary_round_trips_agent_degrees(self):
+        kernel = make_row_band_kernel(grid_x=15, grid_y=15, band_rows=4)
+        decision = optimize(kernel, TESLA_K40,
+                            category=LocalityCategory.ALGORITHM)
+        summary = decision.summarize()
+        assert summary.active_agents == decision.plan.active_agents
+        assert summary.max_agents == decision.plan.notes.get("max_agents", 0)

@@ -22,9 +22,9 @@ class TestRoundtrip:
         assert ResultCache.is_miss(cache.get(job))
         cache.put(job, {"cycles": 42})
         assert cache.get(job) == {"cycles": 42}
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
-        assert cache.stats.writes == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["writes"] == 1
 
     def test_cached_none_is_not_a_miss(self, cache, job):
         cache.put(job, None)
@@ -57,9 +57,9 @@ class TestCorruptEntries:
     def test_corrupt_entry_is_miss_and_deleted(self, cache, job, payload):
         path = self.corrupt(cache, job, payload)
         assert ResultCache.is_miss(cache.get(job))
-        assert cache.stats.corrupt == 1
-        assert cache.stats.misses == 1
-        assert cache.stats.hits == 0
+        assert cache.stats()["corrupt"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 0
         assert not path.exists(), "bad entry must not survive the miss"
 
     def test_recompute_overwrites_cleanly(self, cache, job):
@@ -67,12 +67,12 @@ class TestCorruptEntries:
         assert ResultCache.is_miss(cache.get(job))
         cache.put(job, {"cycles": 7})
         assert cache.get(job) == {"cycles": 7}
-        assert cache.stats.corrupt == 1
+        assert cache.stats()["corrupt"] == 1
 
     def test_unreadable_entry_counts_once_per_lookup(self, cache, job):
         self.corrupt(cache, job, b"junk")
         cache.get(job)
         # The file is gone, so the second lookup is a plain miss.
         assert ResultCache.is_miss(cache.get(job))
-        assert cache.stats.corrupt == 1
-        assert cache.stats.misses == 2
+        assert cache.stats()["corrupt"] == 1
+        assert cache.stats()["misses"] == 2

@@ -146,8 +146,8 @@ class TestCacheInvalidation:
         cache.put(job, None)
         assert cache.get(job) is None
         assert not ResultCache.is_miss(None)
-        assert (cache.stats.hits, cache.stats.misses,
-                cache.stats.writes) == (1, 0, 1)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["writes"]) == (1, 0, 1)
 
     def test_env_override_sets_cache_root(self, tmp_path, monkeypatch):
         from repro.engine.cache import default_cache_root

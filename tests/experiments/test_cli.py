@@ -88,3 +88,50 @@ class TestProfileFlag:
         out = capsys.readouterr().out
         assert "profile summary written" in out
         assert "chrome trace written" in out
+
+
+class TestListFlag:
+    def test_list_prints_registry_and_exits_zero(self, capsys):
+        from repro.experiments.__main__ import ARTIFACTS
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "available artifacts:" in out
+        for name in ARTIFACTS:
+            assert name in out
+        # Each driver contributes its one-line purpose, not a blank.
+        lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert len(lines) == len(ARTIFACTS)
+        assert all(len(line.split(None, 1)) == 2 for line in lines)
+
+    def test_list_ignores_other_validation(self, capsys):
+        # --list short-circuits before artifact/knob validation runs.
+        assert main(["--list", "--jobs", "0"]) == 0
+        assert "available artifacts:" in capsys.readouterr().out
+
+
+class TestTunerFlags:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tuning_study", "--strategy", "annealing"])
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tuning_study", "--objective", "watts"])
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tuning_study", "--budget", "0"])
+
+    def test_tuning_study_is_on_demand_only(self):
+        from repro.experiments.__main__ import ARTIFACTS, ON_DEMAND
+
+        assert "tuning_study" in ARTIFACTS
+        assert "tuning_study" in ON_DEMAND
+
+    def test_tuning_study_artifact(self, capsys):
+        assert main(["tuning_study", "--platforms", "Kepler",
+                     "--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Tuning study" in out
+        assert "regression-free: True" in out

@@ -24,7 +24,8 @@ class TestRegistry:
         # across test sessions — assert membership, not order
         assert set(driver_names()) == {
             "ablations", "fig2", "fig3", "fig4", "fig12", "fig13",
-            "framework", "scheduler", "sensitivity", "table1", "table2"}
+            "framework", "scheduler", "sensitivity", "table1", "table2",
+            "tuning_study"}
 
     def test_registered_objects_satisfy_the_protocol(self):
         driver_names()  # force _load_all

@@ -1,0 +1,49 @@
+"""tuning_study driver tests (planning + report; execution is tiny)."""
+
+import pytest
+
+from repro.experiments.driver import RunContext, get_driver
+from repro.experiments.tuning_study import STUDY_WORKLOADS
+from repro.gpu.config import TESLA_K40
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture()
+def ctx():
+    return RunContext(platforms=(TESLA_K40,), tune_strategy="hillclimb",
+                      tune_budget=6, tune_objective="cycles")
+
+
+class TestPlanning:
+    def test_one_tune_job_per_cell(self, ctx):
+        driver = get_driver("tuning_study")
+        jobs = driver.jobs(ctx)
+        assert len(jobs) == len(STUDY_WORKLOADS)
+        assert all(job.kind == "tune" for job in jobs)
+        extras = dict(jobs[0].extras)
+        assert extras["strategy"] == "hillclimb"
+        assert extras["budget"] == 6
+
+    def test_study_covers_each_evaluation_group(self):
+        # NN: algorithm locality, ATX: cache-line, BS: no-exploitable.
+        assert STUDY_WORKLOADS == ("NN", "ATX", "BS")
+
+
+class TestReport:
+    def test_render_flags_regressions(self, ctx):
+        driver = get_driver("tuning_study")
+        runner_results = []
+        from repro.engine import default_runner
+        runner = default_runner(jobs=1, cached=True, memo=True)
+        runner_results = runner.run(driver.jobs(ctx))
+        study = driver.render(ctx, runner_results)
+        assert study.regression_free
+        text = study.render()
+        assert "Tuning study" in text
+        assert "regression-free: True" in text
+        for workload in STUDY_WORKLOADS:
+            assert workload in text

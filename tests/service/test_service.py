@@ -366,3 +366,70 @@ class TestProfileIntegration:
         assert "execute" in phases
         assert "queue_wait" in phases
         client.close()
+
+
+class TestTuneEndpoint:
+    TUNE = dict(workload="NN", gpu="Tesla K40", strategy="hillclimb",
+                budget=6, scale=0.3, seed=0)
+
+    def test_served_tune_equals_in_process_record(self, service_factory,
+                                                  tmp_path, monkeypatch):
+        """Acceptance: POST /v1/tune serves the identical result record
+        (modulo JSON) as repro.api.tune in-process."""
+        import json
+
+        from repro.api import tune
+        from repro.service.jobs import jsonable
+
+        # Server workers and the in-process tune share one cache root,
+        # like production: candidate evaluations hit the shared cache.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        client = service_factory(workers=0, cache=False).client()
+        served = client.tune(**self.TUNE)
+        direct = jsonable(tune(**self.TUNE).record())
+        assert json.dumps(served, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+        assert served["best"]["score"] <= served["baseline"]["score"]
+        client.close()
+
+    def test_repeat_tune_hits_result_cache(self, service_factory):
+        service = service_factory(workers=0, cache=True)
+        client = service.client()
+        first = client.tune(**self.TUNE, full=True)
+        second = client.tune(**self.TUNE, full=True)
+        assert first["key"] == second["key"]
+        assert second["source"] == "cache"
+        assert second["result"] == first["result"]
+        client.close()
+
+    def test_unknown_strategy_is_400(self, service_factory):
+        client = service_factory(workers=0, cache=False).client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.tune("NN", "Tesla K40", strategy="annealing")
+        assert excinfo.value.status == 400
+        assert "known" in str(excinfo.value)
+        client.close()
+
+    def test_unknown_objective_is_400(self, service_factory):
+        client = service_factory(workers=0, cache=False).client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.tune("NN", "Tesla K40", objective="watts")
+        assert excinfo.value.status == 400
+        client.close()
+
+    def test_budget_over_config_cap_is_400(self, service_factory):
+        service = service_factory(workers=0, cache=False,
+                                  max_tune_budget=8)
+        client = service.client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.tune("NN", "Tesla K40", budget=9)
+        assert excinfo.value.status == 400
+        assert "budget" in str(excinfo.value)
+        client.close()
+
+    def test_unknown_workload_is_400(self, service_factory):
+        client = service_factory(workers=0, cache=False).client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.tune("NOPE", "Tesla K40")
+        assert excinfo.value.status == 400
+        client.close()

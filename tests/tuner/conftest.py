@@ -1,0 +1,23 @@
+"""Shared tuner-test fixtures: a pinned cache dir and cheap knobs."""
+
+import pytest
+
+#: The tuner suite runs tiny: one small workload, small budget.
+WORKLOAD = "NN"
+GPU = "Tesla K40"
+SCALE = 0.3
+BUDGET = 10
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own .repro_cache; warm-cache tests re-point
+    REPRO_CACHE_DIR themselves when they need persistence across
+    runner instances."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture()
+def space():
+    from repro.tuner import SearchSpace
+    return SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)

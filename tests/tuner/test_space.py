@@ -1,0 +1,127 @@
+"""Configuration-space unit tests: normalization, enumeration, moves."""
+
+import pytest
+
+from repro.tuner import ConfigPoint, SearchSpace, point_from_decision
+from repro.tuner.space import DIRECTIONS, KINDS
+
+from tests.tuner.conftest import GPU, SCALE, WORKLOAD
+
+
+class TestNormalize:
+    def test_baseline_clears_every_sub_axis(self, space):
+        noisy = ConfigPoint(kind="BSL", direction="X-P", active_agents=4,
+                            bypass=True, tile=(2, 2))
+        assert space.normalize(noisy) == ConfigPoint(kind="BSL")
+
+    def test_rd_keeps_only_direction(self, space):
+        noisy = ConfigPoint(kind="RD", direction="X-P", active_agents=4,
+                            bypass=True, tile=(4, 4))
+        assert space.normalize(noisy) == ConfigPoint(kind="RD",
+                                                     direction="X-P")
+
+    def test_pfh_drops_bypass_and_tile(self, space):
+        noisy = ConfigPoint(kind="PFH", direction="Y-P", active_agents=2,
+                            bypass=True, tile=(2, 2))
+        point = space.normalize(noisy)
+        assert point.kind == "PFH" and not point.bypass and point.tile is None
+
+    def test_tile_clu_drops_direction(self, space):
+        point = space.normalize(ConfigPoint(kind="CLU", direction="X-P",
+                                            tile=(4, 4)))
+        assert point.direction is None and point.tile == (4, 4)
+
+    def test_missing_direction_defaults_to_paper_order(self, space):
+        assert space.normalize(ConfigPoint(kind="RD")).direction == \
+            DIRECTIONS[0]
+
+    def test_agents_snap_to_nearest_degree(self, space):
+        degrees = space.agent_degrees()
+        point = space.normalize(ConfigPoint(kind="PFH", direction="Y-P",
+                                            active_agents=10 ** 6))
+        # Far over the top snaps to MAX_AGENTS (kept explicit for PFH).
+        assert point.active_agents == max(degrees)
+
+    def test_unthrottled_clu_spelled_as_none(self, space):
+        point = space.normalize(ConfigPoint(kind="CLU", direction="Y-P",
+                                            active_agents=space.max_agents))
+        assert point.active_agents is None
+
+    def test_unknown_kind_rejected(self, space):
+        with pytest.raises(KeyError):
+            space.normalize(ConfigPoint(kind="XYZ"))
+
+    def test_normalize_is_idempotent(self, space):
+        for point in space.points():
+            assert space.normalize(point) == point
+
+
+class TestEnumeration:
+    def test_points_are_unique_and_canonical(self, space):
+        points = space.points()
+        assert len(points) == len(set(points))
+        assert points[0] == ConfigPoint(kind="BSL")
+        assert all(p.kind in KINDS for p in points)
+
+    def test_every_kind_represented(self, space):
+        kinds = {p.kind for p in space.points()}
+        assert kinds == set(KINDS)
+
+    def test_enumeration_is_deterministic(self):
+        a = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        b = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        assert a.points() == b.points()
+
+    def test_labels_are_unique(self, space):
+        labels = [p.label() for p in space.points()]
+        assert len(labels) == len(set(labels))
+
+
+class TestAxisVariants:
+    def test_variants_include_current_point(self, space):
+        point = space.normalize(ConfigPoint(kind="CLU", direction="Y-P"))
+        for axis in SearchSpace.AXES:
+            assert point in space.axis_variants(point, axis)
+
+    def test_variants_are_normalized(self, space):
+        point = space.normalize(ConfigPoint(kind="PFH", direction="Y-P"))
+        for axis in SearchSpace.AXES:
+            for variant in space.axis_variants(point, axis):
+                assert space.normalize(variant) == variant
+
+    def test_locked_axes_return_singleton(self, space):
+        bsl = ConfigPoint(kind="BSL")
+        assert space.axis_variants(bsl, "direction") == [bsl]
+        assert space.axis_variants(bsl, "bypass") == [bsl]
+
+    def test_unknown_axis_rejected(self, space):
+        with pytest.raises(KeyError):
+            space.axis_variants(ConfigPoint(kind="BSL"), "warp_size")
+
+
+class TestPointMappings:
+    def test_every_point_builds_a_job(self, space):
+        for point in space.points():
+            job = space.job(point, scale=SCALE)
+            assert job.kind == "measure"
+
+    def test_job_hash_distinguishes_points(self, space):
+        keys = {space.job(p, scale=SCALE).key for p in space.points()}
+        assert len(keys) == len(space.points())
+
+    def test_every_point_materializes_a_plan(self, space):
+        for point in space.points():
+            plan = space.plan(point, scale=SCALE)
+            assert plan is not None
+
+    def test_warm_start_round_trips_the_rule_pick(self, space):
+        from repro.engine import default_runner, framework_job
+        runner = default_runner(jobs=1, cached=True, memo=True)
+        summary = runner.run([framework_job(WORKLOAD, GPU, scale=SCALE)])[0]
+        point = point_from_decision(summary, space)
+        assert space.normalize(point) == point
+        if summary.scheme == "BSL":
+            assert point.kind == "BSL"
+        else:
+            # CLU+TOT+BPS -> CLU, PFH+TOT -> PFH, RD -> RD.
+            assert point.kind == summary.scheme.split("+")[0]

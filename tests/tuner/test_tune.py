@@ -1,0 +1,126 @@
+"""End-to-end tuner tests: strategies, determinism, the guarantees.
+
+These run real (small-scale) simulations through the sweep engine;
+the conftest pins a per-test cache dir so results never leak between
+tests or into the checkout.
+"""
+
+import pytest
+
+from repro.tuner import (DEFAULT_BUDGET, OBJECTIVES, STRATEGIES, TuneResult,
+                         objective, strategy, tune)
+
+from tests.tuner.conftest import BUDGET, GPU, SCALE, WORKLOAD
+
+
+def small_tune(**overrides):
+    kwargs = dict(objective="cycles", strategy="hillclimb", budget=BUDGET,
+                  scale=SCALE, seed=0)
+    kwargs.update(overrides)
+    return tune(WORKLOAD, GPU, **kwargs)
+
+
+class TestRegistries:
+    def test_strategy_registry(self):
+        assert set(STRATEGIES) == {"grid", "hillclimb", "halving"}
+        for name in STRATEGIES:
+            assert strategy(name).name == name
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError, match="hillclimb"):
+            strategy("simulated_annealing")
+
+    def test_objective_registry(self):
+        assert set(OBJECTIVES) == {"cycles", "l2_transactions",
+                                   "dram_transactions"}
+        for name in OBJECTIVES:
+            assert objective(name).name == name
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError, match="cycles"):
+            objective("watts")
+
+    def test_default_budget_is_sane(self):
+        assert DEFAULT_BUDGET >= 8
+
+
+class TestTuneContract:
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            small_tune(budget=0)
+
+    def test_result_shape(self):
+        result = small_tune()
+        assert isinstance(result, TuneResult)
+        assert result.workload == WORKLOAD and result.gpu == GPU
+        assert result.leaderboard[0] == result.best
+        assert 1 <= result.evaluations <= BUDGET
+        assert result.best_plan is not None
+        assert result.record().best_plan is None
+        assert dict(result.decision)["scheme"]
+
+    def test_leaderboard_is_rank_ordered(self):
+        result = small_tune()
+        scores = [c.score for c in result.leaderboard]
+        assert scores == sorted(scores)
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_regression_free_guarantee(self, name):
+        """Every strategy's winner beats or ties the rule-based pick."""
+        result = small_tune(strategy=name)
+        assert result.best.score <= result.baseline.score
+        assert result.speedup_vs_rule >= 1.0
+        assert result.baseline.source == "framework"
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_bit_deterministic_leaderboard(self, name):
+        """Fixed (seed, budget) -> identical leaderboard, run to run."""
+        first = small_tune(strategy=name)
+        second = small_tune(strategy=name)
+        assert first.record() == second.record()
+
+    def test_budget_bounds_evaluations(self):
+        result = small_tune(strategy="grid", budget=5)
+        assert result.evaluations == 5
+        assert result.truncated > 0  # grid wants the whole space
+
+    def test_objective_changes_ranking_basis(self):
+        result = small_tune(objective="dram_transactions")
+        assert result.objective == "dram_transactions"
+        assert result.best.score == result.best.dram_transactions
+
+
+class TestWarmCache:
+    def test_repeat_tune_runs_zero_new_simulations(self, tmp_path,
+                                                   monkeypatch):
+        """Acceptance: a warm .repro_cache serves the whole repeat run."""
+        from repro.engine import default_runner
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        small_tune(runner=default_runner(jobs=1, cached=True, memo=True))
+
+        cold = default_runner(jobs=1, cached=True, memo=True)
+        repeat = small_tune(runner=cold)
+        stats = cold.cache.stats()
+        assert stats["misses"] == 0 and stats["writes"] == 0
+        assert stats["hits"] >= repeat.evaluations
+        assert repeat.best.score <= repeat.baseline.score
+
+
+class TestProfileIntegration:
+    def test_tune_section_in_profile_summary(self):
+        from repro.obs import ProfileSession
+        from repro.obs.schema import validate_profile
+        session = ProfileSession(label="tune-test")
+        small_tune(profile=session)
+        document = session.summary()
+        assert document["tune"]["runs"] == 1
+        entry = document["tune"]["results"][0]
+        assert entry["workload"] == WORKLOAD
+        assert entry["speedup_vs_rule"] >= 1.0
+        validate_profile(document)
+
+    def test_progress_notes_on_stderr(self, capsys):
+        small_tune(progress=True)
+        err = capsys.readouterr().err
+        assert "[tune:hillclimb]" in err
+        assert "warm start" in err
