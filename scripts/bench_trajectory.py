@@ -14,7 +14,11 @@ same matrix timed on the flat-array fast simulation core and on the
 dict-based reference oracle (best of ``--passes`` warm passes each),
 whose ratio is the fast path's speedup on real sweep work, plus a
 cold-vs-warm-cache ``repro.tuner`` timing (the warm tune must perform
-zero new simulations; its wall time is the search overhead alone).
+zero new simulations; its wall time is the search overhead alone), and
+a batched-vs-serial backend timing on an 8-job same-kernel batch (the
+``REPRO_BACKEND=batched`` struct-of-arrays core against eight
+independent fast-path runs; ``--check`` re-times it with a 1.2x
+floor).
 
 Usage::
 
@@ -114,6 +118,52 @@ def _measure_fastpath(passes: int) -> dict:
     }
 
 
+def _batched_batch():
+    """A >= 8-job same-kernel batch (the batched backend's home turf)."""
+    from repro import api
+    from repro.gpu.backend import BatchItem
+    from repro.workloads.registry import workload
+
+    kernel = workload("NN").kernel(scale=SCALE, config=TESLA_K40)
+    items = []
+    for i in range(8):
+        scheme = ("BSL", "RD", "CLU", "CLU")[i % 4]
+        plan = None
+        if scheme != "BSL":
+            plan = api.cluster(kernel, scheme, gpu=TESLA_K40, seed=i)
+        items.append(BatchItem(plan=plan, seed=i, warmups=1))
+    return kernel, items
+
+
+def _measure_batched(passes: int) -> dict:
+    """Warm batched-backend vs serial-fastpath timing on one batch.
+
+    Both paths run the identical 8-job batch (bit-identical results —
+    see the batched differential suite); the ratio is the wall-clock
+    win of the struct-of-arrays arena + fused batch loop over eight
+    independent fast-path runs.
+    """
+    from repro.gpu.backend import simulate_batch
+
+    kernel, items = _batched_batch()
+    seconds = {}
+    for backend in ("serial", "batched"):
+        simulate_batch(TESLA_K40, kernel, items, backend=backend)  # warm
+        best = float("inf")
+        for _ in range(passes):
+            start = time.perf_counter()
+            simulate_batch(TESLA_K40, kernel, items, backend=backend)
+            best = min(best, time.perf_counter() - start)
+        seconds[backend] = best
+    return {
+        "jobs": len(items),
+        "serial_seconds": round(seconds["serial"], 3),
+        "batched_seconds": round(seconds["batched"], 3),
+        "speedup": round(seconds["serial"] / seconds["batched"], 2),
+        "passes": passes,
+    }
+
+
 def _measure_tuner(passes: int) -> dict:
     """Cold vs warm-cache tune timing on one small hillclimb search.
 
@@ -185,7 +235,20 @@ def _check(output: str, passes: int, tolerance: float) -> int:
     print(f"bench check: warm serial matrix {current:.3f}s vs "
           f"{kind} baseline {baseline:.3f}s from commit "
           f"{last.get('commit', '?')} (limit {limit:.3f}s) -> {verdict}")
-    return 0 if current <= limit else 1
+    failed = current > limit
+    if last.get("batched") is not None:
+        # The recorded entry claims >= 1.5x on the 8-job batch; re-time
+        # with a CI-variance floor so a real regression (batched no
+        # faster than serial) fails without flaking on noisy runners.
+        floor = 1.2
+        batched = _measure_batched(passes)
+        verdict = "OK" if batched["speedup"] >= floor else "REGRESSION"
+        print(f"bench check: batched backend {batched['speedup']:.2f}x "
+              f"over serial on a {batched['jobs']}-job batch "
+              f"(recorded {last['batched']['speedup']:.2f}x, "
+              f"floor {floor:.1f}x) -> {verdict}")
+        failed = failed or batched["speedup"] < floor
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -227,6 +290,7 @@ def main(argv=None) -> int:
         "serial": _measure(jobs=1),
         "parallel": _measure(jobs=args.jobs),
         "fastpath": _measure_fastpath(args.passes),
+        "batched": _measure_batched(args.passes),
         "tuner": _measure_tuner(args.passes),
     }
 

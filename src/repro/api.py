@@ -124,7 +124,7 @@ def cluster(kernel, scheme: str = "CLU", *, gpu,
 def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
              scale: float = 1.0, seed: int = 0, warmups: int = 1,
              record_per_cta: bool = False, tracer=None,
-             fast: bool = None) -> KernelMetrics:
+             fast: bool = None, backend: str = None) -> KernelMetrics:
     """Measure one workload (or kernel) on one platform.
 
     ``workload`` is a registry abbreviation (``"NN"``), a
@@ -145,6 +145,11 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     path; ``REPRO_FAST_MODEL=0`` flips the process default).  Fast and
     reference cores are bit-identical, so the flag never changes a
     result — only wall-clock time.
+
+    ``backend`` selects the execution backend (``"serial"`` /
+    ``"batched"``; default from ``REPRO_BACKEND``).  The batched
+    struct-of-arrays core and the serial path are bit-identical too —
+    both seams only ever trade wall-clock time.
     """
     if scheme is not None and plan is not None:
         raise ValueError("pass either scheme= or plan=, not both")
@@ -155,7 +160,7 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     return _simulate_kernel(simulator if simulator is not None else config,
                             kernel, plan, seed=seed, warmups=warmups,
                             record_per_cta=record_per_cta, tracer=tracer,
-                            fast=fast)
+                            fast=fast, backend=backend)
 
 
 def sweep(jobs, *, runner=None) -> list:

@@ -1,0 +1,127 @@
+"""Simulation-backend selection: the ``REPRO_BACKEND`` dispatch seam.
+
+The simulator has two interchangeable execution backends:
+
+* ``serial`` — one job at a time through
+  :func:`repro.gpu.simulator.simulate`, with per-job cache objects.
+  This is the reference single-job path (itself split into the fast
+  flat-array core and the dict-based oracle by ``REPRO_FAST_MODEL`` —
+  the two seams are orthogonal).
+* ``batched`` — a whole batch of jobs that share a kernel and a
+  platform runs through :mod:`repro.gpu.batched`: cache state lives in
+  flat preallocated struct-of-arrays indexed by ``(job, sm, set,
+  way)``, arenas and chunk schedules are pooled and reused across
+  batches, and the fused wave loop is tightened further.  Bit-identical
+  to ``serial`` — the differential harness fuzzes random batch
+  compositions on every CI run.
+
+The seam mirrors the fast-model seam in :mod:`repro.gpu.cache`: an
+environment default (``REPRO_BACKEND``), a ``backend=`` keyword on
+:func:`repro.gpu.simulator.simulate` and :func:`repro.api.simulate`,
+and a registry new backends (a compiled/array-library core) can slot
+into later without touching any consumer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+
+#: Environment default: ``REPRO_BACKEND=batched`` routes every
+#: ``simulate`` call (and batch formation in the engine, service and
+#: tuner) through the batched core; unset or ``serial`` keeps the
+#: one-job-at-a-time reference path.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The known backends, in preference order for documentation.
+BACKENDS = ("serial", "batched")
+
+
+def default_backend() -> str:
+    """The process-wide backend (``serial`` unless ``REPRO_BACKEND``)."""
+    name = os.environ.get(BACKEND_ENV, "serial").strip() or "serial"
+    if name not in BACKENDS:
+        raise ValueError(f"unknown {BACKEND_ENV}={name!r}; "
+                         f"known: {BACKENDS}")
+    return name
+
+
+def resolve_backend(backend: "str | None") -> str:
+    """Normalize a ``backend=`` argument (``None`` -> process default)."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    return backend
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One job of a batch: an execution plan plus per-job knobs.
+
+    Everything that may vary *within* a batch lives here — the plan
+    (scheme/throttle/bypass/tile), the measurement seed and warm-up
+    count, and the simulator knobs the ``measure`` job kind exposes.
+    The kernel and platform are batch-wide by construction: that is
+    what lets the batched core share compiled access streams and one
+    struct-of-arrays arena across the whole batch.
+    """
+
+    plan: "object | None" = None
+    seed: int = 0
+    warmups: int = 1
+    record_per_cta: bool = False
+    scheduler: "object | None" = None   # CtaScheduler; None = default
+    hiding_cap: float = 14.0
+    l1_enabled: bool = True
+    join_stagger: int = 6
+    tracer: "object | None" = None
+
+
+def simulate_batch(gpu: GpuConfig, kernel, items, *, backend: str = None,
+                   timings: "list | None" = None) -> list:
+    """Simulate a batch of jobs on one (kernel, platform) pair.
+
+    ``items`` is a sequence of :class:`BatchItem`; the return value is
+    one :class:`~repro.gpu.metrics.KernelMetrics` per item, in order,
+    bit-identical to ``len(items)`` independent
+    :func:`repro.gpu.simulator.simulate` calls whatever ``backend``
+    says.  ``timings``, when a list, receives one ``(start, duration)``
+    pair per item on this process's ``perf_counter`` clock (for
+    profiling; observer-only).
+    """
+    items = list(items)
+    if not items:
+        return []
+    which = resolve_backend(backend)
+    if which == "batched":
+        from repro.gpu.batched import run_batch
+        return run_batch(gpu, kernel, items, timings=timings)
+    return _run_serial(gpu, kernel, items, timings=timings)
+
+
+def _run_serial(gpu: GpuConfig, kernel, items, *, timings=None) -> list:
+    """The reference batch semantics: N independent serial runs."""
+    import time
+
+    from repro.gpu.scheduler import DEFAULT_SCHEDULER
+    from repro.gpu.simulator import GpuSimulator, simulate
+
+    out = []
+    for item in items:
+        started = time.perf_counter()
+        sim = GpuSimulator(
+            gpu,
+            scheduler=item.scheduler if item.scheduler is not None
+            else DEFAULT_SCHEDULER,
+            hiding_cap=item.hiding_cap, l1_enabled=item.l1_enabled,
+            join_stagger=item.join_stagger)
+        out.append(simulate(sim, kernel, item.plan, seed=item.seed,
+                            warmups=item.warmups,
+                            record_per_cta=item.record_per_cta,
+                            tracer=item.tracer, backend="serial"))
+        if timings is not None:
+            timings.append((started, time.perf_counter() - started))
+    return out

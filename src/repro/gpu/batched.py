@@ -1,0 +1,613 @@
+"""The batched struct-of-arrays simulation core (``REPRO_BACKEND=batched``).
+
+One :func:`run_batch` call executes a whole batch of jobs — same
+kernel, same platform, different plan/seed/knobs per job — over shared
+compiled access streams.  It is bit-identical to running each job
+through the serial fast path (the differential harness fuzzes random
+batch compositions on every CI run); the throughput comes from three
+amortizations the one-job-at-a-time path cannot express:
+
+* **A flat, preallocated struct-of-arrays arena.**  All cache state —
+  tags, ready-times (whose list order *is* the LRU recency order) —
+  lives in flat lists indexed ``(job, sm, set, way)``: the L2 set of
+  job ``j`` is ``l2_tags[j * l2_sets + set]``, the L1 set of job ``j``
+  on SM ``s`` is ``l1_tags[((j * num_sms + s) * sectors + part) *
+  l1_sets + set]``.  Per-job *views* (subclasses of the fast cache
+  models, windowed over the arena) give the dispatch loops and the
+  prefetcher the ordinary cache interface without allocating anything
+  per job.  Arenas are pooled per cache geometry and reused across
+  batches, so a sweep allocates its cache state once, not once per
+  job — on the bench shape that alone is a third of a job's cost.
+
+* **Memoized chunk schedules.**  The interleave order of a wave is a
+  pure function of the co-resident trace lengths (plus the interleave
+  chunk and join stagger), so the round-robin bookkeeping — who runs
+  next, how many ops, when the next CTA joins — is computed once per
+  distinct length tuple and replayed as a flat ``(slot, start, stop)``
+  chunk list.  Full waves of a kernel share one schedule across every
+  job of every batch.
+
+* **A tighter fused loop.**  With the schedule precomputed the hot
+  loop indexes straight into the compiled ops — no per-chunk slicing,
+  no dead-slot scans, no join bookkeeping — while keeping the access
+  arithmetic *verbatim* from :func:`repro.gpu.fastpath.execute_wave`
+  so every counter and float matches bit for bit.
+
+The serial fast path stays the reference single-job core; this module
+is reached only through the :mod:`repro.gpu.backend` seam.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.gpu.fastpath import (_LCG_ADD, _LCG_MASK, _LCG_MUL,
+                                FastSectoredCache, FastSetAssociativeCache)
+from repro.gpu.refmodel import CacheStats
+from repro.gpu.config import WritePolicy
+from repro.gpu.simulator import GpuSimulator
+
+#: L1/L2 associativity, as `make_l1`/`make_l2` build them.
+L1_ASSOC = 4
+L2_ASSOC = 8
+
+#: The cache models' default replacement-RNG seed.
+RNG_SEED = 0x5EED
+
+#: Settle writes zeros in place through these (index = set occupancy),
+#: preserving the identity of the arena's inner lists.
+_ZEROS = tuple((0.0,) * k for k in range(max(L1_ASSOC, L2_ASSOC) + 1))
+
+#: Chunk-schedule memo: (lengths, interleave, stagger) -> chunk list.
+_SCHEDULES: dict = {}
+_SCHEDULES_CAP = 1024
+
+#: Pooled arenas, one per cache geometry (bounded; see _acquire).
+_POOL: dict = {}
+_POOL_CAP = 8
+
+
+class _ArenaSet(FastSetAssociativeCache):
+    """A per-job window over the arena's flat tag/ready arrays.
+
+    Subclassing the fast model keeps ``is_fast_caches`` and the
+    inherited access/install/flush/contains paths working unchanged;
+    only construction (borrow windows instead of allocating) and
+    ``settle`` (in place, so the window and the arena keep aliasing
+    the same inner lists) differ.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, tags_window, ready_window, line_size, assoc,
+                 write_policy, random_replacement=False):
+        self.line_size = line_size
+        self.n_sets = len(tags_window)
+        self.assoc = assoc
+        self.write_policy = write_policy
+        self._tags = tags_window
+        self._ready = ready_window
+        self.stats = CacheStats()
+        self._random_replacement = random_replacement
+        self._rng_state = RNG_SEED
+        self._tracer = None
+        self._level = "cache"
+
+    def settle(self) -> None:
+        """Complete pending fills *in place* (arena aliasing holds)."""
+        zeros = _ZEROS
+        for ready_list in self._ready:
+            if ready_list:
+                ready_list[:] = zeros[len(ready_list)]
+
+    def checkout(self) -> None:
+        """Back to cold, zero-counter, fresh-RNG state for a new job."""
+        self.flush()
+        self.stats = CacheStats()
+        self._rng_state = RNG_SEED
+        self._tracer = None
+
+
+class _ArenaSectored(FastSectoredCache):
+    """Sectored L1 view: stock behaviour over arena-backed parts."""
+
+    def __init__(self, parts, line_size, sectors):
+        self.sectors = sectors
+        self._parts = parts
+        self.line_size = line_size
+
+
+def _arena_key(config) -> tuple:
+    sectors = config.l1_sectors if config.l1_sectors > 1 else 1
+    return (config.num_sms, config.l1_size, config.l1_line, sectors,
+            config.l2_size, config.l2_line)
+
+
+class BatchArena:
+    """Preallocated struct-of-arrays cache state for up to ``slots`` jobs.
+
+    The flat arrays are the owning storage; :meth:`checkout` hands a
+    job slot's ``(l1s, l2)`` views in cold, zero-counter state.  No
+    code path ever replaces an inner set list (accesses mutate in
+    place, the views' ``settle`` is in-place), so the views and the
+    flat arrays alias the same lists for the arena's whole lifetime —
+    the invariant a future array-library backend reads through.
+    """
+
+    def __init__(self, config, slots: int):
+        sectors = config.l1_sectors if config.l1_sectors > 1 else 1
+        if config.l1_size % sectors != 0:
+            raise ValueError(f"cache size {config.l1_size} not divisible "
+                             f"into {sectors} sectors")
+        part_size = config.l1_size // sectors
+        if part_size % (config.l1_line * L1_ASSOC) != 0:
+            raise ValueError(
+                f"cache size {part_size} not divisible by line*assoc "
+                f"({config.l1_line}*{L1_ASSOC})")
+        if config.l2_size % (config.l2_line * L2_ASSOC) != 0:
+            raise ValueError(
+                f"cache size {config.l2_size} not divisible by line*assoc "
+                f"({config.l2_line}*{L2_ASSOC})")
+        self.key = _arena_key(config)
+        self.slots = slots
+        n_sms = config.num_sms
+        l1_sets = part_size // (config.l1_line * L1_ASSOC)
+        l2_sets = config.l2_size // (config.l2_line * L2_ASSOC)
+        # The struct-of-arrays state, indexed (job, sm, set, way) for
+        # L1 and (job, set, way) for the shared L2; the innermost
+        # lists hold the ways in LRU recency order.
+        self.l1_tags = [[] for _ in range(slots * n_sms * sectors * l1_sets)]
+        self.l1_ready = [[] for _ in range(slots * n_sms * sectors * l1_sets)]
+        self.l2_tags = [[] for _ in range(slots * l2_sets)]
+        self.l2_ready = [[] for _ in range(slots * l2_sets)]
+        self._views = []
+        for job in range(slots):
+            base = job * l2_sets
+            l2 = _ArenaSet(self.l2_tags[base:base + l2_sets],
+                           self.l2_ready[base:base + l2_sets],
+                           config.l2_line, L2_ASSOC,
+                           WritePolicy.WRITE_BACK_ALLOCATE,
+                           random_replacement=True)
+            l1s = []
+            for sm in range(n_sms):
+                parts = []
+                for part in range(sectors):
+                    lo = ((job * n_sms + sm) * sectors + part) * l1_sets
+                    parts.append(_ArenaSet(
+                        self.l1_tags[lo:lo + l1_sets],
+                        self.l1_ready[lo:lo + l1_sets],
+                        config.l1_line, L1_ASSOC, WritePolicy.WRITE_EVICT))
+                l1s.append(_ArenaSectored(parts, config.l1_line, sectors))
+            self._views.append((l1s, l2))
+
+    def checkout(self, slot: int):
+        """Cold ``(l1s, l2)`` views for one job slot."""
+        l1s, l2 = self._views[slot]
+        l2.checkout()
+        for l1 in l1s:
+            for part in l1._parts:
+                part.checkout()
+        return l1s, l2
+
+
+def _acquire(config, slots: int) -> BatchArena:
+    """Check the geometry's arena out of the pool (or build one)."""
+    arena = _POOL.pop(_arena_key(config), None)
+    if arena is None or arena.slots < slots:
+        arena = BatchArena(config, slots)
+    return arena
+
+
+def _release(arena: BatchArena) -> None:
+    if len(_POOL) >= _POOL_CAP:
+        _POOL.clear()
+    _POOL[arena.key] = arena
+
+
+def _chunk_schedule(lengths: tuple, interleave: int,
+                    join_stagger: int) -> "list[tuple[int, int, int]]":
+    """Replay the interleave bookkeeping into a flat chunk list.
+
+    Exactly the round-robin-with-staggered-joins loop of the wave
+    executors, minus the cache work: the resulting ``(slot, start,
+    stop)`` chunks visit ops in the identical order, so replaying a
+    memoized schedule is arithmetic-order-neutral.
+    """
+    n = len(lengths)
+    indices = [0] * n
+    remaining = sum(lengths)
+    chunks = []
+    active = 1
+    since_join = 0
+    while remaining:
+        progressed = False
+        for slot in range(active):
+            i = indices[slot]
+            length = lengths[slot]
+            if i >= length:
+                continue
+            progressed = True
+            stop = i + interleave
+            if stop > length:
+                stop = length
+            chunks.append((slot, i, stop))
+            indices[slot] = stop
+            remaining -= stop - i
+            since_join += stop - i
+        if active < n and (since_join >= join_stagger or not progressed):
+            active += 1
+            since_join = 0
+    return chunks
+
+
+def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
+                 record_per_cta, sm_id, turnaround, prefetch_targets,
+                 plan, tracer=None):
+    """The batch core's fused wave loop.
+
+    A tightened twin of :func:`repro.gpu.fastpath.execute_wave`: the
+    interleave order comes from a memoized chunk schedule and the hot
+    loop indexes compiled ops directly (no slicing, no bookkeeping).
+    The per-access body is copied verbatim from the fast path — same
+    arithmetic, same order, bit-identical results.
+    """
+    from repro.gpu.metrics import CtaRecord
+
+    config = sim.config
+    n = len(cta_ids)
+    warps = kernel.warps_per_cta
+    resident_warps = n * warps
+    hiding = max(1.0, min(resident_warps * config.mlp_per_warp,
+                          sim.hiding_cap))
+    issue_width = config.issue_width
+    alu_step = kernel.compute_cycles_per_access / issue_width
+    bypass = plan.bypass_streams
+    sectors = config.l1_sectors
+    l1_enabled = sim.l1_enabled
+    interleave = sim.interleave_chunk
+    join_stagger = sim.join_stagger
+    reserved_exposure = sim.reserved_exposure
+
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+    dram_latency = config.dram_latency
+    l2_fill = dram_latency - l2_latency
+    l2_service = config.l2_service_cycles
+    dram_service = config.dram_service_cycles
+
+    l2_line_size = l2.line_size
+    l2_n_sets = l2.n_sets
+    l2_assoc = l2.assoc
+    l2_tags = l2._tags
+    l2_readys = l2._ready
+    l2_rng = l2._rng_state
+    l2_acc = l2_misses = l2_reserved = 0
+    l2_read_txn = l2_write_txn = dram_txn = 0
+
+    parts = l1._parts
+    l1_line_size = l1.line_size
+    n_parts = len(parts)
+    l1_counts = [[0, 0, 0, 0, 0] for _ in parts]  # acc/hit/miss/resv/wev
+
+    traces = [kernel.compiled_trace(v, l1_line_size, l2_line_size)
+              for v in cta_ids]
+    lengths = tuple(len(t) for t in traces)
+
+    slot_states = []
+    for slot in range(n):
+        p = ((slot * sectors) // n) % n_parts
+        part = parts[p]
+        slot_states.append((part._tags, part._ready, part.n_sets,
+                            part.assoc, l1_counts[p]))
+
+    # The whole interleave order, computed once per length shape and
+    # replayed for every wave (of every job) that shares it.
+    skey = (lengths, interleave, join_stagger)
+    schedule = _SCHEDULES.get(skey)
+    if schedule is None:
+        if len(_SCHEDULES) >= _SCHEDULES_CAP:
+            _SCHEDULES.clear()
+        schedule = _SCHEDULES[skey] = _chunk_schedule(lengths, interleave,
+                                                      join_stagger)
+
+    trace_on = tracer is not None
+    maybe_bypass = (not l1_enabled) or bypass
+    need_cycles = record_per_cta or trace_on
+    _len = len
+
+    cursor = start
+    cta_cycles = [0.0] * n if need_cycles else None
+    metrics.warp_accesses += sum(lengths)
+    for slot, a, b in schedule:
+        p_tags, p_readys, p_n_sets, p_assoc, counts = slot_states[slot]
+        ops = traces[slot]
+        while a < b:
+            is_write, is_stream, l1_ops, l2_lines = ops[a]
+            a += 1
+            # --------------------------------------------------------
+            # inline _do_access (verbatim from fastpath.execute_wave)
+            # --------------------------------------------------------
+            if is_write:
+                service = 0.0
+                if l1_enabled and not (bypass and is_stream):
+                    nsegs = _len(l1_ops)
+                    counts[0] += nsegs
+                    counts[2] += nsegs
+                    for line, _subs in l1_ops:
+                        s_idx = line % p_n_sets
+                        tags = p_tags[s_idx]
+                        if line in tags:
+                            k = tags.index(line)
+                            del tags[k]
+                            del p_readys[s_idx][k]
+                            counts[4] += 1
+                            if trace_on:
+                                tracer.cache_event("L1", "write_eviction",
+                                                   cursor)
+                l2_acc += _len(l2_lines)
+                l2_write_txn += _len(l2_lines)
+                for line in l2_lines:
+                    s_idx = line % l2_n_sets
+                    tags = l2_tags[s_idx]
+                    readys = l2_readys[s_idx]
+                    if line in tags:
+                        k = tags.index(line)
+                        if readys[k] > cursor:
+                            l2_reserved += 1
+                            if trace_on:
+                                tracer.cache_event("L2", "reserved_hit",
+                                                   cursor)
+                        hit = True
+                    else:
+                        l2_misses += 1
+                        if trace_on:
+                            tracer.cache_event("L2", "miss", cursor)
+                        if _len(tags) >= l2_assoc:
+                            l2_rng = (l2_rng * _LCG_MUL
+                                      + _LCG_ADD) & _LCG_MASK
+                            v = (l2_rng >> 16) % _len(tags)
+                            del tags[v]
+                            del readys[v]
+                            if trace_on:
+                                tracer.cache_event("L2", "eviction",
+                                                   cursor)
+                        tags.append(line)
+                        readys.append(cursor + l2_fill)
+                        hit = False
+                    service += l2_service
+                    if not hit:
+                        dram_txn += 1
+                        service += dram_service
+                latency = 0.0
+            elif maybe_bypass and (not l1_enabled
+                                   or (bypass and is_stream)):
+                worst = l2_latency
+                service = 0.0
+                l2_acc += _len(l2_lines)
+                l2_read_txn += _len(l2_lines)
+                for line in l2_lines:
+                    s_idx = line % l2_n_sets
+                    tags = l2_tags[s_idx]
+                    readys = l2_readys[s_idx]
+                    if line in tags:
+                        k = tags.index(line)
+                        ready = readys[k]
+                        if ready > cursor:
+                            l2_reserved += 1
+                            if trace_on:
+                                tracer.cache_event("L2", "reserved_hit",
+                                                   cursor)
+                            hit_ready = ready
+                        else:
+                            hit_ready = cursor
+                        service += l2_service
+                        wait = (hit_ready - cursor) * reserved_exposure \
+                            if hit_ready > cursor else 0.0
+                        candidate = l2_latency + wait
+                        if candidate > worst:
+                            worst = candidate
+                    else:
+                        l2_misses += 1
+                        if trace_on:
+                            tracer.cache_event("L2", "miss", cursor)
+                        if _len(tags) >= l2_assoc:
+                            l2_rng = (l2_rng * _LCG_MUL
+                                      + _LCG_ADD) & _LCG_MASK
+                            v = (l2_rng >> 16) % _len(tags)
+                            del tags[v]
+                            del readys[v]
+                            if trace_on:
+                                tracer.cache_event("L2", "eviction",
+                                                   cursor)
+                        tags.append(line)
+                        readys.append(cursor + l2_fill)
+                        service += l2_service
+                        dram_txn += 1
+                        service += dram_service
+                        if dram_latency > worst:
+                            worst = dram_latency
+                latency = worst
+            else:
+                worst = l1_latency
+                service = 0.0
+                counts[0] += _len(l1_ops)
+                for line, subs in l1_ops:
+                    s_idx = line % p_n_sets
+                    tags = p_tags[s_idx]
+                    if tags and tags[-1] == line:
+                        ready = p_readys[s_idx][-1]
+                        if ready > cursor:
+                            counts[3] += 1
+                            if trace_on:
+                                tracer.cache_event("L1", "reserved_hit",
+                                                   cursor)
+                            wait = (ready - cursor) * reserved_exposure
+                            candidate = l1_latency + wait
+                            if candidate > worst:
+                                worst = candidate
+                        continue
+                    readys = p_readys[s_idx]
+                    if line in tags:
+                        k = tags.index(line)
+                        ready = readys[k]
+                        del tags[k]
+                        del readys[k]
+                        tags.append(line)
+                        readys.append(ready)
+                        if ready > cursor:
+                            counts[3] += 1
+                            if trace_on:
+                                tracer.cache_event("L1", "reserved_hit",
+                                                   cursor)
+                            wait = (ready - cursor) * reserved_exposure
+                            candidate = l1_latency + wait
+                            if candidate > worst:
+                                worst = candidate
+                        continue
+                    counts[2] += 1
+                    if trace_on:
+                        tracer.cache_event("L1", "miss", cursor)
+                    if _len(tags) >= p_assoc:
+                        del tags[0]
+                        del readys[0]
+                        if trace_on:
+                            tracer.cache_event("L1", "eviction", cursor)
+                    tags.append(line)
+                    line_latency = l2_latency
+                    l2_acc += _len(subs)
+                    l2_read_txn += _len(subs)
+                    for sline in subs:
+                        sub_idx = sline % l2_n_sets
+                        stags = l2_tags[sub_idx]
+                        sreadys = l2_readys[sub_idx]
+                        if sline in stags:
+                            k = stags.index(sline)
+                            if sreadys[k] > cursor:
+                                l2_reserved += 1
+                                if trace_on:
+                                    tracer.cache_event(
+                                        "L2", "reserved_hit", cursor)
+                            sub_hit = True
+                        else:
+                            l2_misses += 1
+                            if trace_on:
+                                tracer.cache_event("L2", "miss", cursor)
+                            if _len(stags) >= l2_assoc:
+                                l2_rng = (l2_rng * _LCG_MUL
+                                          + _LCG_ADD) & _LCG_MASK
+                                v = (l2_rng >> 16) % _len(stags)
+                                del stags[v]
+                                del sreadys[v]
+                                if trace_on:
+                                    tracer.cache_event("L2", "eviction",
+                                                       cursor)
+                            stags.append(sline)
+                            sreadys.append(cursor + l2_fill)
+                            sub_hit = False
+                        service += l2_service
+                        if not sub_hit:
+                            dram_txn += 1
+                            service += dram_service
+                            line_latency = dram_latency
+                    readys.append(cursor + line_latency)
+                    if line_latency > worst:
+                        worst = line_latency
+                latency = worst
+            # --------------------------------------------------------
+            if need_cycles:
+                step = alu_step + latency / hiding + service
+                cursor += step
+                cta_cycles[slot] += step
+            else:
+                cursor += alu_step + latency / hiding + service
+
+    l2._rng_state = l2_rng
+    l2s = l2.stats
+    l2s.accesses += l2_acc
+    l2s.hits += l2_acc - l2_misses
+    l2s.misses += l2_misses
+    l2s.reserved_hits += l2_reserved
+    for part, counts in zip(parts, l1_counts):
+        ps = part.stats
+        ps.accesses += counts[0]
+        ps.hits += counts[0] - counts[2]
+        ps.misses += counts[2]
+        ps.reserved_hits += counts[3]
+        ps.write_evictions += counts[4]
+    metrics.l2_read_transactions += l2_read_txn
+    metrics.l2_write_transactions += l2_write_txn
+    metrics.dram_transactions += dram_txn
+
+    if prefetch_targets:
+        cursor += sim._issue_prefetches(kernel, prefetch_targets, l1, l2,
+                                        cursor, metrics, hiding, plan)
+
+    fixed = kernel.fixed_compute_cycles * n / issue_width
+    duration = (cursor - start) + fixed
+    metrics.occupancy_weighted_warps += resident_warps * duration
+    if trace_on:
+        for slot, v in enumerate(cta_ids):
+            tracer.cta(sm_id, v, turnaround, cta_cycles[slot])
+    if record_per_cta:
+        for slot, v in enumerate(cta_ids):
+            metrics.cta_records.append(CtaRecord(
+                original_id=v, sm_id=sm_id, turnaround=turnaround,
+                access_cycles=cta_cycles[slot]))
+    return duration
+
+
+class _BatchSimulator(GpuSimulator):
+    """A simulator whose wave executor is the batch core's fused loop.
+
+    The dispatch loops (scheduled heap, placed queues, tail quotas,
+    prefetch issue) are inherited unchanged — only the hot wave loop
+    is swapped, which is exactly where schedule memoization pays and
+    exactly what the differential fuzz pins down.
+    """
+
+    def _execute_wave(self, kernel, cta_ids, start, l1, l2, metrics,
+                      record_per_cta, sm_id, turnaround,
+                      prefetch_targets, plan, tracer=None):
+        if self._use_fastpath:
+            return execute_wave(self, kernel, cta_ids, start, l1, l2,
+                                metrics, record_per_cta, sm_id, turnaround,
+                                prefetch_targets, plan, tracer)
+        return GpuSimulator._execute_wave(
+            self, kernel, cta_ids, start, l1, l2, metrics, record_per_cta,
+            sm_id, turnaround, prefetch_targets, plan, tracer)
+
+
+def run_batch(gpu, kernel, items, *, timings: "list | None" = None) -> list:
+    """Execute a batch of :class:`~repro.gpu.backend.BatchItem` jobs.
+
+    One arena checkout per batch, one job slot per item, the same
+    warm-up-then-measure protocol as :func:`repro.gpu.simulator.simulate`
+    per item.  Returns one metrics object per item, in order.
+    """
+    items = list(items)
+    if not items:
+        return []
+    for item in items:
+        if item.warmups < 0:
+            raise ValueError(f"warmups must be >= 0, got {item.warmups}")
+    arena = _acquire(gpu, len(items))
+    try:
+        out = []
+        for slot, item in enumerate(items):
+            started = time.perf_counter()
+            sim = _BatchSimulator(
+                gpu, scheduler=item.scheduler, hiding_cap=item.hiding_cap,
+                l1_enabled=item.l1_enabled, join_stagger=item.join_stagger,
+                fast=True)
+            caches = arena.checkout(slot)
+            for i in range(item.warmups):
+                sim.run(kernel, item.plan, seed=item.seed + i, caches=caches)
+            out.append(sim.run(
+                kernel, item.plan, record_per_cta=item.record_per_cta,
+                seed=item.seed + item.warmups, caches=caches,
+                tracer=item.tracer))
+            if timings is not None:
+                timings.append((started, time.perf_counter() - started))
+        return out
+    finally:
+        _release(arena)

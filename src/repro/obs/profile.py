@@ -72,6 +72,16 @@ class JobSpan:
     pid: int
 
 
+@dataclass
+class BatchSpan:
+    """One batched-backend group: ``jobs`` jobs in one fused call."""
+
+    jobs: int
+    start: float
+    duration: float
+    pid: int
+
+
 class ProfileSession:
     """Collects one run's observability and renders the artifacts."""
 
@@ -83,6 +93,7 @@ class ProfileSession:
         self.timer = PhaseTimer()
         self.cells: "list[CellSample]" = []
         self.job_spans: "list[JobSpan]" = []
+        self.batch_spans: "list[BatchSpan]" = []
         self.engine: "dict | None" = None
         self.tunes: "list[dict]" = []
         self.tracer = None  # optional RecordingTracer for wave spans
@@ -100,6 +111,13 @@ class ProfileSession:
         """Record one executed job (the sweep runner calls this)."""
         self.job_spans.append(JobSpan(label=label, start=start,
                                       duration=duration, pid=pid))
+
+    def batch_span(self, jobs: int, start: float, duration: float,
+                   pid: int) -> None:
+        """Record one batched-backend group (the sweep runner calls
+        this once per group of two or more jobs it fused)."""
+        self.batch_spans.append(BatchSpan(jobs=jobs, start=start,
+                                          duration=duration, pid=pid))
 
     def observe_results(self, results, *, gpu: str = "", kernel: str = "",
                         scheme: str = "") -> None:
@@ -155,6 +173,8 @@ class ProfileSession:
             "jobs_per_s": (stats.executed / elapsed) if elapsed > 0 else 0.0,
             "cache_hit_ratio": (stats.cache_hits / stats.unique
                                 if stats.unique else 0.0),
+            "batches": getattr(stats, "batches", 0),
+            "batched_jobs": getattr(stats, "batched_jobs", 0),
             "phase_seconds": dict(getattr(stats, "phase_seconds", {})),
             "result_cache": None,
         }
@@ -224,8 +244,8 @@ class ProfileSession:
             "engine": self.engine if self.engine is not None else {
                 "submitted": 0, "unique": 0, "cache_hits": 0, "executed": 0,
                 "elapsed_s": 0.0, "worker_s": 0.0, "jobs_per_s": 0.0,
-                "cache_hit_ratio": 0.0, "phase_seconds": {},
-                "result_cache": None},
+                "cache_hit_ratio": 0.0, "batches": 0, "batched_jobs": 0,
+                "phase_seconds": {}, "result_cache": None},
             "cells": {
                 "observed": len(self.cells),
                 "top": [{
@@ -245,6 +265,7 @@ class ProfileSession:
                 "results": list(self.tunes),
             },
             "job_spans": len(self.job_spans),
+            "batch_spans": len(self.batch_spans),
         }
 
     def write(self, path) -> dict:
@@ -258,7 +279,8 @@ class ProfileSession:
     def chrome_trace(self) -> ChromeTrace:
         """Timeline export: engine job tracks + optional wave tracks."""
         trace = ChromeTrace(metadata={"label": self.label})
-        pids = sorted({span.pid for span in self.job_spans})
+        pids = sorted({span.pid for span in self.job_spans}
+                      | {span.pid for span in self.batch_spans})
         for pid in pids:
             trace.add_process_name(pid, f"worker {pid}")
             trace.add_thread_name(pid, 0, "jobs")
@@ -267,6 +289,15 @@ class ProfileSession:
                                ts=span.start * 1e6,
                                dur=span.duration * 1e6,
                                category="engine")
+        if self.batch_spans:
+            for pid in sorted({span.pid for span in self.batch_spans}):
+                trace.add_thread_name(pid, 1, "batches")
+            for span in self.batch_spans:
+                trace.add_complete(pid=span.pid, tid=1,
+                                   name=f"batch x{span.jobs}",
+                                   ts=span.start * 1e6,
+                                   dur=span.duration * 1e6,
+                                   category="batch")
         if self.tracer is not None and getattr(self.tracer, "waves", None):
             add_wave_spans(trace, self.tracer)
         return trace

@@ -76,7 +76,8 @@ class ServiceMetrics:
         }
 
     def snapshot(self, *, queue_depth: int, queue_capacity: int,
-                 draining: bool, result_cache=None) -> dict:
+                 draining: bool, result_cache=None,
+                 batch_max: int = None) -> dict:
         """The ``/metrics`` document (see DESIGN.md "Serving")."""
         import repro
         from repro.engine.job import ENGINE_VERSION
@@ -119,6 +120,11 @@ class ServiceMetrics:
                 "jobs": self.batch_jobs,
                 "mean_size": (self.batch_jobs / self.batches
                               if self.batches else 0.0),
+                # Occupancy against the micro-batcher's window cap:
+                # fill_ratio 1.0 means every batch left the window full.
+                "capacity": batch_max,
+                "fill_ratio": (self.batch_jobs / (self.batches * batch_max)
+                               if self.batches and batch_max else 0.0),
             },
             "latency": self.latency_summary(),
             "phase_seconds": {name: round(seconds, 6) for name, seconds

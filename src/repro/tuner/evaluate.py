@@ -86,6 +86,9 @@ class Evaluator:
                                    seed=self.seed, warmups=self.warmups)
                     for point in fresh]
             self.spent += len(fresh)
+            stats = getattr(self.runner, "stats", None)
+            batches_before = getattr(stats, "batches", 0)
+            grouped_before = getattr(stats, "batched_jobs", 0)
             results = self.runner.run(jobs)
             for point, metrics in zip(fresh, results):
                 self.seen[(point, fidelity)] = Candidate(
@@ -97,8 +100,16 @@ class Evaluator:
                     dram_transactions=int(metrics.dram_transactions),
                     fidelity=fidelity,
                     source=source)
+            batched = ""
+            if stats is not None and getattr(stats, "batches", 0):
+                batches = stats.batches - batches_before
+                grouped = stats.batched_jobs - grouped_before
+                if batches:
+                    batched = (f", {grouped} job(s) in {batches} "
+                               f"backend batch(es)")
             self.note(f"evaluated {len(fresh)} candidate(s) at fidelity "
-                      f"{fidelity:g} ({self.spent}/{self.budget} budget)")
+                      f"{fidelity:g} ({self.spent}/{self.budget} budget"
+                      f"{batched})")
         return [self.seen[(point, fidelity)] for point in wanted
                 if (point, fidelity) in self.seen]
 

@@ -1,0 +1,130 @@
+"""Differential fuzzing: batched struct-of-arrays backend vs serial.
+
+The batched backend (:mod:`repro.gpu.batched`) runs a whole batch of
+jobs — same kernel and platform, different plans/seeds/knobs — over one
+pooled struct-of-arrays cache arena.  Its contract is *bit-identity*
+with ``len(items)`` independent serial runs, the same bar the fast
+core holds against the dict-based oracle.
+
+Three nets, tightening in scope:
+
+* random batch compositions in lockstep against the serial path
+  (plans, seeds, warm-ups, schedulers, timing knobs, per-CTA records
+  all drawn randomly);
+* the ``REPRO_BACKEND=batched`` env seam routing ordinary
+  single-job :func:`repro.api.simulate` calls;
+* the checked-in golden fingerprints recomputed entirely under the
+  batched backend.
+
+Case counts scale with ``REPRO_FUZZ_CASES`` like the other
+differential harnesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+from repro import api
+from repro.gpu.backend import BACKEND_ENV, BatchItem, simulate_batch
+from repro.gpu.metrics import canonical_metrics, metrics_fingerprint
+from repro.gpu.scheduler import SCHEDULERS
+
+from tests.differential.test_simulator_differential import (
+    random_config,
+    random_kernel,
+)
+from tests.integration.test_goldens import (
+    GOLDEN_PATH,
+    SCALE,
+    SEED,
+    WARMUPS,
+)
+
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "80"))
+
+#: Each case simulates a whole batch twice; scale down accordingly.
+BATCH_CASES = max(8, CASES // 10)
+
+SCHEDULER_NAMES = sorted(SCHEDULERS)
+
+
+def random_item(rng, kernel, config) -> BatchItem:
+    """One randomly drawn batch member (plan + per-job knobs)."""
+    scheme = rng.choice(["BSL", "BSL", "RD", "CLU", "CLU", "CLU+TOT+BPS"])
+    plan = None
+    if scheme != "BSL":
+        # Pin active_agents for the throttled scheme so plan building
+        # stays cheap; the voting path is covered by the simulator
+        # differential suite.
+        kwargs = {"active_agents": rng.randrange(1, 4)} \
+            if scheme == "CLU+TOT+BPS" else {}
+        plan = api.cluster(kernel, scheme, gpu=config, **kwargs)
+    return BatchItem(
+        plan=plan,
+        seed=rng.randrange(0, 1 << 16),
+        warmups=rng.randrange(0, 3),
+        record_per_cta=rng.random() < 0.3,
+        scheduler=SCHEDULERS[rng.choice(SCHEDULER_NAMES)],
+        hiding_cap=rng.choice([14.0, 14.0, 8.0]),
+        l1_enabled=rng.random() > 0.15,
+        join_stagger=rng.choice([6, 6, 3]))
+
+
+def test_batched_backend_fuzz():
+    """Random batch compositions, zero divergence allowed."""
+    for case in range(BATCH_CASES):
+        rng = random.Random(0xBA7C + case)
+        kernel = random_kernel(rng, case)
+        config = random_config(rng)
+        items = [random_item(rng, kernel, config)
+                 for _ in range(rng.randrange(2, 7))]
+        serial = simulate_batch(config, kernel, items, backend="serial")
+        batched = simulate_batch(config, kernel, items, backend="batched")
+        assert len(serial) == len(batched) == len(items)
+        for i, (ref, got) in enumerate(zip(serial, batched)):
+            assert canonical_metrics(ref) == canonical_metrics(got), \
+                f"case {case} item {i}: {kernel.name} on {config.name}"
+            assert metrics_fingerprint(ref) == metrics_fingerprint(got)
+
+
+def test_batch_order_does_not_leak_state():
+    """Reversing a batch must not change any member's metrics — the
+    arena checkout has to isolate slots completely."""
+    rng = random.Random(0x0D0E)
+    kernel = random_kernel(rng, 7000)
+    config = random_config(rng)
+    items = [random_item(rng, kernel, config) for _ in range(5)]
+    forward = simulate_batch(config, kernel, items, backend="batched")
+    backward = simulate_batch(config, kernel, list(reversed(items)),
+                              backend="batched")
+    for ref, got in zip(forward, reversed(backward)):
+        assert canonical_metrics(ref) == canonical_metrics(got)
+
+
+def test_env_seam_routes_single_jobs(monkeypatch):
+    """``REPRO_BACKEND=batched`` silently routes ordinary one-job
+    ``api.simulate`` calls through the batched core, bit-identically."""
+    serial = api.simulate("NN", "Tesla K40", scheme="CLU", scale=0.2,
+                          seed=5, warmups=1)
+    monkeypatch.setenv(BACKEND_ENV, "batched")
+    routed = api.simulate("NN", "Tesla K40", scheme="CLU", scale=0.2,
+                          seed=5, warmups=1)
+    assert metrics_fingerprint(serial) == metrics_fingerprint(routed)
+
+
+def test_goldens_hold_under_batched_backend(monkeypatch):
+    """A slice of the checked-in golden fingerprints, recomputed with
+    the batched backend as the process default."""
+    if not GOLDEN_PATH.exists():
+        import pytest
+        pytest.skip("no golden fixture checked in")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    monkeypatch.setenv(BACKEND_ENV, "batched")
+    for cell in ("NN/Tesla K40/BSL", "NN/Tesla K40/CLU",
+                 "ATX/GTX980/RD", "BS/Tesla K40/CLU+TOT+BPS"):
+        wl, gpu, scheme = cell.split("/")
+        metrics = api.simulate(wl, gpu, scheme=scheme, scale=SCALE,
+                               seed=SEED, warmups=WARMUPS)
+        assert metrics_fingerprint(metrics) == golden[cell], cell

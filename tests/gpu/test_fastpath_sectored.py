@@ -1,0 +1,144 @@
+"""Direct unit tests for :class:`repro.gpu.fastpath.FastSectoredCache`.
+
+The sectored L1 is exercised end-to-end by the differential fuzzers,
+but only through whole-kernel runs; these tests pin its own contract —
+per-sector isolation, install/contains, flush/settle semantics, and
+the aggregated stats view — at the single-operation level, where a
+regression is diagnosable in one glance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.fastpath import FastSectoredCache, FastSetAssociativeCache
+from repro.gpu.refmodel import WritePolicy
+
+LINE = 128
+#: 4 sectors x 2 sets x assoc 4 lines of 128 B.
+SIZE = 4 * 2 * 4 * LINE
+
+
+def make_cache(sectors: int = 4) -> FastSectoredCache:
+    return FastSectoredCache(SIZE, LINE, assoc=4, sectors=sectors)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FastSectoredCache(SIZE, LINE, assoc=4, sectors=0)
+    with pytest.raises(ValueError):
+        FastSectoredCache(SIZE + LINE, LINE, assoc=4, sectors=4)
+
+
+def test_miss_then_hit_within_a_sector():
+    cache = make_cache()
+    hit, ready = cache.access(0, now=0.0, miss_fill_latency=100.0, sector=1)
+    assert not hit and ready == 100.0
+    hit, ready = cache.access(0, now=200.0, miss_fill_latency=100.0, sector=1)
+    assert hit and ready == 200.0
+
+
+def test_sectors_are_isolated():
+    """The same address is a fresh miss in every other sector."""
+    cache = make_cache()
+    cache.access(0, now=0.0, miss_fill_latency=10.0, sector=0)
+    for sector in (1, 2, 3):
+        assert not cache.contains(0, sector=sector)
+        hit, _ = cache.access(0, now=50.0, miss_fill_latency=10.0,
+                              sector=sector)
+        assert not hit, f"sector {sector} leaked sector 0's line"
+    assert cache.stats.accesses == 4
+    assert cache.stats.misses == 4
+
+
+def test_sector_index_wraps():
+    """``sector`` is taken modulo the sector count (how the simulator
+    maps warp lanes onto L1 partitions)."""
+    cache = make_cache(sectors=4)
+    cache.install(0, ready_at=0.0, sector=1)
+    assert cache.contains(0, sector=5)  # 5 % 4 == 1
+    assert not cache.contains(0, sector=0)
+
+
+def test_install_fills_without_counting_an_access():
+    cache = make_cache()
+    cache.install(0, ready_at=25.0, sector=2)
+    assert cache.contains(0, sector=2)
+    assert cache.stats.accesses == 0
+    # The installed line is a hit, but its fill is still in flight:
+    # hitting it before ready_at reserves until the fill lands.
+    hit, ready = cache.access(0, now=10.0, miss_fill_latency=99.0, sector=2)
+    assert hit and ready == 25.0
+    assert cache.stats.reserved_hits == 1
+
+
+def test_write_evict_policy_routes_per_sector():
+    cache = make_cache()
+    cache.access(0, now=0.0, miss_fill_latency=10.0, sector=0)
+    cache.access(0, now=20.0, miss_fill_latency=10.0, is_write=True,
+                 sector=0)
+    assert not cache.contains(0, sector=0)
+    assert cache.stats.write_evictions == 1
+
+
+def test_flush_drops_lines_and_keeps_counters():
+    cache = make_cache()
+    for sector in range(4):
+        cache.access(sector * LINE, now=0.0, miss_fill_latency=10.0,
+                     sector=sector)
+    before = cache.stats
+    cache.flush()
+    for sector in range(4):
+        assert not cache.contains(sector * LINE, sector=sector)
+    after = cache.stats
+    assert after.accesses == before.accesses == 4
+    assert after.misses == before.misses == 4
+
+
+def test_settle_completes_pending_fills():
+    cache = make_cache()
+    cache.access(0, now=0.0, miss_fill_latency=100.0, sector=3)
+    cache.settle()
+    hit, ready = cache.access(0, now=1.0, miss_fill_latency=100.0, sector=3)
+    assert hit and ready == 1.0, "settled fill should no longer reserve"
+    assert cache.stats.reserved_hits == 0
+
+
+def test_reset_stats_zeroes_all_sectors():
+    cache = make_cache()
+    for sector in range(4):
+        cache.access(0, now=0.0, miss_fill_latency=10.0, sector=sector)
+    cache.reset_stats()
+    stats = cache.stats
+    assert stats.accesses == 0 and stats.misses == 0
+    assert cache.contains(0, sector=0), "reset_stats must not flush"
+
+
+def test_stats_aggregates_across_sectors():
+    cache = make_cache()
+    cache.access(0, now=0.0, miss_fill_latency=10.0, sector=0)     # miss
+    cache.access(0, now=50.0, miss_fill_latency=10.0, sector=0)    # hit
+    cache.access(LINE, now=0.0, miss_fill_latency=10.0, sector=1)  # miss
+    stats = cache.stats
+    assert (stats.accesses, stats.hits, stats.misses) == (3, 1, 2)
+
+
+def test_eviction_within_one_sector_set():
+    """Filling one set past its associativity evicts LRU-first, and
+    only within that sector's own partition."""
+    cache = make_cache()
+    part = cache._parts[0]
+    assert isinstance(part, FastSetAssociativeCache)
+    n_sets = part.n_sets
+    # Five conflicting lines in a 4-way set: the first one inserted
+    # (line 0) is the LRU victim.
+    for k in range(5):
+        cache.access(k * n_sets * LINE, now=float(k),
+                     miss_fill_latency=1.0, sector=0)
+    assert not cache.contains(0, sector=0)
+    for k in range(1, 5):
+        assert cache.contains(k * n_sets * LINE, sector=0)
+
+
+def test_default_write_policy_matches_l1():
+    assert make_cache()._parts[0].write_policy is WritePolicy.WRITE_EVICT
