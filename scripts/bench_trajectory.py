@@ -18,7 +18,10 @@ zero new simulations; its wall time is the search overhead alone), and
 a batched-vs-serial backend timing on an 8-job same-kernel batch (the
 ``REPRO_BACKEND=batched`` struct-of-arrays core against eight
 independent fast-path runs; ``--check`` re-times it with a 1.2x
-floor).
+floor), and the rung-0 analytic-vs-simulated cost per tuning decision
+(one closed-form estimate against one fast-path simulation over the
+same matrix; ``--check`` re-times it with a 20x floor — the model
+exists to be ~50x+ cheaper per decision).
 
 Usage::
 
@@ -164,6 +167,53 @@ def _measure_batched(passes: int) -> dict:
     }
 
 
+def _measure_analytic(passes: int) -> dict:
+    """Warm per-decision cost: rung-0 estimate vs fast-path simulation.
+
+    Times the identical (workload, scheme) matrix through the engine's
+    ``estimate`` and ``measure`` executors (no persistent cache in
+    either path), so the ratio is what the halving strategy's rung-0
+    triage saves per candidate it rules out without simulating.  Runs
+    at scale 1.0 — the tuner's default operating point — because
+    simulation cost grows with the CTA count while the analytic model
+    samples a bounded set, so the shrunken smoke-matrix scale would
+    understate the ratio tuning actually sees.
+    """
+    from repro.engine import estimate_job, execute, measure_job
+
+    def matrix(builder):
+        return [builder(abbr, TESLA_K40.name,
+                        scheme=None if scheme == "BSL" else scheme,
+                        scale=1.0, seed=0)
+                for abbr in WORKLOADS for scheme in SCHEMES]
+
+    seconds = {}
+    for label, builder in (("simulated", measure_job),
+                           ("analytic", estimate_job)):
+        jobs = matrix(builder)
+        for job in jobs:
+            execute(job)  # warm traces / compiled streams
+        best = float("inf")
+        for _ in range(passes):
+            start = time.perf_counter()
+            for job in jobs:
+                execute(job)
+            best = min(best, time.perf_counter() - start)
+        seconds[label] = best
+    decisions = len(WORKLOADS) * len(SCHEMES)
+    return {
+        "decisions": decisions,
+        "simulated_seconds": round(seconds["simulated"], 4),
+        "analytic_seconds": round(seconds["analytic"], 4),
+        "simulated_ms_per_decision": round(
+            seconds["simulated"] / decisions * 1e3, 3),
+        "analytic_ms_per_decision": round(
+            seconds["analytic"] / decisions * 1e3, 3),
+        "speedup": round(seconds["simulated"] / seconds["analytic"], 1),
+        "passes": passes,
+    }
+
+
 def _measure_tuner(passes: int) -> dict:
     """Cold vs warm-cache tune timing on one small hillclimb search.
 
@@ -248,6 +298,18 @@ def _check(output: str, passes: int, tolerance: float) -> int:
               f"(recorded {last['batched']['speedup']:.2f}x, "
               f"floor {floor:.1f}x) -> {verdict}")
         failed = failed or batched["speedup"] < floor
+    if last.get("analytic") is not None:
+        # The analytic rung only earns its place as triage if it stays
+        # dramatically cheaper than simulating; 20x is the CI floor
+        # under the recorded ~50x+.
+        floor = 20.0
+        analytic = _measure_analytic(passes)
+        verdict = "OK" if analytic["speedup"] >= floor else "REGRESSION"
+        print(f"bench check: analytic rung {analytic['speedup']:.1f}x "
+              f"cheaper per decision than simulation "
+              f"(recorded {last['analytic']['speedup']:.1f}x, "
+              f"floor {floor:.0f}x) -> {verdict}")
+        failed = failed or analytic["speedup"] < floor
     return 1 if failed else 0
 
 
@@ -291,6 +353,7 @@ def main(argv=None) -> int:
         "parallel": _measure(jobs=args.jobs),
         "fastpath": _measure_fastpath(args.passes),
         "batched": _measure_batched(args.passes),
+        "analytic": _measure_analytic(args.passes),
         "tuner": _measure_tuner(args.passes),
     }
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Refresh the analytic model's per-architecture calibration.
+
+Runs the raw (uncalibrated) closed-form model and the fast-path
+simulator side by side across the workload registry and a scheme
+spread, fits the log-space power law ``cycles = exp(b) * raw**a`` per
+architecture (see ``repro.gpu.analytic.fit_power_law`` — monotone, so
+calibration can never change a ranking), and rewrites
+``src/repro/gpu/analytic_calibration.json``, the coefficients file
+that ships with the code.
+
+Run after any change to the simulator's timing model or to the
+analytic model itself::
+
+    PYTHONPATH=src python scripts/calibrate_analytic.py
+
+and commit the refreshed JSON together with the change.  The
+acceptance suite (``tests/gpu/test_analytic_acceptance.py``) asserts
+the rank agreement this fit is expected to preserve.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro import api
+from repro.gpu.analytic import (CALIBRATION_FILE, estimate, fit_power_law,
+                                reload_calibration)
+from repro.gpu.config import BY_ARCHITECTURE
+from repro.gpu.plan import baseline_plan
+from repro.workloads.registry import TABLE2_ORDER, workload
+
+#: Scheme spread per (workload, architecture) cell: the unclustered
+#: baseline, redirection, and clustering with/without throttling cover
+#: the scheme axes the tuner actually ranks.
+SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT")
+
+DEFAULT_SCALE = 0.3
+
+
+def collect(gpu, abbrs, scale, *, verbose=True):
+    """(raw, simulated) cycle pairs for one platform."""
+    raws, sims = [], []
+    for abbr in abbrs:
+        kernel = workload(abbr).kernel(scale=scale, config=gpu)
+        for scheme in SCHEMES:
+            if scheme == "BSL":
+                plan = baseline_plan()
+            else:
+                try:
+                    plan = api.cluster(kernel, scheme, gpu=gpu)
+                except Exception as exc:
+                    if verbose:
+                        print(f"    {abbr} {scheme}: skipped ({exc})",
+                              file=sys.stderr)
+                    continue
+            metrics = api.simulate(abbr, gpu.name, plan=plan, scale=scale)
+            guess = estimate(gpu, kernel, plan, calibrated=False)
+            raws.append(guess.raw_cycles)
+            sims.append(metrics.cycles)
+    return raws, sims
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Refresh src/repro/gpu/analytic_calibration.json")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="problem scale for the fitting runs "
+                             f"(default {DEFAULT_SCALE})")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="registry abbreviations (default: the "
+                             "Table-2 set)")
+    parser.add_argument("--output", default=CALIBRATION_FILE,
+                        help="where to write the coefficients "
+                             "(default: the in-tree file)")
+    args = parser.parse_args(argv)
+
+    abbrs = args.workloads or list(TABLE2_ORDER)
+    coefficients = {}
+    started = time.perf_counter()
+    for arch, gpu in BY_ARCHITECTURE.items():
+        print(f"  fitting {arch.value} ({gpu.name}) over "
+              f"{len(abbrs)} workloads x {len(SCHEMES)} schemes ...")
+        raws, sims = collect(gpu, abbrs, args.scale)
+        fit = fit_power_law(raws, sims)
+        if fit is None:
+            print(f"    {arch.value}: fit refused (degenerate inputs); "
+                  f"keeping no coefficients", file=sys.stderr)
+            continue
+        coefficients[arch.value] = fit
+        print(f"    a={fit['a']:.4f} b={fit['b']:.4f} "
+              f"points={fit['points']} log_rmse={fit['log_rmse']}")
+
+    document = {
+        "comment": "Per-architecture power-law calibration of the "
+                   "analytic locality model against the fast-path "
+                   "simulator: cycles = exp(b) * raw_cycles**a. "
+                   "Regenerate with scripts/calibrate_analytic.py.",
+        "scale": args.scale,
+        "schemes": list(SCHEMES),
+        "workloads": list(abbrs),
+        "coefficients": coefficients,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    reload_calibration(args.output if args.output != CALIBRATION_FILE
+                       else None)
+    print(f"wrote {len(coefficients)} architecture fits to {args.output} "
+          f"in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,10 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
 The layers underneath:
 
 * ``repro.api`` — the stable entry points: ``simulate``, ``cluster``,
-  ``sweep``, ``tune`` (everything here is re-exported at top level).
+  ``sweep``, ``tune``, ``estimate`` (everything here is re-exported at
+  top level).  ``simulate``/``sweep``/``tune`` accept ``fidelity=``
+  naming a rung of the measurement ladder (:mod:`repro.fidelity`):
+  ``"analytic"`` / ``"reduced"`` / ``"full"``.
 * ``repro.gpu`` — platforms (Table 1), caches, GigaThread scheduler
   models, the cycle-approximate simulator.
 * ``repro.core`` — the contribution: partitioning/inverting/binding,
@@ -38,7 +41,10 @@ The layers underneath:
   per-table/figure drivers.
 """
 
-from repro.api import SCHEMES, cluster, simulate, sweep, tune
+from repro.api import (SCHEMES, AnalyticEstimate, cluster, estimate,
+                       simulate, sweep, tune)
+from repro.fidelity import (ANALYTIC, FIDELITIES, FULL, REDUCED, Fidelity,
+                            resolve_fidelity)
 from repro.core import (
     CtaPartitioner,
     OptimizationDecision,
@@ -95,7 +101,7 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def version_line() -> str:
@@ -106,7 +112,9 @@ def version_line() -> str:
     return f"repro {__version__} (engine schema {ENGINE_VERSION})"
 
 __all__ = [
-    "SCHEMES", "cluster", "simulate", "sweep", "tune",
+    "SCHEMES", "cluster", "estimate", "simulate", "sweep", "tune",
+    "ANALYTIC", "AnalyticEstimate", "FIDELITIES", "FULL", "Fidelity",
+    "REDUCED", "resolve_fidelity",
     "CtaPartitioner", "OptimizationDecision", "TileWiseIndexing",
     "X_PARTITION", "Y_PARTITION", "agent_plan", "analyze_direction",
     "classify", "direction", "generate_from_decision", "inspector_plan",

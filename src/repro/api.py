@@ -17,9 +17,19 @@ an internal module:
 * :func:`tune` — search the clustering configuration space of one
   (workload, platform) pair with a budgeted, seed-deterministic
   strategy and return the best plan plus a ranked leaderboard
-  (:mod:`repro.tuner`).
+  (:mod:`repro.tuner`);
+* :func:`estimate` — the closed-form analytic locality model
+  (:mod:`repro.gpu.analytic`): hit rates and a calibrated cycle
+  estimate with no simulation behind them, orders of magnitude
+  cheaper — fidelity **rung 0**.
 
-The served counterpart (:mod:`repro.service`) exposes the same three
+Measurement *fidelity* is a first-class axis (:mod:`repro.fidelity`):
+``simulate``/``sweep``/``tune`` accept a keyword-only ``fidelity=``
+naming a rung — ``"analytic"`` (rung 0, the closed-form model),
+``"reduced"`` (rung 1, half-scale simulation) or ``"full"`` (rung 2,
+the default).
+
+The served counterpart (:mod:`repro.service`) exposes the same
 operations over HTTP/JSON; its stdlib client is re-exported here —
 :func:`connect` / :class:`ServiceClient` — so remote callers also
 never import an internal module.
@@ -31,11 +41,15 @@ reorganize freely underneath.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.agent import agent_plan
 from repro.core.dependence import analyze_direction
 from repro.core.prefetch import prefetch_plan
 from repro.core.redirection import redirection_plan
 from repro.core.throttling import vote_active_agents
+from repro.fidelity import FIDELITIES, FULL, Fidelity, resolve_fidelity
+from repro.gpu.analytic import AnalyticEstimate
 from repro.gpu.config import GpuConfig, PLATFORMS
 from repro.gpu.metrics import KernelMetrics
 from repro.gpu.plan import ExecutionPlan, baseline_plan
@@ -49,8 +63,9 @@ from repro.workloads.registry import workload as _lookup_workload
 #: The paper's scheme names, as `cluster`/`simulate` accept them.
 SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
 
-__all__ = ["SCHEMES", "ServiceClient", "ServiceError", "cluster",
-           "connect", "simulate", "sweep", "tune"]
+__all__ = ["AnalyticEstimate", "FIDELITIES", "Fidelity", "SCHEMES",
+           "ServiceClient", "ServiceError", "cluster", "connect",
+           "estimate", "resolve_fidelity", "simulate", "sweep", "tune"]
 
 
 def _resolve_config(gpu) -> "tuple[GpuSimulator | None, GpuConfig]":
@@ -124,7 +139,8 @@ def cluster(kernel, scheme: str = "CLU", *, gpu,
 def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
              scale: float = 1.0, seed: int = 0, warmups: int = 1,
              record_per_cta: bool = False, tracer=None,
-             fast: bool = None, backend: str = None) -> KernelMetrics:
+             fast: bool = None, backend: str = None,
+             fidelity=None) -> KernelMetrics:
     """Measure one workload (or kernel) on one platform.
 
     ``workload`` is a registry abbreviation (``"NN"``), a
@@ -150,9 +166,22 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     ``"batched"``; default from ``REPRO_BACKEND``).  The batched
     struct-of-arrays core and the serial path are bit-identical too —
     both seams only ever trade wall-clock time.
+
+    ``fidelity`` names the measurement rung: ``"full"`` (default)
+    simulates at the requested scale, ``"reduced"`` at half of it, and
+    ``"analytic"`` delegates to :func:`estimate` — returning an
+    :class:`~repro.gpu.analytic.AnalyticEstimate` (which shares the
+    canonical metric fields with :class:`~repro.gpu.metrics.KernelMetrics`)
+    and ignoring the simulation-only knobs (``record_per_cta``,
+    ``tracer``, ``fast``, ``backend``).
     """
     if scheme is not None and plan is not None:
         raise ValueError("pass either scheme= or plan=, not both")
+    rung = resolve_fidelity(fidelity, default=FULL)
+    if not rung.simulated:
+        return estimate(workload, gpu, scheme=scheme, plan=plan, scale=scale,
+                        seed=seed, warmups=warmups)
+    scale = scale * rung.scale_multiplier
     simulator, config = _resolve_config(gpu)
     kernel, _ = _resolve_kernel(workload, config, scale=scale)
     if plan is None and scheme is not None and scheme != "BSL":
@@ -163,7 +192,61 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
                             fast=fast, backend=backend)
 
 
-def sweep(jobs, *, runner=None) -> list:
+def estimate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
+             scale: float = 1.0, seed: int = 0, warmups: int = 1,
+             calibrated: bool = True) -> AnalyticEstimate:
+    """Analytically estimate one configuration — fidelity rung 0.
+
+    Same workload/platform/scheme/plan spellings as :func:`simulate`,
+    but the answer comes from the closed-form locality model of
+    :mod:`repro.gpu.analytic` — reuse-distance histograms and
+    inter-CTA footprint overlap over the cluster map — with **no
+    simulation behind it**: orders of magnitude cheaper per decision.
+    Trust its *rankings* (which scheme wins); quote absolute cycle
+    counts only from :func:`simulate`.  ``calibrated`` applies the
+    per-architecture power-law calibration (monotone, so it never
+    changes a ranking); pass ``False`` for the raw model cost.
+    """
+    if scheme is not None and plan is not None:
+        raise ValueError("pass either scheme= or plan=, not both")
+    simulator, config = _resolve_config(gpu)
+    kernel, _ = _resolve_kernel(workload, config, scale=scale)
+    if plan is None and scheme is not None and scheme != "BSL":
+        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed)
+    from repro.gpu.analytic import estimate as _estimate_kernel
+    return _estimate_kernel(config, kernel, plan, seed=seed, warmups=warmups,
+                            calibrated=calibrated)
+
+
+def _job_at_fidelity(job, rung: Fidelity):
+    """One declarative job, re-expressed at a measurement rung."""
+    if rung.simulated:
+        if rung.scale_multiplier == 1.0:
+            return job
+        return dataclasses.replace(job, scale=job.scale
+                                   * rung.scale_multiplier)
+    if job.kind == "estimate":
+        return job
+    from repro.engine.executors import estimate_job
+    if job.kind == "simulate":
+        return estimate_job(job.workload, job.gpu, scheme=job.scheme,
+                            scale=job.scale, seed=job.seed,
+                            warmups=job.warmups)
+    if job.kind == "measure":
+        tile = job.extra("tile")
+        return estimate_job(
+            job.workload, job.gpu, plan=job.extra("plan", "baseline"),
+            scale=job.scale, seed=job.seed, warmups=job.warmups,
+            direction=job.extra("direction"),
+            active_agents=job.extra("active_agents"),
+            bypass_streams=bool(job.extra("bypass_streams", False)),
+            tile=tuple(tile) if tile is not None else None)
+    raise ValueError(f"job kind {job.kind!r} has no analytic (rung 0) "
+                     f"counterpart; only simulate/measure/estimate jobs "
+                     f"can run at fidelity 'analytic'")
+
+
+def sweep(jobs, *, runner=None, fidelity=None) -> list:
     """Run a declarative job batch; results come in submission order.
 
     ``jobs`` is an iterable of :class:`~repro.engine.SimJob` (from the
@@ -172,7 +255,16 @@ def sweep(jobs, *, runner=None) -> list:
     persistent cache, memoization, progress lines and profiling; the
     default is serial, cache-less, and bit-identical to any parallel
     runner fed the same batch.
+
+    ``fidelity`` re-expresses every job at a named rung before
+    running: ``"reduced"`` halves each job's scale, ``"analytic"``
+    swaps ``simulate``/``measure`` jobs for their closed-form
+    ``estimate`` counterparts (other kinds have no rung-0 form and are
+    rejected).  The default leaves the batch untouched.
     """
+    rung = resolve_fidelity(fidelity, default=FULL)
+    if rung is not FULL:
+        jobs = [_job_at_fidelity(job, rung) for job in jobs]
     if runner is None:
         from repro.engine import SweepRunner
         runner = SweepRunner()
@@ -182,14 +274,20 @@ def sweep(jobs, *, runner=None) -> list:
 def tune(workload, gpu, *, objective: str = "cycles",
          strategy: str = "hillclimb", budget: int = None,
          scale: float = 1.0, seed: int = 0, warmups: int = 1,
-         runner=None, progress: bool = False, profile=None):
+         fidelity=None, runner=None, progress: bool = False, profile=None):
     """Search clustering configurations for one (workload, GPU) pair.
 
     ``workload`` is a registry abbreviation, ``gpu`` a platform name
     or config.  ``strategy`` is ``"grid"``/``"hillclimb"``/
     ``"halving"`` and ``objective`` is ``"cycles"`` (the paper's
     metric), ``"l2_transactions"`` or ``"dram_transactions"`` — lower
-    is always better.  ``budget`` bounds candidate evaluations.
+    is always better.  ``budget`` bounds candidate evaluations (the
+    analytic rung is free; ``halving`` triages the whole space on it
+    before spending any simulation budget).  ``fidelity`` names the
+    rung the baseline and leaderboard are evaluated at (``"full"`` by
+    default — the only rung whose numbers carry the regression-free
+    guarantee; ``"analytic"`` gives a simulation-free exploratory
+    ranking of the whole space).
 
     Returns a :class:`~repro.tuner.TuneResult`: the winning
     :class:`~repro.gpu.plan.ExecutionPlan` (``best_plan``), the ranked
@@ -205,8 +303,8 @@ def tune(workload, gpu, *, objective: str = "cycles",
     return _tune(_abbr_of(workload), config.name, objective=objective,
                  strategy=strategy,
                  budget=DEFAULT_BUDGET if budget is None else budget,
-                 scale=scale, seed=seed, warmups=warmups, runner=runner,
-                 progress=progress, profile=profile)
+                 scale=scale, seed=seed, warmups=warmups, fidelity=fidelity,
+                 runner=runner, progress=progress, profile=profile)
 
 
 def _abbr_of(workload) -> str:

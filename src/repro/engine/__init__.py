@@ -22,6 +22,7 @@ process boundary, and the job's content hash doubles as the cache key.
 from repro.engine.cache import ResultCache, default_cache_root
 from repro.engine.executors import (
     cluster_job,
+    estimate_job,
     execute,
     framework_job,
     measure_job,
@@ -45,6 +46,7 @@ __all__ = [
     "SweepStats",
     "default_cache_root",
     "default_runner",
+    "estimate_job",
     "execute",
     "framework_job",
     "measure_job",

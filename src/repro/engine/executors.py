@@ -24,6 +24,7 @@ framework  the Fig.-11 framework's decision for one (app, GPU)  ``DecisionSummar
 simulate   one ``repro.api.simulate`` call, named by strings    ``KernelMetrics``
 cluster    one ``repro.api.cluster`` call, named by strings     ``dict`` (plan digest)
 tune       one ``repro.tuner`` search of one (app, GPU) pair    ``TuneResult`` record
+estimate   closed-form rung-0 estimate of one configuration     ``AnalyticEstimate``
 ========== ==================================================== =====================
 
 The companion ``*_job`` builders are the only places job extras are
@@ -375,6 +376,56 @@ def _run_tune(job: SimJob):
                   budget=int(job.extra("budget", 24)),
                   scale=job.scale, seed=job.seed, warmups=job.warmups)
     return result.record()
+
+
+# ----------------------------------------------------------------------
+# estimate — the closed-form analytic model (fidelity rung 0)
+# ----------------------------------------------------------------------
+
+def estimate_job(workload, gpu, *, scheme: str = None, plan: str = None,
+                 scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                 direction: str = None, active_agents: int = None,
+                 bypass_streams: bool = False,
+                 tile: "tuple[int, int]" = None) -> SimJob:
+    """One rung-0 analytic estimate of one clustering configuration.
+
+    Two spellings, matching the two callers: ``scheme`` names a
+    Figure-12 label exactly like :func:`simulate_job` (the facade and
+    the service use this), while ``plan`` + knobs name the
+    configuration the way ``measure`` jobs do (the tuner uses this so
+    an estimate's plan is rebuilt by the very same code as its
+    full-fidelity counterpart).  Passing both is rejected.
+
+    The result is an :class:`~repro.gpu.analytic.AnalyticEstimate` —
+    hit rates and a calibrated cycle estimate from reuse-distance and
+    footprint math, with no simulation behind it.
+    """
+    if scheme is not None and plan is not None:
+        raise ValueError("estimate_job takes scheme= or plan=, not both")
+    if plan is not None and plan not in ("baseline", "rd", "clu", "pfh"):
+        raise ValueError(f"unknown plan kind {plan!r}")
+    return SimJob.make(
+        "estimate", workload=_abbr(workload), gpu=_gpu_name(gpu),
+        scheme=scheme, scale=scale, seed=seed, warmups=warmups,
+        plan=plan, direction=direction, active_agents=active_agents,
+        bypass_streams=bypass_streams, tile=tile)
+
+
+@executor("estimate")
+def _run_estimate(job: SimJob):
+    from repro.gpu.analytic import estimate as analytic_estimate
+    workload = _lookup_workload(job.workload)
+    gpu = _platform_for(job)
+    kernel = workload.kernel(scale=job.scale, config=gpu)
+    if job.extra("plan") is not None:
+        plan = _measure_plan(job, workload, gpu, kernel)
+    elif job.scheme is not None and job.scheme != "BSL":
+        from repro.api import cluster as api_cluster
+        plan = api_cluster(kernel, job.scheme, gpu=gpu, seed=job.seed)
+    else:
+        plan = None
+    return analytic_estimate(gpu, kernel, plan, seed=job.seed,
+                             warmups=job.warmups)
 
 
 # ----------------------------------------------------------------------

@@ -54,14 +54,31 @@ ON_DEMAND = ("tuning_study",)
 
 
 def _print_driver_list() -> None:
-    """The ``--list`` table: every artifact and its one-line purpose."""
+    """The ``--list`` table: every artifact and its one-line purpose,
+    plus the tuner registries (strategies, objectives) and the fidelity
+    ladder with each rung's relative cost."""
     from repro.experiments.driver import get_driver
+    from repro.fidelity import FIDELITIES
+    from repro.tuner import OBJECTIVES, STRATEGIES
     print("available artifacts:")
     for name in ARTIFACTS:
         driver = get_driver(name)
         doc = (driver.__doc__ or type(driver).__doc__ or "").strip()
         summary = doc.splitlines()[0] if doc else ""
         print(f"  {name:<14} {summary}")
+    print("tuner strategies:")
+    for name in sorted(STRATEGIES):
+        doc = (STRATEGIES[name].__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        print(f"  {name:<14} {summary}")
+    print("tuner objectives:")
+    for name in sorted(OBJECTIVES):
+        print(f"  {name}")
+    print("fidelity rungs (cheapest first):")
+    for fid in FIDELITIES.values():
+        cost = f"~{fid.relative_cost:g}x full cost"
+        print(f"  {fid.name:<10} rung {fid.rung}  {cost:<18} "
+              f"{fid.description}")
 
 
 def _select_platforms(names):

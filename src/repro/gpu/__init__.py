@@ -13,6 +13,13 @@ from repro.gpu.config import (
     TESLA_K40,
     platform,
 )
+from repro.gpu.analytic import (
+    AnalyticEstimate,
+    estimate as analytic_estimate,
+    fit_power_law,
+    load_calibration,
+    reload_calibration,
+)
 from repro.gpu.metrics import KernelMetrics, geometric_mean
 from repro.gpu.occupancy import max_ctas_per_sm, occupancy_report
 from repro.gpu.plan import ExecutionPlan, baseline_plan
@@ -32,7 +39,9 @@ from repro.gpu.simulator import (
 __all__ = [
     "Architecture", "BY_ARCHITECTURE", "EVALUATION_PLATFORMS", "GTX570",
     "GTX750TI", "GTX980", "GTX1080", "GpuConfig", "PLATFORMS", "TESLA_K40",
-    "platform", "KernelMetrics", "geometric_mean", "max_ctas_per_sm",
+    "platform", "AnalyticEstimate", "analytic_estimate", "fit_power_law",
+    "load_calibration", "reload_calibration",
+    "KernelMetrics", "geometric_mean", "max_ctas_per_sm",
     "occupancy_report", "ExecutionPlan", "baseline_plan", "ObservedScheduler",
     "RandomizedScheduler", "RoundRobinScheduler", "SCHEDULERS", "GpuSimulator",
     "run_baseline", "run_measured", "simulate",

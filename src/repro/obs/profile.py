@@ -202,6 +202,7 @@ class ProfileSession:
             "strategy": result.strategy,
             "objective": result.objective,
             "budget": result.budget,
+            "fidelity": getattr(result, "fidelity", "full"),
             "evaluations": result.evaluations,
             "truncated": result.truncated,
             "best_scheme": result.best.scheme,

@@ -121,6 +121,24 @@ class ServiceClient:
         envelope = self._call("POST", "/v1/simulate", payload)
         return envelope if full else envelope["result"]
 
+    def estimate(self, workload: str, gpu: str, *, scheme: str = None,
+                 scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                 deadline_s: float = None, full: bool = False) -> dict:
+        """One served rung-0 analytic estimate — same request shape and
+        envelope as :meth:`simulate`, answered by the service without
+        touching its process pool.  Returns the
+        :class:`~repro.gpu.analytic.AnalyticEstimate` as JSON;
+        ``full=True`` returns the whole envelope instead.
+        """
+        payload = {"workload": workload, "gpu": gpu, "scale": scale,
+                   "seed": seed, "warmups": warmups}
+        if scheme is not None:
+            payload["scheme"] = scheme
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/estimate", payload)
+        return envelope if full else envelope["result"]
+
     def cluster(self, workload: str, gpu: str, *, scheme: str = "CLU",
                 direction: str = None, active_agents: int = None,
                 seed: int = 0, deadline_s: float = None,

@@ -347,6 +347,55 @@ class SimulationService:
         return {"key": job.key, "source": source,
                 "result": jobmod.jsonable(value)}
 
+    async def _post_estimate(self, request: HttpRequest) -> dict:
+        """Rung-0 fast path: the closed-form analytic model, inline.
+
+        Same request/response envelope as ``/v1/simulate`` (same
+        validation, same ``{key, source, result}`` shape, same error
+        payloads), but the work never touches the admission queue, the
+        micro-batcher or the process pool — the model is cheap enough
+        to run on a loop-adjacent thread, so this endpoint answers
+        even while the pool is saturated with simulations.  Visible in
+        ``/metrics`` under ``estimates`` (the ``batches`` counter does
+        not move).
+        """
+        payload = request.json()
+        job = jobmod.build_estimate_job(payload)
+        self._deadline_from(payload)  # validate the field for parity
+        if self._draining:
+            raise HttpError(503, "draining",
+                            "service is draining and not admitting work")
+        started = time.perf_counter()
+        value, hit = None, False
+        if self.cache is not None:
+            with self.metrics.timer.phase("cache_lookup"):
+                cached = self.cache.get(job)
+            if not ResultCache.is_miss(cached):
+                value, hit = cached, True
+        if not hit:
+            try:
+                value = await asyncio.to_thread(execute, job)
+            except Exception as exc:
+                self.metrics.job_errors += 1
+                self.metrics.observe_estimate(
+                    time.perf_counter() - started, cached=False)
+                raise HttpError(
+                    500, "job_failed",
+                    f"job {job.label()} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    detail={"job": job.label()}) from None
+            self.metrics.executed += 1
+            if self.cache is not None:
+                with self.metrics.timer.phase("cache_store"):
+                    try:
+                        self.cache.put(job, value)
+                    except OSError:
+                        pass  # a full disk must not fail the response
+        self.metrics.observe_estimate(time.perf_counter() - started,
+                                      cached=hit)
+        return {"key": job.key, "source": "cache" if hit else "executed",
+                "result": jobmod.jsonable(value)}
+
     async def _post_cluster(self, request: HttpRequest) -> dict:
         payload = request.json()
         job = jobmod.build_cluster_job(payload)
@@ -594,6 +643,7 @@ _ROUTES = {
     ("GET", "/readyz"): SimulationService._get_readyz,
     ("GET", "/metrics"): SimulationService._get_metrics,
     ("POST", "/v1/simulate"): SimulationService._post_simulate,
+    ("POST", "/v1/estimate"): SimulationService._post_estimate,
     ("POST", "/v1/cluster"): SimulationService._post_cluster,
     ("POST", "/v1/sweep"): SimulationService._post_sweep,
     ("POST", "/v1/tune"): SimulationService._post_tune,

@@ -23,6 +23,7 @@ import enum
 from repro.engine.executors import (
     EXECUTORS,
     cluster_job,
+    estimate_job,
     simulate_job,
     tune_job,
 )
@@ -99,6 +100,24 @@ def build_simulate_job(payload: dict) -> SimJob:
     seed = _number(payload, "seed", 0, cast=int, minimum=0)
     warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
     return simulate_job(workload, gpu, scheme=scheme, scale=scale,
+                        seed=seed, warmups=warmups)
+
+
+def build_estimate_job(payload: dict) -> SimJob:
+    """``POST /v1/estimate`` body -> a canonical ``estimate`` job.
+
+    Field-for-field the same request shape as ``/v1/simulate`` —
+    workload, gpu, optional scheme, scale, seed, warmups — validated
+    by the same helpers, so the two endpoints reject malformed input
+    with identical error envelopes.
+    """
+    workload = _check_workload(_string(payload, "workload", required=True))
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    scheme = _check_scheme(_string(payload, "scheme"), required=False)
+    scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
+    seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    return estimate_job(workload, gpu, scheme=scheme, scale=scale,
                         seed=seed, warmups=warmups)
 
 
@@ -179,6 +198,8 @@ def _build_one(entry: dict) -> SimJob:
     kind = _string(entry, "kind", default="simulate")
     if kind == "simulate":
         return build_simulate_job(entry)
+    if kind == "estimate":
+        return build_estimate_job(entry)
     if kind == "cluster":
         return build_cluster_job(entry)
     if kind not in EXECUTORS:

@@ -54,6 +54,11 @@ class ServiceMetrics:
         self.queue_peak = 0
         self.batches = 0
         self.batch_jobs = 0
+        # The rung-0 fast path (POST /v1/estimate) — answered inline,
+        # never through the queue/batcher/pool, so counted separately.
+        self.estimates = 0
+        self.estimate_cache_hits = 0
+        self.estimate_seconds = 0.0
         self.timer = PhaseTimer()
         self._latencies = deque(maxlen=RESERVOIR)
 
@@ -63,6 +68,12 @@ class ServiceMetrics:
 
     def observe_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
+
+    def observe_estimate(self, seconds: float, *, cached: bool) -> None:
+        self.estimates += 1
+        if cached:
+            self.estimate_cache_hits += 1
+        self.estimate_seconds += seconds
 
     def latency_summary(self) -> dict:
         values = sorted(self._latencies)
@@ -125,6 +136,13 @@ class ServiceMetrics:
                 "capacity": batch_max,
                 "fill_ratio": (self.batch_jobs / (self.batches * batch_max)
                                if self.batches and batch_max else 0.0),
+            },
+            "estimates": {
+                "count": self.estimates,
+                "cache_hits": self.estimate_cache_hits,
+                "mean_latency_ms": (round(self.estimate_seconds
+                                          / self.estimates * 1e3, 3)
+                                    if self.estimates else 0.0),
             },
             "latency": self.latency_summary(),
             "phase_seconds": {name: round(seconds, 6) for name, seconds

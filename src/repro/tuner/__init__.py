@@ -18,8 +18,14 @@ simulated objective:
 
 Everything is seed-deterministic and warm-started from the rule-based
 pick, so a tuned configuration never regresses the framework's own.
+
+Measurement fidelity is a named rung of the ladder in
+:mod:`repro.fidelity` (``analytic``/``reduced``/``full``); the key
+names are re-exported here for convenience.
 """
 
+from repro.fidelity import (ANALYTIC, FIDELITIES, FULL, REDUCED, Fidelity,
+                            resolve_fidelity)
 from repro.tuner.core import DEFAULT_BUDGET, TuneResult, tune
 from repro.tuner.evaluate import Evaluator
 from repro.tuner.objective import OBJECTIVES, Objective, objective
@@ -28,18 +34,24 @@ from repro.tuner.space import (Candidate, ConfigPoint, SearchSpace,
 from repro.tuner.strategies import STRATEGIES, SearchStrategy, strategy
 
 __all__ = [
+    "ANALYTIC",
     "Candidate",
     "ConfigPoint",
     "DEFAULT_BUDGET",
     "Evaluator",
+    "FIDELITIES",
+    "FULL",
+    "Fidelity",
     "OBJECTIVES",
     "Objective",
+    "REDUCED",
     "STRATEGIES",
     "SearchSpace",
     "SearchStrategy",
     "TuneResult",
     "objective",
     "point_from_decision",
+    "resolve_fidelity",
     "strategy",
     "tune",
 ]

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.engine.executors import framework_job
-from repro.tuner.evaluate import FULL_FIDELITY, Evaluator
+from repro.fidelity import FULL, resolve_fidelity
+from repro.tuner.evaluate import Evaluator
 from repro.tuner.objective import objective as lookup_objective
 from repro.tuner.space import (Candidate, SearchSpace, point_from_decision)
 from repro.tuner.strategies import strategy as lookup_strategy
@@ -33,9 +34,10 @@ class TuneResult:
     ``baseline`` is the framework's rule-based pick evaluated under
     the same objective; ``best.score <= baseline.score`` always holds
     (the regression-free guarantee).  ``leaderboard`` is every
-    full-fidelity candidate in rank order; ``evaluations`` counts the
-    budget actually spent; ``decision`` is a JSON-plain digest of the
-    framework's reasoning.
+    candidate evaluated at the tune's ``fidelity`` rung (``"full"``
+    unless the caller lowered it) in rank order; ``evaluations``
+    counts the budget actually spent; ``decision`` is a JSON-plain
+    digest of the framework's reasoning.
     """
 
     workload: str
@@ -52,6 +54,7 @@ class TuneResult:
     truncated: int
     decision: "tuple[tuple[str, object], ...]" = ()
     best_plan: "object | None" = None
+    fidelity: str = "full"
 
     @property
     def speedup_vs_rule(self) -> float:
@@ -81,19 +84,24 @@ def _decision_digest(summary) -> "tuple[tuple[str, object], ...]":
 def tune(workload: str, gpu: str, *, objective: str = "cycles",
          strategy: str = "hillclimb", budget: int = DEFAULT_BUDGET,
          scale: float = 1.0, seed: int = 0, warmups: int = 1,
-         runner=None, progress: bool = False, profile=None) -> TuneResult:
+         fidelity=None, runner=None, progress: bool = False,
+         profile=None) -> TuneResult:
     """Search the clustering configuration space for one pair.
 
     ``budget`` bounds the number of candidate evaluations (fresh
-    ``(point, fidelity)`` simulations; engine-level cache hits still
-    count — the budget is a search-effort bound, not a wall-time one).
-    ``runner`` accepts a pre-built
+    ``(point, rung)`` simulations; engine-level cache hits still
+    count — the budget is a search-effort bound, not a wall-time one;
+    the analytic rung is free).  ``fidelity`` names the rung the
+    baseline and leaderboard are evaluated at (``"full"`` by default;
+    ``"analytic"`` turns the whole tune into a simulation-free
+    exploratory ranking).  ``runner`` accepts a pre-built
     :class:`~repro.engine.runner.SweepRunner` so callers control
     parallelism, caching and profiling; the default is the serial
     cached engine.
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
+    rung = resolve_fidelity(fidelity, default=FULL)
     objective_rule = lookup_objective(objective)
     searcher = lookup_strategy(strategy)
     if runner is None:
@@ -109,19 +117,19 @@ def tune(workload: str, gpu: str, *, objective: str = "cycles",
     evaluator = Evaluator(space=space, runner=runner,
                           objective=objective_rule, scale=scale, seed=seed,
                           warmups=warmups, budget=budget, progress=progress,
-                          strategy=searcher.name)
+                          strategy=searcher.name, fidelity=rung)
     evaluator.note(f"warm start {warm.label()} (rule pick: {summary.scheme})")
     baseline = evaluator.evaluate([warm], source="framework")[0]
     searcher.search(evaluator, space, warm)
 
-    leaderboard = tuple(evaluator.candidates(fidelity=FULL_FIDELITY))
+    leaderboard = tuple(evaluator.candidates(fidelity=rung))
     best = leaderboard[0]
     result = TuneResult(
         workload=space.workload, gpu=space.gpu, objective=objective_rule.name,
         strategy=searcher.name, budget=budget, scale=scale, seed=seed,
         best=best, baseline=baseline, leaderboard=leaderboard,
         evaluations=evaluator.spent, truncated=evaluator.truncated,
-        decision=_decision_digest(summary),
+        decision=_decision_digest(summary), fidelity=rung.name,
         best_plan=space.plan(best.point, scale=scale))
     if profile is not None and hasattr(profile, "observe_tuning"):
         profile.observe_tuning(result)

@@ -1,19 +1,22 @@
 """Budget-accounted candidate evaluation on the sweep engine.
 
-The :class:`Evaluator` is the strategies' only doorway to simulation.
-It turns configuration points into declarative ``measure`` jobs (so
+The :class:`Evaluator` is the strategies' only doorway to measurement.
+It turns configuration points into declarative engine jobs (so
 evaluations are parallel, persistently cached and bit-deterministic —
 everything the engine already guarantees), memoizes per
-``(point, fidelity)`` within a tuning run, and charges the tuning
-*budget* one unit per fresh evaluation.  When the budget runs dry it
-truncates the batch (loudly, via the progress line) instead of
-raising, so every strategy degrades gracefully to "best found so
-far".
+``(point, rung)`` within a tuning run, and charges the tuning *budget*
+per fresh evaluation.  When the budget runs dry it truncates the batch
+(loudly, via the progress line) instead of raising, so every strategy
+degrades gracefully to "best found so far".
 
-Fidelity is a scale multiplier: evaluating at fidelity ``f`` simulates
-the workload at ``scale * f``.  Only full-fidelity (``f == 1``)
-candidates are leaderboard-eligible — cheaper rungs exist purely to
-spend budget triaging.
+Fidelity is a named rung of the measurement ladder
+(:mod:`repro.fidelity`): ``analytic`` runs the closed-form locality
+model through ``estimate`` jobs and is *free* to the budget;
+``reduced`` simulates at half the requested scale; ``full`` simulates
+at the requested scale and is the only leaderboard-eligible rung.
+Pre-1.4 callers passed raw scale-multiplier floats here — those still
+work through :func:`repro.fidelity.resolve_fidelity`'s deprecation
+shim.
 """
 
 from __future__ import annotations
@@ -21,10 +24,13 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 
+from repro.fidelity import FULL, Fidelity, resolve_fidelity
 from repro.tuner.objective import Objective
 from repro.tuner.space import Candidate, ConfigPoint, SearchSpace
 
-#: Leaderboard-eligible fidelity (the tune's full requested scale).
+#: Deprecated pre-1.4 spelling of the leaderboard-eligible rung (a raw
+#: scale multiplier).  Kept so old imports keep working; passing it to
+#: ``evaluate(fidelity=...)`` warns and resolves to ``repro.fidelity.FULL``.
 FULL_FIDELITY = 1.0
 
 
@@ -41,18 +47,25 @@ class Evaluator:
     budget: int = 24
     progress: bool = False
     strategy: str = "?"
-    #: (point, fidelity) -> Candidate for everything evaluated so far.
+    #: Default rung for ``evaluate``/``candidates`` when the caller
+    #: does not name one (``tune(fidelity=...)`` sets it run-wide).
+    fidelity: "Fidelity | str | None" = None
+    #: (point, rung name) -> Candidate for everything evaluated so far.
     seen: "dict[tuple, Candidate]" = field(default_factory=dict)
     spent: int = 0
     truncated: int = 0
+
+    def __post_init__(self):
+        self.fidelity = resolve_fidelity(self.fidelity, default=FULL)
 
     @property
     def remaining(self) -> int:
         return max(0, self.budget - self.spent)
 
-    def candidates(self, *, fidelity: float = FULL_FIDELITY) -> "list[Candidate]":
-        """Everything evaluated at one fidelity, in leaderboard order."""
-        found = [c for c in self.seen.values() if c.fidelity == fidelity]
+    def candidates(self, *, fidelity=None) -> "list[Candidate]":
+        """Everything evaluated at one rung, in leaderboard order."""
+        rung = resolve_fidelity(fidelity, default=self.fidelity)
+        found = [c for c in self.seen.values() if c.fidelity == rung.name]
         return sorted(found, key=Candidate.rank_key)
 
     def note(self, message: str) -> None:
@@ -60,45 +73,54 @@ class Evaluator:
         if self.progress:
             print(f"[tune:{self.strategy}] {message}", file=sys.stderr)
 
-    def evaluate(self, points, *, fidelity: float = FULL_FIDELITY,
+    def _job(self, point: ConfigPoint, rung: Fidelity):
+        if rung.simulated:
+            return self.space.job(point,
+                                  scale=self.scale * rung.scale_multiplier,
+                                  seed=self.seed, warmups=self.warmups)
+        return self.space.estimate_job(point, scale=self.scale,
+                                       seed=self.seed, warmups=self.warmups)
+
+    def evaluate(self, points, *, fidelity=None,
                  source: str = "search") -> "list[Candidate]":
-        """Evaluate a batch of points at one fidelity, budget allowing.
+        """Evaluate a batch of points at one rung, budget allowing.
 
         Returns one :class:`Candidate` per *distinct* requested point
         that has a result (previously seen ones are served from the
-        run-local memo at zero budget).  Points beyond the remaining
-        budget are dropped and counted in ``truncated``.
+        run-local memo at zero budget).  Simulated rungs charge the
+        budget per fresh point and drop points beyond the remaining
+        budget (counted in ``truncated``); the analytic rung is free,
+        so it never truncates.
         """
+        rung = resolve_fidelity(fidelity, default=self.fidelity)
         wanted, fresh = [], []
         for point in points:
             point = self.space.normalize(point)
-            if (point, fidelity) not in self.seen and point not in fresh:
+            if (point, rung.name) not in self.seen and point not in fresh:
                 fresh.append(point)
             if point not in wanted:
                 wanted.append(point)
-        if len(fresh) > self.remaining:
+        if rung.budget_cost and len(fresh) > self.remaining:
             dropped = len(fresh) - self.remaining
             self.truncated += dropped
             self.note(f"budget exhausted: dropping {dropped} candidate(s)")
             fresh = fresh[:self.remaining]
         if fresh:
-            jobs = [self.space.job(point, scale=self.scale * fidelity,
-                                   seed=self.seed, warmups=self.warmups)
-                    for point in fresh]
-            self.spent += len(fresh)
+            jobs = [self._job(point, rung) for point in fresh]
+            self.spent += rung.budget_cost * len(fresh)
             stats = getattr(self.runner, "stats", None)
             batches_before = getattr(stats, "batches", 0)
             grouped_before = getattr(stats, "batched_jobs", 0)
             results = self.runner.run(jobs)
             for point, metrics in zip(fresh, results):
-                self.seen[(point, fidelity)] = Candidate(
+                self.seen[(point, rung.name)] = Candidate(
                     point=point,
                     score=self.objective.score(metrics),
                     cycles=float(metrics.cycles),
                     l1_hit_rate=float(metrics.l1_hit_rate),
                     l2_transactions=int(metrics.l2_transactions),
                     dram_transactions=int(metrics.dram_transactions),
-                    fidelity=fidelity,
+                    fidelity=rung.name,
                     source=source)
             batched = ""
             if stats is not None and getattr(stats, "batches", 0):
@@ -107,14 +129,16 @@ class Evaluator:
                 if batches:
                     batched = (f", {grouped} job(s) in {batches} "
                                f"backend batch(es)")
-            self.note(f"evaluated {len(fresh)} candidate(s) at fidelity "
-                      f"{fidelity:g} ({self.spent}/{self.budget} budget"
-                      f"{batched})")
-        return [self.seen[(point, fidelity)] for point in wanted
-                if (point, fidelity) in self.seen]
+            charge = "free" if not rung.budget_cost \
+                else f"{self.spent}/{self.budget} budget"
+            self.note(f"evaluated {len(fresh)} candidate(s) at the "
+                      f"{rung.name} rung ({charge}{batched})")
+        return [self.seen[(point, rung.name)] for point in wanted
+                if (point, rung.name) in self.seen]
 
     def score_of(self, point: ConfigPoint,
-                 fidelity: float = FULL_FIDELITY) -> "float | None":
+                 fidelity=None) -> "float | None":
         """Score of an already-evaluated point (``None`` if unseen)."""
-        candidate = self.seen.get((self.space.normalize(point), fidelity))
+        rung = resolve_fidelity(fidelity, default=self.fidelity)
+        candidate = self.seen.get((self.space.normalize(point), rung.name))
         return candidate.score if candidate is not None else None

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.indexing import TileWiseIndexing, direction as lookup_direction
 from repro.core.throttling import throttle_candidates
+from repro.engine.executors import estimate_job as build_estimate_job
 from repro.engine.executors import measure_job
 from repro.engine.job import SimJob
 from repro.gpu.config import GpuConfig, platform
@@ -98,10 +99,11 @@ class Candidate:
     Everything here is a plain scalar/tuple, so candidates pickle
     across pool workers, cache cleanly, and render to JSON through the
     service unchanged.  ``score`` is the objective value (lower is
-    better); ``fidelity`` the scale multiplier the evaluation ran at
-    (1.0 = the tune's full requested scale); ``source`` is
-    ``"framework"`` for the rule-based warm start and ``"search"`` for
-    strategy-discovered points.
+    better); ``fidelity`` names the measurement rung the evaluation
+    ran at (``"analytic"``/``"reduced"``/``"full"`` — see
+    :mod:`repro.fidelity`); ``source`` is ``"framework"`` for the
+    rule-based warm start and ``"search"`` for strategy-discovered
+    points.
     """
 
     point: ConfigPoint
@@ -110,7 +112,7 @@ class Candidate:
     l1_hit_rate: float
     l2_transactions: int
     dram_transactions: int
-    fidelity: float = 1.0
+    fidelity: str = "full"
     source: str = "search"
 
     @property
@@ -252,18 +254,38 @@ class SearchSpace:
     # point -> engine job / live plan
     # ------------------------------------------------------------------
 
+    #: ConfigPoint kind -> the engine's ``measure``/``estimate`` plan kind.
+    PLAN_KINDS = {"BSL": "baseline", "RD": "rd", "CLU": "clu", "PFH": "pfh"}
+
     def job(self, point: ConfigPoint, *, scale: float, seed: int = 0,
             warmups: int = 1) -> SimJob:
         """The declarative ``measure`` job that evaluates one point."""
         point = self.normalize(point)
-        kind = {"BSL": "baseline", "RD": "rd",
-                "CLU": "clu", "PFH": "pfh"}[point.kind]
-        return measure_job(self.workload, self.gpu, plan=kind,
+        return measure_job(self.workload, self.gpu,
+                           plan=self.PLAN_KINDS[point.kind],
                            scale=scale, seed=seed, warmups=warmups,
                            direction=point.direction,
                            active_agents=point.active_agents,
                            bypass_streams=point.bypass,
                            tile=point.tile)
+
+    def estimate_job(self, point: ConfigPoint, *, scale: float, seed: int = 0,
+                     warmups: int = 1) -> SimJob:
+        """The declarative rung-0 ``estimate`` job for one point.
+
+        Same plan knobs as :meth:`job`, but the executor runs the
+        closed-form model of :mod:`repro.gpu.analytic` instead of the
+        simulator — which is what lets the tuner triage configurations
+        without spending simulation budget.
+        """
+        point = self.normalize(point)
+        return build_estimate_job(self.workload, self.gpu,
+                                  plan=self.PLAN_KINDS[point.kind],
+                                  scale=scale, seed=seed, warmups=warmups,
+                                  direction=point.direction,
+                                  active_agents=point.active_agents,
+                                  bypass_streams=point.bypass,
+                                  tile=point.tile)
 
     def plan(self, point: ConfigPoint, *, scale: float = 1.0) -> ExecutionPlan:
         """Materialize the live execution plan for one point."""

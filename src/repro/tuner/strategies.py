@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.tuner.evaluate import FULL_FIDELITY, Evaluator
+from repro.fidelity import ANALYTIC, FULL, REDUCED
+from repro.tuner.evaluate import Evaluator
 from repro.tuner.space import Candidate, ConfigPoint, SearchSpace
 
 
@@ -109,48 +110,58 @@ class HillClimbStrategy:
 
 @_strategy
 class HalvingStrategy:
-    """Successive halving across fidelity rungs.
+    """Successive halving up the fidelity ladder, rung 0 first.
 
-    The workload ``scale`` is the cheap fidelity: the opening
-    population runs at a fraction of the requested scale, the top half
-    (by score, canonical tie-break) advances to the next rung, and the
-    final rung is full fidelity — so survivors' scores are directly
-    leaderboard-eligible.  The warm start always advances, keeping the
-    regression-free guarantee even if triage misjudges it at low
-    fidelity.
+    The opening rung is the *analytic* model (:mod:`repro.gpu.analytic`)
+    — free to the budget — so triage covers the **whole** configuration
+    space instead of a budget-sized prefix of it.  The analytic top
+    ``max(2, budget // 8)`` advance to a ``reduced`` (half-scale)
+    simulation, the top half of those to ``full`` fidelity, so the
+    whole ladder charges only a handful of simulations.  The warm start
+    is not forced through the middle rungs: :func:`repro.tuner.core.tune`
+    already evaluated it at full fidelity before any strategy ran,
+    which is what keeps the regression-free guarantee intact even if
+    rung-0 triage misjudges it.
+
+    The ladder stops at the run-wide target rung
+    (``tune(fidelity=...)``): an ``analytic`` run never simulates, a
+    ``reduced`` run never escalates to full scale.
     """
 
     name = "halving"
 
-    #: Fidelity rungs, cheapest first; the last must be full fidelity.
-    rungs = (0.25, 0.5, FULL_FIDELITY)
+    #: Fidelity rungs, cheapest first; the run's target rung caps them.
+    rungs = (ANALYTIC, REDUCED, FULL)
 
     def search(self, evaluator: Evaluator, space: SearchSpace,
                warm: ConfigPoint) -> None:
+        target = evaluator.fidelity
         warm = space.normalize(warm)
         population = [warm]
         for point in space.points():
             if point != warm:
                 population.append(point)
-        # Size the opening rung so the whole ladder roughly fits the
-        # budget: n + n/2 + n/4 ... <= budget.
-        weight = sum(0.5 ** i for i in range(len(self.rungs)))
-        opening = max(2, int(evaluator.remaining / weight))
-        population = population[:opening]
-        for rung, fidelity in enumerate(self.rungs):
-            found = evaluator.evaluate(population, fidelity=fidelity)
-            if not found or not evaluator.remaining:
-                break
-            if fidelity == FULL_FIDELITY:
-                break
+        # Rung 0: analytic triage over the whole space, free of charge.
+        found = evaluator.evaluate(population, fidelity=ANALYTIC)
+        if found and target.rung > ANALYTIC.rung:
+            ranked = sorted(found, key=Candidate.rank_key)
+            keep = max(2, evaluator.budget // 8)
+            population = [c.point for c in ranked[:keep]]
+            evaluator.note(f"rung 0 (analytic): {len(population)}/"
+                           f"{len(ranked)} advance to simulation")
+        if target.rung <= ANALYTIC.rung:
+            return
+        # Rung 1: reduced-scale simulation on the analytic survivors.
+        found = evaluator.evaluate(population, fidelity=REDUCED)
+        if found and target.rung > REDUCED.rung:
             ranked = sorted(found, key=Candidate.rank_key)
             keep = max(1, len(ranked) // 2)
             survivors = [c.point for c in ranked[:keep]]
-            if warm not in survivors:
-                survivors.append(warm)
-            evaluator.note(f"rung {rung} (fidelity {fidelity:g}): "
-                           f"{len(survivors)}/{len(population)} advance")
+            evaluator.note(f"rung 1 (reduced): {len(survivors)}/"
+                           f"{len(population)} advance")
             population = survivors
-        # Whatever survived triage gets a full-fidelity run so it can
-        # actually place on the leaderboard.
-        evaluator.evaluate(population, fidelity=FULL_FIDELITY)
+        if target.rung <= REDUCED.rung:
+            return
+        # Whatever survived triage gets a run at the target rung so it
+        # can actually place on the leaderboard.
+        evaluator.evaluate(population, fidelity=FULL)

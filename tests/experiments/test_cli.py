@@ -100,9 +100,18 @@ class TestListFlag:
         for name in ARTIFACTS:
             assert name in out
         # Each driver contributes its one-line purpose, not a blank.
-        lines = [l for l in out.splitlines() if l.startswith("  ")]
-        assert len(lines) == len(ARTIFACTS)
-        assert all(len(line.split(None, 1)) == 2 for line in lines)
+        lines = out.splitlines()
+        start = lines.index("available artifacts:") + 1
+        artifact_lines = lines[start:start + len(ARTIFACTS)]
+        assert all(line.startswith("  ") for line in artifact_lines)
+        assert all(len(line.split(None, 1)) == 2 for line in artifact_lines)
+        # The tuner registries and the fidelity ladder print too.
+        assert "tuner strategies:" in out
+        assert "tuner objectives:" in out
+        assert "fidelity rungs (cheapest first):" in out
+        for name in ("grid", "hillclimb", "halving", "cycles",
+                     "analytic", "reduced", "full"):
+            assert name in out
 
     def test_list_ignores_other_validation(self, capsys):
         # --list short-circuits before artifact/knob validation runs.

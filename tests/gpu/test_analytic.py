@@ -1,0 +1,152 @@
+"""Unit tests for the rung-0 analytic locality model."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.gpu.analytic import (AnalyticEstimate, estimate, fit_power_law,
+                                load_calibration, reload_calibration)
+from repro.gpu.config import GTX980, TESLA_K40
+from repro.gpu.plan import baseline_plan
+from repro.workloads.registry import workload
+
+SCALE = 0.3
+
+
+def kernel_for(gpu, abbr="NN"):
+    return workload(abbr).kernel(scale=SCALE, config=gpu)
+
+
+def clu_plan(gpu, kernel):
+    from repro.api import cluster
+    return cluster(kernel, "CLU", gpu=gpu)
+
+
+class TestEstimateShape:
+    def test_returns_frozen_estimate_record(self):
+        kernel = kernel_for(TESLA_K40)
+        result = estimate(TESLA_K40, kernel, None)
+        assert isinstance(result, AnalyticEstimate)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.cycles = 0.0
+
+    def test_fields_are_physical(self):
+        kernel = kernel_for(TESLA_K40)
+        result = estimate(TESLA_K40, kernel, None)
+        assert result.gpu_name == TESLA_K40.name
+        assert result.kernel_name == kernel.name
+        assert result.scheme == "BSL"
+        assert result.fidelity == "analytic"
+        assert result.cycles > 0
+        assert result.raw_cycles > 0
+        assert 0.0 <= result.l1_hit_rate <= 1.0
+        assert 0.0 <= result.l2_hit_rate <= 1.0
+        assert result.dram_transactions <= result.l2_transactions
+        assert result.warp_accesses > 0
+        assert 0 < result.ctas_sampled <= result.ctas_total
+        assert 0.0 < result.sample_fraction <= 1.0
+
+    def test_duck_types_as_metrics_for_observability(self):
+        # The obs walk keys on cycles + l1_hit_rate + sm_cycles; the
+        # tuner objectives key on cycles/l2/dram.  Both shapes must hold
+        # so estimates flow through the same sinks as KernelMetrics.
+        result = estimate(TESLA_K40, kernel_for(TESLA_K40), None)
+        assert result.sm_cycles == ()
+        for field in ("cycles", "l1_hit_rate", "l2_transactions",
+                      "dram_transactions"):
+            assert hasattr(result, field)
+
+    def test_none_plan_means_baseline(self):
+        kernel = kernel_for(TESLA_K40)
+        a = estimate(TESLA_K40, kernel, None)
+        b = estimate(TESLA_K40, kernel, baseline_plan())
+        assert a.cycles == b.cycles
+        assert a.scheme == b.scheme == "BSL"
+
+
+class TestDeterminism:
+    def test_repeated_estimates_are_identical(self):
+        kernel = kernel_for(TESLA_K40)
+        plan = clu_plan(TESLA_K40, kernel)
+        a = estimate(TESLA_K40, kernel, plan)
+        b = estimate(TESLA_K40, kernel, plan)
+        assert a == b
+
+    def test_architectures_differ(self):
+        a = estimate(TESLA_K40, kernel_for(TESLA_K40), None)
+        b = estimate(GTX980, kernel_for(GTX980), None)
+        assert a.cycles != b.cycles
+
+
+class TestClusteringMovesTheModel:
+    def test_clustering_changes_hit_rates(self):
+        kernel = kernel_for(TESLA_K40)
+        base = estimate(TESLA_K40, kernel, None)
+        clu = estimate(TESLA_K40, kernel, clu_plan(TESLA_K40, kernel))
+        assert clu.scheme != "BSL"
+        # The whole point of the paper: clustering changes locality.
+        assert (clu.l1_hit_rate, clu.l2_hit_rate, clu.cycles) \
+            != (base.l1_hit_rate, base.l2_hit_rate, base.cycles)
+
+    def test_warmups_warm_the_l2(self):
+        kernel = kernel_for(TESLA_K40)
+        cold = estimate(TESLA_K40, kernel, None, warmups=0)
+        warm = estimate(TESLA_K40, kernel, None, warmups=1)
+        assert warm.dram_transactions <= cold.dram_transactions
+
+
+class TestCalibration:
+    def test_shipped_calibration_covers_every_architecture(self):
+        coeffs = load_calibration()
+        for arch in ("Fermi", "Kepler", "Maxwell", "Pascal"):
+            assert arch in coeffs
+            assert coeffs[arch]["a"] > 0
+
+    def test_calibrated_flag_and_power_law(self):
+        kernel = kernel_for(TESLA_K40)
+        raw = estimate(TESLA_K40, kernel, None, calibrated=False)
+        cal = estimate(TESLA_K40, kernel, None, calibrated=True)
+        assert raw.calibrated is False
+        assert raw.cycles == raw.raw_cycles
+        assert cal.calibrated is True
+        coeffs = load_calibration()[TESLA_K40.architecture.value]
+        expected = math.exp(coeffs["b"]) * raw.raw_cycles ** coeffs["a"]
+        assert cal.cycles == pytest.approx(expected)
+
+    def test_calibration_is_ranking_invariant(self):
+        # cycles = exp(b) * raw**a with a > 0 is monotone, so the
+        # calibrated ordering must match the raw ordering.
+        kernel = kernel_for(TESLA_K40)
+        plans = [None, clu_plan(TESLA_K40, kernel)]
+        raws = [estimate(TESLA_K40, kernel, p, calibrated=False).cycles
+                for p in plans]
+        cals = [estimate(TESLA_K40, kernel, p, calibrated=True).cycles
+                for p in plans]
+        assert sorted(range(2), key=raws.__getitem__) \
+            == sorted(range(2), key=cals.__getitem__)
+
+    def test_missing_calibration_file_yields_empty(self, tmp_path):
+        assert load_calibration(str(tmp_path / "absent.json")) == {}
+
+    def test_reload_roundtrip(self):
+        before = load_calibration()
+        assert reload_calibration() == before
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_power_law(self):
+        raws = [100.0, 1000.0, 10000.0]
+        sims = [2.0 * r ** 0.9 for r in raws]
+        fit = fit_power_law(raws, sims)
+        assert fit["a"] == pytest.approx(0.9, abs=1e-5)
+        assert math.exp(fit["b"]) == pytest.approx(2.0, rel=1e-4)
+        assert fit["points"] == 3
+        assert fit["log_rmse"] == pytest.approx(0.0, abs=1e-3)
+
+    def test_refuses_degenerate_inputs(self):
+        assert fit_power_law([100.0], [200.0]) is None
+        assert fit_power_law([100.0, 100.0], [200.0, 300.0]) is None
+        # A negative slope (anti-correlated) is refused too.
+        assert fit_power_law([1.0, 10.0, 100.0],
+                             [100.0, 10.0, 1.0]) is None

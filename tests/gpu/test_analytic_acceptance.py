@@ -1,0 +1,110 @@
+"""Calibration acceptance: the analytic model must *rank* like the
+fast-path simulator across the workload registry.
+
+Rung 0 exists to triage candidates, so the contract is ordinal, not
+metric: pooled Spearman rank correlation of predicted cycles >= 0.9
+and per-workload winner agreement >= 90% (a "winner" match tolerates
+schemes the simulator scores within 5% of its own best — ties between
+near-identical schemes are not ranking errors).
+
+One architecture suffices here (the per-arch fit is the same code);
+``scripts/calibrate_analytic.py`` sweeps all four when refreshing the
+shipped coefficients.
+"""
+
+import pytest
+
+from repro import api
+from repro.gpu.analytic import estimate
+from repro.gpu.config import TESLA_K40
+from repro.gpu.plan import baseline_plan
+from repro.workloads.registry import TABLE2_ORDER, workload
+
+SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT")
+SCALE = 0.3
+
+MIN_SPEARMAN = 0.9
+MIN_WINNER_AGREEMENT = 0.9
+WINNER_TOLERANCE = 1.05
+
+
+def spearman(xs, ys):
+    """Rank correlation with tie-averaged ranks (no scipy on purpose)."""
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        r = [0.0] * len(vals)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and vals[order[j + 1]] == vals[order[i]]:
+                j += 1
+            avg = (i + j) / 2.0
+            for k in range(i, j + 1):
+                r[order[k]] = avg
+            i = j + 1
+        return r
+    rx, ry = ranks(xs), ranks(ys)
+    mx = sum(rx) / len(rx)
+    my = sum(ry) / len(ry)
+    num = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    dx = sum((a - mx) ** 2 for a in rx) ** 0.5
+    dy = sum((b - my) ** 2 for b in ry) ** 0.5
+    return num / (dx * dy) if dx and dy else 0.0
+
+
+@pytest.fixture(scope="module")
+def registry_comparison():
+    """(simulated, analytic) cycle pairs plus per-workload winners."""
+    gpu = TESLA_K40
+    sims, anas = [], []
+    winners = []  # (sim_by_scheme, ana_by_scheme) per workload
+    for abbr in TABLE2_ORDER:
+        kernel = workload(abbr).kernel(scale=SCALE, config=gpu)
+        per_sim, per_ana = {}, {}
+        for scheme in SCHEMES:
+            if scheme == "BSL":
+                plan = baseline_plan()
+            else:
+                try:
+                    plan = api.cluster(kernel, scheme, gpu=gpu)
+                except Exception:
+                    continue  # scheme not applicable to this kernel
+            per_sim[scheme] = api.simulate(abbr, gpu.name, plan=plan,
+                                           scale=SCALE).cycles
+            per_ana[scheme] = estimate(gpu, kernel, plan).cycles
+        sims.extend(per_sim.values())
+        anas.extend(per_ana.values())
+        if len(per_sim) >= 2:
+            winners.append((per_sim, per_ana))
+    return sims, anas, winners
+
+
+class TestAcceptance:
+    def test_covers_the_registry(self, registry_comparison):
+        sims, _, winners = registry_comparison
+        assert len(winners) >= int(len(TABLE2_ORDER) * 0.9)
+        assert len(sims) >= len(TABLE2_ORDER) * 2
+
+    def test_spearman_rank_correlation(self, registry_comparison):
+        sims, anas, _ = registry_comparison
+        rho = spearman(sims, anas)
+        assert rho >= MIN_SPEARMAN, (
+            f"analytic-vs-simulated Spearman rho {rho:.4f} fell below "
+            f"{MIN_SPEARMAN}; refresh scripts/calibrate_analytic.py or "
+            f"fix the model")
+
+    def test_winner_agreement(self, registry_comparison):
+        _, _, winners = registry_comparison
+        agree = 0
+        mismatches = []
+        for per_sim, per_ana in winners:
+            sim_best = min(per_sim, key=per_sim.get)
+            ana_pick = min(per_ana, key=per_ana.get)
+            if per_sim[ana_pick] <= per_sim[sim_best] * WINNER_TOLERANCE:
+                agree += 1
+            else:
+                mismatches.append((sim_best, ana_pick))
+        rate = agree / len(winners)
+        assert rate >= MIN_WINNER_AGREEMENT, (
+            f"winner agreement {agree}/{len(winners)} = {rate:.0%} "
+            f"below {MIN_WINNER_AGREEMENT:.0%}; mismatches: {mismatches}")

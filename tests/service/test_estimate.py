@@ -1,0 +1,94 @@
+"""The ``/v1/estimate`` fast path: envelope parity with
+``/v1/simulate``, pool avoidance, caching, and error shapes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.analytic import estimate as analytic_estimate
+from repro.gpu.config import PLATFORMS
+from repro.service.client import ServiceError
+from repro.workloads.registry import workload
+
+EST = {"workload": "NN", "gpu": "GTX980", "scale": 0.2, "seed": 7}
+
+
+class TestEnvelope:
+    def test_envelope_matches_simulate_shape(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        sim = client.simulate("NN", "GTX980", scale=0.2, seed=7, full=True)
+        est = client.estimate("NN", "GTX980", scale=0.2, seed=7, full=True)
+        assert set(est) == set(sim) == {"key", "source", "result"}
+        assert est["source"] == "executed"
+        assert est["key"] != sim["key"]  # different job kinds
+
+    def test_result_is_the_analytic_estimate(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        result = service.client().estimate("NN", "GTX980", scheme="CLU",
+                                           scale=0.2, seed=7)
+        gpu = PLATFORMS["GTX980"]
+        kernel = workload("NN").kernel(scale=0.2, config=gpu)
+        from repro.api import cluster
+        local = analytic_estimate(gpu, kernel,
+                                  cluster(kernel, "CLU", gpu=gpu, seed=7))
+        expected = dataclasses.asdict(local)
+        expected["sm_cycles"] = list(expected["sm_cycles"])  # JSON round-trip
+        assert result == expected
+        assert result["fidelity"] == "analytic"
+
+    def test_error_shapes_match_simulate(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        for path_kwargs in ({"workload": "NOPE"}, {"gpu": "NOPE"}):
+            with pytest.raises(ServiceError) as sim_err:
+                client.simulate(**{**EST, **path_kwargs})
+            with pytest.raises(ServiceError) as est_err:
+                client.estimate(**{**EST, **path_kwargs})
+            assert est_err.value.status == sim_err.value.status == 400
+            assert est_err.value.code == sim_err.value.code
+
+
+class TestPoolAvoidance:
+    def test_estimates_never_touch_the_pool(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        client.estimate(**EST)
+        client.estimate(**{**EST, "scheme": "CLU"})
+        snapshot = client.metrics()
+        estimates = snapshot["estimates"]
+        assert estimates["count"] == 2
+        assert estimates["cache_hits"] == 0
+        assert estimates["mean_latency_ms"] >= 0.0
+        # No batch ever formed and no flight was enqueued: the rung-0
+        # path answers inline on the event-loop side.
+        assert snapshot["batches"]["count"] == 0
+
+    def test_metrics_section_shape(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        snapshot = service.client().metrics()
+        assert snapshot["estimates"] == {
+            "count": 0, "cache_hits": 0, "mean_latency_ms": 0.0}
+
+
+class TestCaching:
+    def test_repeat_hits_the_result_cache(self, service_factory, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "estcache"))
+        service = service_factory(workers=0, cache=True)
+        client = service.client()
+        first = client.estimate(**EST, full=True)
+        second = client.estimate(**EST, full=True)
+        assert first["source"] == "executed"
+        assert second["source"] == "cache"
+        assert second["result"] == first["result"]
+        assert client.metrics()["estimates"]["cache_hits"] == 1
+
+    def test_draining_rejects_estimates(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        service.service._draining = True  # white-box: drain flag only
+        with pytest.raises(ServiceError) as err:
+            service.client().estimate(**EST)
+        assert err.value.status == 503

@@ -11,7 +11,7 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_version_line_names_both_versions(self):
         from repro.engine.job import ENGINE_VERSION
@@ -75,6 +75,30 @@ class TestFacadeSimulate:
             repro.simulate(42, repro.TESLA_K40)
         with pytest.raises(TypeError):
             repro.simulate("NN", 42)
+
+
+class TestFacadeEstimate:
+    def test_estimate_is_rung_zero(self):
+        guess = repro.estimate("NN", "Tesla K40", scale=0.3, scheme="CLU")
+        assert isinstance(guess, repro.AnalyticEstimate)
+        assert guess.fidelity == "analytic"
+        assert guess.cycles > 0
+
+    def test_simulate_fidelity_analytic_routes_to_estimate(self):
+        via_fidelity = repro.simulate("NN", "Tesla K40", scale=0.3,
+                                      scheme="CLU", fidelity="analytic")
+        direct = repro.estimate("NN", "Tesla K40", scale=0.3, scheme="CLU")
+        assert via_fidelity == direct
+
+    def test_simulate_fidelity_reduced_halves_scale(self):
+        reduced = repro.simulate("NN", "Tesla K40", scale=0.6,
+                                 fidelity="reduced")
+        half = repro.simulate("NN", "Tesla K40", scale=0.3)
+        assert reduced.cycles == half.cycles
+
+    def test_fidelity_ladder_exported(self):
+        assert list(repro.FIDELITIES) == ["analytic", "reduced", "full"]
+        assert repro.resolve_fidelity("full") is repro.FULL
 
 
 class TestFacadeCluster:
