@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Record the serving tier's shard-scaling curve.
+
+Boots ``python -m repro.service --router --spawn-shards N`` for each
+shard count, drives it with the closed-loop generator from
+``scripts/loadgen.py`` (same job mix at every point, so the curve is
+apples-to-apples), and appends one ``kind: "scaling"`` entry to
+``BENCH_service.json``::
+
+    {
+      "kind": "scaling",
+      "cpu_count": 8,
+      "points": [{"shards": 1, "requests_per_second": ..., ...}, ...],
+      "speedup_2_vs_1": 1.8
+    }
+
+``cpu_count`` is recorded because the curve only bends upward when the
+shards actually get their own cores — on a single-core box every shard
+timeshares one CPU and the honest measurement shows it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_scaling.py --record
+    PYTHONPATH=src python scripts/bench_scaling.py --check   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import loadgen  # noqa: E402
+from repro import __version__  # noqa: E402
+
+_LISTENING = re.compile(r"listening on http://([^:\s]+):(\d+)")
+
+
+def boot_router(shards: int, workers: int, cache_root: str
+                ) -> "tuple[subprocess.Popen, str, int]":
+    """Start a router with N spawned shards; returns (proc, host, port)."""
+    command = [
+        sys.executable, "-m", "repro.service", "--router",
+        "--port", "0", "--spawn-shards", str(shards),
+        "--replication", "2", "--workers", str(workers),
+        "--cache-root", cache_root,
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") \
+        + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               text=True, env=env, cwd=ROOT)
+    deadline = time.monotonic() + 120.0
+    for line in process.stdout:
+        match = _LISTENING.search(line)
+        if match and "router" in line:
+            return process, match.group(1), int(match.group(2))
+        if time.monotonic() > deadline:
+            break
+    process.terminate()
+    raise RuntimeError(f"router with {shards} shard(s) never "
+                       f"reported its port")
+
+
+def stop_router(process: subprocess.Popen) -> int:
+    process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        return process.wait()
+
+
+def measure_point(shards: int, args, cache_root: str) -> dict:
+    process, host, port = boot_router(shards, args.workers, cache_root)
+    try:
+        namespace = argparse.Namespace(
+            endpoint_pairs=[(host, port)], mode="closed",
+            requests=args.requests, rate=0.0, duration=0.0,
+            concurrency=args.concurrency, processes=args.processes,
+            distinct=args.distinct, check=args.check, slo_p99_ms=None,
+            ready_timeout=60.0, metrics_out=None)
+        summary, errors = loadgen.run_load(namespace)
+        if errors:
+            preview = "; ".join(errors[:3])
+            raise RuntimeError(f"load run against {shards} shard(s) "
+                               f"failed: {preview}")
+    finally:
+        status = stop_router(process)
+    if status != 0:
+        raise RuntimeError(f"router with {shards} shard(s) exited "
+                           f"with status {status}")
+    return {
+        "shards": shards,
+        "requests_per_second": summary["requests_per_second"],
+        "wall_seconds": summary["wall_seconds"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "errors": summary["errors"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shard-counts", default="1,2,4",
+                        help="comma-separated shard counts (default 1,2,4)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="closed-loop requests per point (default 200)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="client threads (default 16)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="generator processes (default 1)")
+    parser.add_argument("--distinct", type=int, default=32,
+                        help="unique job shapes (default 32)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="simulation workers per shard (default 1)")
+    parser.add_argument("--check", action="store_true",
+                        help="bit-verify served results at every point")
+    parser.add_argument("--record", action="store_true",
+                        help="append the curve to BENCH_service.json")
+    parser.add_argument("--output", default=os.path.join(
+        ROOT, "BENCH_service.json"))
+    args = parser.parse_args(argv)
+    counts = sorted({int(c) for c in args.shard_counts.split(",") if c})
+    if not counts or counts[0] < 1:
+        parser.error("--shard-counts needs positive integers")
+
+    points = []
+    for shards in counts:
+        with tempfile.TemporaryDirectory(prefix="repro-scaling-") as root:
+            point = measure_point(shards, args, root)
+        points.append(point)
+        print(f"[{shards} shard(s)] {point['requests_per_second']} rps, "
+              f"p99 {point['p99_ms']}ms", file=sys.stderr)
+
+    by_count = {point["shards"]: point for point in points}
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "version": __version__,
+        "kind": "scaling",
+        "cpu_count": os.cpu_count(),
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "distinct": args.distinct,
+        "workers_per_shard": args.workers,
+        "points": points,
+    }
+    if 1 in by_count and 2 in by_count \
+            and by_count[1]["requests_per_second"]:
+        entry["speedup_2_vs_1"] = round(
+            by_count[2]["requests_per_second"]
+            / by_count[1]["requests_per_second"], 3)
+    print(json.dumps(entry, indent=2))
+
+    if args.record:
+        trajectory = []
+        if os.path.exists(args.output):
+            with open(args.output) as handle:
+                trajectory = json.load(handle)
+        trajectory.append(entry)
+        tmp = args.output + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, args.output)
+        print(f"appended scaling entry to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,19 @@
 """Persistent on-disk result cache keyed by job hash + version salt.
 
 Results are pickled one file per job under ``.repro_cache/`` (or
-``$REPRO_CACHE_DIR``), sharded by the first byte of the key so the
-directory stays listable even for full 23x4x6 sweeps.  The cache key
-mixes the job's content hash with a *salt* — by default the package
-version plus :data:`~repro.engine.job.ENGINE_VERSION` — so bumping
-either invalidates every stale entry without touching the files.
+``$REPRO_CACHE_DIR``): entries live in a per-*salt* subdirectory (the
+salt — by default the package version plus
+:data:`~repro.engine.job.ENGINE_VERSION` — hashes to a directory tag,
+so bumping either invalidates every stale entry without touching the
+files), sharded by the first byte of the job key so the directory
+stays listable even for full 23x4x6 sweeps.
+
+Entry filenames *are* the job content hashes.  That makes a cache
+slice enumerable and transferable: :meth:`ResultCache.manifest` lists
+the keys a node holds, and :meth:`ResultCache.export_entry` /
+:meth:`ResultCache.import_entry` move single entries between nodes as
+opaque bytes — the primitives the sharded serving tier's
+consistent-hash warmup (see ``repro.service.shard``) is built on.
 
 Writes are atomic (temp file + ``os.replace``), which makes the cache
 safe to share between the worker processes of one run and between
@@ -32,6 +40,14 @@ DEFAULT_CACHE_DIRNAME = ".repro_cache"
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MISS = object()
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex_key(key: str) -> bool:
+    """True for strings that look like SHA-256 job content hashes."""
+    return (isinstance(key, str) and len(key) == 64
+            and all(c in _HEX for c in key))
 
 
 def default_cache_root() -> Path:
@@ -93,13 +109,19 @@ class ResultCache:
                 "corrupt": s.corrupt, "hit_ratio": s.hit_ratio,
                 "get_seconds": s.get_seconds, "put_seconds": s.put_seconds}
 
-    def _key(self, job: SimJob) -> str:
-        salted = f"{job.key}:{self.salt}".encode("utf-8")
-        return hashlib.sha256(salted).hexdigest()
+    @property
+    def salt_tag(self) -> str:
+        """Directory tag for this salt's slice of the cache."""
+        return hashlib.sha256(self.salt.encode("utf-8")).hexdigest()[:12]
+
+    def path_for_key(self, key: str) -> Path:
+        """Entry path for a raw job content hash (validated hex)."""
+        if not _is_hex_key(key):
+            raise ValueError(f"not a job content hash: {key!r}")
+        return self.root / self.salt_tag / key[:2] / f"{key}.pkl"
 
     def path_for(self, job: SimJob) -> Path:
-        key = self._key(job)
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.path_for_key(job.key)
 
     def get(self, job: SimJob):
         """Cached result for ``job``, or the module's miss sentinel.
@@ -158,3 +180,67 @@ class ResultCache:
     @staticmethod
     def is_miss(value) -> bool:
         return value is _MISS
+
+    # ------------------------------------------------------------------
+    # slice manifest + raw-entry transfer (shard warmup primitives)
+    # ------------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """Enumerate this salt slice: every cached job content hash.
+
+        The listing is sorted and cheap (directory walk, no entry is
+        read), so a router can ask each shard for its manifest and
+        compute — via the same consistent-hash ring it routes with —
+        which entries must move when a shard joins or leaves.
+        """
+        base = self.root / self.salt_tag
+        keys = []
+        if base.is_dir():
+            for shard_dir in base.iterdir():
+                if not shard_dir.is_dir():
+                    continue
+                for path in shard_dir.glob("*.pkl"):
+                    if _is_hex_key(path.stem):
+                        keys.append(path.stem)
+        keys.sort()
+        return {"salt_tag": self.salt_tag, "count": len(keys), "keys": keys}
+
+    def export_entry(self, key: str) -> "bytes | None":
+        """Raw pickled bytes for one entry (``None`` when absent).
+
+        The bytes are opaque to the caller: importing them unmodified
+        on another node yields a bit-identical cache entry, which is
+        what keeps replicated/warmed results byte-equal to locally
+        computed ones.
+        """
+        try:
+            return self.path_for_key(key).read_bytes()
+        except (FileNotFoundError, OSError):
+            return None
+
+    def import_entry(self, key: str, data: bytes) -> bool:
+        """Atomically install one exported entry; ``False`` on bad data.
+
+        The payload must unpickle — a truncated or corrupt transfer is
+        rejected here rather than poisoning a future lookup (the same
+        stance :meth:`get` takes toward on-disk corruption).
+        """
+        try:
+            pickle.loads(data)
+        except Exception:
+            return False
+        path = self.path_for_key(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._stats.writes += 1
+        return True

@@ -82,6 +82,20 @@ class BatchSpan:
     pid: int
 
 
+@dataclass
+class ShardSpan:
+    """One routed forward: which shard answered, and how long it took.
+
+    Recorded by the :class:`~repro.service.shard.ShardRouter` when it
+    runs with a profile session, so a router's ``--profile`` artifact
+    shows where cluster wall time went shard by shard."""
+
+    shard: str
+    target: str
+    start: float
+    duration: float
+
+
 class ProfileSession:
     """Collects one run's observability and renders the artifacts."""
 
@@ -94,6 +108,7 @@ class ProfileSession:
         self.cells: "list[CellSample]" = []
         self.job_spans: "list[JobSpan]" = []
         self.batch_spans: "list[BatchSpan]" = []
+        self.shard_spans: "list[ShardSpan]" = []
         self.engine: "dict | None" = None
         self.tunes: "list[dict]" = []
         self.tracer = None  # optional RecordingTracer for wave spans
@@ -118,6 +133,12 @@ class ProfileSession:
         this once per group of two or more jobs it fused)."""
         self.batch_spans.append(BatchSpan(jobs=jobs, start=start,
                                           duration=duration, pid=pid))
+
+    def shard_span(self, shard: str, target: str, start: float,
+                   duration: float) -> None:
+        """Record one routed forward (the shard router calls this)."""
+        self.shard_spans.append(ShardSpan(shard=shard, target=target,
+                                          start=start, duration=duration))
 
     def observe_results(self, results, *, gpu: str = "", kernel: str = "",
                         scheme: str = "") -> None:
@@ -267,6 +288,7 @@ class ProfileSession:
             },
             "job_spans": len(self.job_spans),
             "batch_spans": len(self.batch_spans),
+            "shard_spans": len(self.shard_spans),
         }
 
     def write(self, path) -> dict:
@@ -299,6 +321,20 @@ class ProfileSession:
                                    ts=span.start * 1e6,
                                    dur=span.duration * 1e6,
                                    category="batch")
+        if self.shard_spans:
+            # The router's own view: one track per shard, pid 0 so the
+            # router process sorts above the workers in the viewer.
+            trace.add_process_name(0, "router")
+            shards = sorted({span.shard for span in self.shard_spans})
+            tids = {shard: tid for tid, shard in enumerate(shards)}
+            for shard, tid in tids.items():
+                trace.add_thread_name(0, tid, shard)
+            for span in self.shard_spans:
+                trace.add_complete(pid=0, tid=tids[span.shard],
+                                   name=span.target,
+                                   ts=span.start * 1e6,
+                                   dur=span.duration * 1e6,
+                                   category="route")
         if self.tracer is not None and getattr(self.tracer, "waves", None):
             add_wave_spans(trace, self.tracer)
         return trace

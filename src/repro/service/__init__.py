@@ -21,23 +21,42 @@ machinery loads on first use::
     from repro.service import EmbeddedService            # in-process
 """
 
-from repro.service.client import ServiceClient, ServiceError, connect
-from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.client import (
+    FailoverClient,
+    ServiceClient,
+    ServiceError,
+    connect,
+    parse_endpoints,
+)
+from repro.service.config import DEFAULT_PORT, RouterConfig, ServiceConfig
 
 __all__ = [
     "DEFAULT_PORT",
+    "EmbeddedCluster",
+    "EmbeddedRouter",
     "EmbeddedService",
+    "FailoverClient",
+    "HashRing",
+    "RouterConfig",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShardRouter",
+    "ShardSpec",
     "SimulationService",
     "connect",
+    "parse_endpoints",
 ]
 
 #: Lazily resolved server-side names, so ``from repro.api import
 #: connect`` never drags the asyncio server machinery along.
 _LAZY = {
+    "EmbeddedCluster": ("repro.service.embed", "EmbeddedCluster"),
+    "EmbeddedRouter": ("repro.service.embed", "EmbeddedRouter"),
     "EmbeddedService": ("repro.service.embed", "EmbeddedService"),
+    "HashRing": ("repro.service.ring", "HashRing"),
+    "ShardRouter": ("repro.service.shard", "ShardRouter"),
+    "ShardSpec": ("repro.service.shard", "ShardSpec"),
     "SimulationService": ("repro.service.core", "SimulationService"),
 }
 

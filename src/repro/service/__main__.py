@@ -13,17 +13,33 @@ down, and — when ``--profile`` was given — the run's profile summary
 (phases, per-job worker spans, hottest observed cells; same schema as
 the experiments CLI's ``--profile``) is written on the way out.  Exit
 code 0 means every admitted request was answered.
+
+Router mode fronts N shards with a consistent-hash router instead::
+
+    python -m repro.service --router --spawn-shards 2 --replication 2
+    python -m repro.service --router --shard 10.0.0.1:8373 \\
+        --shard 10.0.0.2:8373
+
+``--spawn-shards N`` forks N child shard processes on ephemeral ports
+(each with its own cache slice under ``--cache-root``) and tears them
+down after the router drains; ``--shard`` points at shards someone
+else runs.  Worker/queue/deadline flags configure the *spawned*
+shards; the router itself owns no simulation machinery.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import re
 import signal
+import subprocess
 import sys
+import threading
 
 import repro
-from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.config import DEFAULT_PORT, RouterConfig, ServiceConfig
 from repro.service.core import SimulationService
 
 
@@ -68,6 +84,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", default=None, metavar="PATH",
                         help="write a profile JSON summary (same schema "
                              "as the experiments CLI) at shutdown")
+    sharding = parser.add_argument_group(
+        "sharding", "router mode: consistent-hash N backend shards")
+    sharding.add_argument("--router", action="store_true",
+                          help="run the shard router instead of a "
+                               "simulation shard")
+    sharding.add_argument("--shard", action="append", default=[],
+                          metavar="HOST:PORT",
+                          help="existing shard endpoint (repeatable; "
+                               "NAME=HOST:PORT to pick the ring name)")
+    sharding.add_argument("--spawn-shards", type=int, default=0,
+                          metavar="N",
+                          help="fork N child shard processes on "
+                               "ephemeral ports (torn down at exit)")
+    sharding.add_argument("--replication", type=int, default=2, metavar="R",
+                          help="replica-set size per key (default 2)")
+    sharding.add_argument("--vnodes", type=int, default=64, metavar="N",
+                          help="virtual nodes per shard on the ring "
+                               "(default 64)")
+    sharding.add_argument("--hot-key-threshold", type=int, default=8,
+                          metavar="N",
+                          help="routed requests before a key's cached "
+                               "result is replicated (default 8)")
+    sharding.add_argument("--upstream-timeout", type=float, default=120.0,
+                          metavar="S",
+                          help="per-forward shard timeout in seconds "
+                               "(default 120)")
     return parser
 
 
@@ -112,9 +154,136 @@ async def serve(config: ServiceConfig, profile_path: str = None) -> int:
     return 0
 
 
+def router_config_from_args(args) -> RouterConfig:
+    return RouterConfig(
+        host=args.host, port=args.port, replication=args.replication,
+        vnodes=args.vnodes, hot_key_threshold=args.hot_key_threshold,
+        upstream_timeout_s=args.upstream_timeout,
+        drain_timeout_s=args.drain_timeout)
+
+
+_LISTENING = re.compile(r"listening on http://([^:\s]+):(\d+)")
+
+
+def _spawn_shard(index: int, args) -> "tuple[subprocess.Popen, str, int]":
+    """Fork one child shard on an ephemeral port; returns its address.
+
+    The child's cache slice goes under ``<cache-root>/shard-<index>``
+    so spawned shards never share a slice.  Blocks until the child
+    prints its listening line (or dies), then pumps the rest of its
+    stdout to ours with a ``[shard-N]`` prefix.
+    """
+    cache_root = args.cache_root \
+        or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+    command = [
+        sys.executable, "-m", "repro.service",
+        "--host", "127.0.0.1", "--port", "0",
+        "--workers", str(args.workers),
+        "--queue-depth", str(args.queue_depth),
+        "--deadline", str(args.deadline),
+        "--batch-max", str(args.batch_max),
+        "--batch-window", str(args.batch_window),
+        "--drain-timeout", str(args.drain_timeout),
+        "--cache-root", os.path.join(cache_root, f"shard-{index}"),
+    ]
+    if args.no_cache:
+        command.append("--no-cache")
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               stderr=None, text=True)
+    for line in process.stdout:
+        match = _LISTENING.search(line)
+        if match:
+            host, port = match.group(1), int(match.group(2))
+            break
+    else:
+        process.wait()
+        raise RuntimeError(
+            f"spawned shard {index} exited (status {process.returncode}) "
+            f"before reporting its port")
+
+    def pump():
+        for rest in process.stdout:
+            print(f"[shard-{index}] {rest}", end="", flush=True)
+    threading.Thread(target=pump, name=f"shard-{index}-stdout",
+                     daemon=True).start()
+    return process, host, port
+
+
+def _stop_children(children) -> None:
+    for process in children:
+        if process.poll() is None:
+            process.terminate()
+    for process in children:
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+async def serve_router(args, profile_path: str = None) -> int:
+    from repro.service.shard import ShardRouter, ShardSpec, parse_shard_spec
+    specs = [parse_shard_spec(text, index)
+             for index, text in enumerate(args.shard)]
+    children = []
+    try:
+        for _ in range(args.spawn_shards):
+            index = len(specs)
+            process, host, port = _spawn_shard(index, args)
+            children.append(process)
+            specs.append(ShardSpec(name=f"shard-{index}", host=host,
+                                   port=port, pid=process.pid))
+        if not specs:
+            print("error: router mode needs --shard and/or --spawn-shards",
+                  file=sys.stderr)
+            return 2
+
+        profile = None
+        if profile_path:
+            from repro.obs import ProfileSession
+            profile = ProfileSession(label="router", argv=sys.argv[1:])
+        config = router_config_from_args(args)
+        router = ShardRouter(config, specs, profile=profile)
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, router.request_shutdown)
+            except NotImplementedError:  # non-Unix event loop
+                signal.signal(signum,
+                              lambda *_: router.request_shutdown())
+        print(f"repro.service router {repro.__version__} listening on "
+              f"http://{config.host}:{router.port} "
+              f"(shards={len(specs)}, replication={config.replication}, "
+              f"vnodes={config.vnodes})", flush=True)
+        for spec in specs:
+            print(f"  shard {spec.name} -> http://{spec.address}"
+                  + (f" (pid {spec.pid})" if spec.pid else ""), flush=True)
+        await router.wait_closed()
+        metrics = router.metrics
+        print(f"[drained: {metrics.requests_total} requests, "
+              f"{metrics.forwards} forwards, "
+              f"{metrics.failovers} failovers, "
+              f"{metrics.all_replicas_failed} unroutable]", flush=True)
+        if profile is not None:
+            profile.write(profile_path)
+            print(f"[profile summary written to {profile_path}]",
+                  flush=True)
+        return 0
+    finally:
+        _stop_children(children)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.router:
+            return asyncio.run(serve_router(args,
+                                            profile_path=args.profile))
+        if args.shard or args.spawn_shards:
+            print("error: --shard/--spawn-shards require --router",
+                  file=sys.stderr)
+            return 2
         return asyncio.run(serve(config_from_args(args),
                                  profile_path=args.profile))
     except KeyboardInterrupt:

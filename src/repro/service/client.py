@@ -81,11 +81,15 @@ class ServiceClient:
         except (http.client.HTTPException, ConnectionError,
                 socket.timeout, OSError):
             # Stale keep-alive connection (server restarted, idle
-            # timeout): reconnect once, then let the error out.
+            # timeout): reconnect once, then let the error out.  The
+            # explicit class call keeps the retry single-endpoint even
+            # under a FailoverClient, whose override owns multi-endpoint
+            # retries itself.
             self.close()
             if _retried:
                 raise
-            return self._request(method, path, payload, _retried=True)
+            return ServiceClient._request(self, method, path, payload,
+                                          _retried=True)
         if response.will_close:
             self.close()
         try:
@@ -196,6 +200,95 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._call("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # router admin (no-ops against a plain shard: it answers 404)
+    # ------------------------------------------------------------------
+
+    def admin_join(self, name: str, host: str, port: int, *,
+                   warm: bool = True) -> dict:
+        """Add a shard to a router's ring (``POST /v1/admin/join``)."""
+        return self._call("POST", "/v1/admin/join",
+                          {"name": name, "host": host, "port": port,
+                           "warm": warm})
+
+    def admin_leave(self, name: str, *, warm: bool = True) -> dict:
+        """Remove a shard from a router's ring
+        (``POST /v1/admin/leave``)."""
+        return self._call("POST", "/v1/admin/leave",
+                          {"name": name, "warm": warm})
+
+
+def parse_endpoints(texts, *, default_port: int = DEFAULT_PORT
+                    ) -> "list[tuple[str, int]]":
+    """``["host:port", "host", ...]`` -> ``[(host, port), ...]``."""
+    endpoints = []
+    for text in texts:
+        host, _, port = str(text).rpartition(":")
+        if not host:
+            host, port = port, ""
+        if port and not port.isdigit():
+            raise ValueError(f"bad endpoint {text!r}: expected HOST[:PORT]")
+        endpoints.append((host, int(port) if port else default_port))
+    return endpoints
+
+
+class FailoverClient(ServiceClient):
+    """A :class:`ServiceClient` over a *list* of equivalent endpoints.
+
+    On a connection failure, timeout, or an endpoint that answers 503
+    because it is draining, the client advances to the next endpoint
+    and re-issues the request — safe because every served job is a
+    pure function of its descriptor, so a retry can only repeat work,
+    never double an effect.  The index is sticky: once an endpoint
+    works, subsequent requests keep using it.
+
+        >>> client = FailoverClient(["10.0.0.1:8373", "10.0.0.2:8373"])
+        >>> client.simulate("NN", "GTX980")   # survives one dead router
+    """
+
+    #: Error codes that mean "this endpoint is going away, try another"
+    #: rather than "this request is bad".
+    FAILOVER_CODES = ("draining", "no_shards_ready", "no_shards")
+
+    def __init__(self, endpoints, timeout: float = 120.0):
+        if not endpoints:
+            raise ValueError("FailoverClient needs at least one endpoint")
+        self.endpoints = [endpoint if isinstance(endpoint, tuple)
+                          else parse_endpoints([endpoint])[0]
+                          for endpoint in endpoints]
+        self.failovers = 0
+        self._index = 0
+        host, port = self.endpoints[0]
+        super().__init__(host=host, port=port, timeout=timeout)
+
+    def _advance(self) -> None:
+        self.close()
+        self._index = (self._index + 1) % len(self.endpoints)
+        self.host, self.port = self.endpoints[self._index]
+        self.failovers += 1
+
+    def _request(self, method: str, path: str, payload: dict = None,
+                 *, _retried: bool = False) -> "tuple[int, dict]":
+        last_error = None
+        for attempt in range(len(self.endpoints)):
+            try:
+                status, document = super()._request(method, path, payload)
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                last_error = exc
+                self._advance()
+                continue
+            if status == 503 and attempt + 1 < len(self.endpoints) \
+                    and isinstance(document, dict) \
+                    and document.get("error", {}).get("code") \
+                    in self.FAILOVER_CODES:
+                self._advance()
+                continue
+            return status, document
+        if last_error is not None:
+            raise last_error
+        return status, document
 
 
 def connect(host: str = "127.0.0.1", port: int = DEFAULT_PORT,

@@ -60,3 +60,60 @@ class ServiceConfig:
                 f"deadline_s must be > 0, got {self.deadline_s}")
         if self.batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Everything a :class:`~repro.service.shard.ShardRouter` needs.
+
+    ``replication`` is the replica-set size the consistent-hash ring
+    computes per key: requests always go to the primary first (so
+    single-flight dedup stays exactly-once cluster-wide) and fail over
+    along the set when a shard dies.  ``hot_key_threshold`` is how
+    many routed requests promote a key to "hot", at which point its
+    cached result is pushed to the standby replicas so a later
+    failover is answered from cache instead of re-simulated.  A shard
+    that fails a forward is marked dead for ``dead_retry_s`` (lazy
+    circuit breaker) and skipped while other replicas are live.
+
+    A pending forward is additionally watched by an out-of-band
+    health probe: every ``probe_interval_s`` the router asks the
+    shard's ``/healthz`` on a *fresh* connection with a
+    ``probe_timeout_s`` deadline.  A busy shard answers instantly
+    (compute runs in its pool, never on its event loop), so a probe
+    failure means the shard is dead or wedged — e.g. a SIGKILLed
+    process whose orphaned pool worker still holds the listening
+    socket, where connections are accepted by the kernel backlog and
+    then hang forever — and the forward fails over immediately
+    instead of burning the full ``upstream_timeout_s``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    replication: int = 2
+    vnodes: int = 64
+    hot_key_threshold: int = 8
+    upstream_timeout_s: float = 120.0
+    connect_timeout_s: float = 5.0
+    dead_retry_s: float = 1.0
+    probe_interval_s: float = 2.0
+    probe_timeout_s: float = 2.0
+    drain_timeout_s: float = 10.0
+    max_body_bytes: int = 8 << 20
+
+    def __post_init__(self):
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.hot_key_threshold < 1:
+            raise ValueError(f"hot_key_threshold must be >= 1, "
+                             f"got {self.hot_key_threshold}")
+        if self.upstream_timeout_s <= 0:
+            raise ValueError(f"upstream_timeout_s must be > 0, "
+                             f"got {self.upstream_timeout_s}")
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValueError(
+                f"probe_interval_s and probe_timeout_s must be > 0, "
+                f"got {self.probe_interval_s}/{self.probe_timeout_s}")

@@ -158,6 +158,7 @@ class SimulationService:
         self._outstanding = 0   # admitted-but-unfinished jobs
         self._active_requests = 0
         self._draining = False
+        self._aborted = False
         self._queue: "asyncio.Queue[_Flight | None]" = None
         self._server = None
         self._pool = None
@@ -200,6 +201,28 @@ class SimulationService:
         if self._shutdown_requested is not None:
             self._shutdown_requested.set()
 
+    def abort(self) -> None:
+        """Die like a crashed process: refuse new connections, reset
+        live ones, skip the drain.
+
+        This is the fault-injection hook the shard test harness uses —
+        from a router's point of view an aborted shard is
+        indistinguishable from a SIGKILLed one (connection resets on
+        in-flight requests, connection refused afterwards) without
+        actually killing the host process.  Must be called on the
+        service's own event loop.
+        """
+        self._draining = True
+        self._aborted = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
     async def wait_closed(self) -> None:
         """Park until a requested shutdown has fully drained."""
         await self._shutdown_requested.wait()
@@ -213,7 +236,7 @@ class SimulationService:
             await self._server.wait_closed()
         deadline = time.monotonic() + self.config.drain_timeout_s
         while (self._active_requests > 0 or self._outstanding > 0) \
-                and time.monotonic() < deadline:
+                and not self._aborted and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
         # Stop the batcher, then let any in-pool batches finish.
         await self._queue.put(None)
@@ -449,6 +472,70 @@ class SimulationService:
                             "result": jobmod.jsonable(value)})
         return {"count": len(results), "results": results}
 
+    # ------------------------------------------------------------------
+    # cache-slice administration (router warmup / hot-key replication)
+    # ------------------------------------------------------------------
+
+    def _require_cache(self) -> ResultCache:
+        if self.cache is None:
+            raise HttpError(409, "cache_disabled",
+                            "this instance serves without a result cache")
+        return self.cache
+
+    async def _get_cache_manifest(self, request: HttpRequest) -> dict:
+        """Enumerate this shard's cache slice (see shard warmup)."""
+        cache = self._require_cache()
+        return await asyncio.to_thread(cache.manifest)
+
+    async def _get_cache_entry(self, request: HttpRequest) -> dict:
+        """Export one raw cache entry, base64-wrapped for transport."""
+        import base64
+        cache = self._require_cache()
+        key = request.query.get("key", "")
+        try:
+            data = await asyncio.to_thread(cache.export_entry, key)
+        except ValueError as exc:
+            raise HttpError(400, "bad_request", str(exc)) from None
+        if data is None:
+            raise HttpError(404, "not_cached",
+                            f"no cache entry for key {key!r}")
+        self.metrics.cache_exports += 1
+        return {"key": key,
+                "data": base64.b64encode(data).decode("ascii")}
+
+    async def _post_cache_push(self, request: HttpRequest) -> dict:
+        """Import exported entries (warmup / hot-key replication).
+
+        Each entry is validated (hex key, base64 payload that actually
+        unpickles) and installed atomically; invalid entries are
+        reported per-key, never imported, and never fail the batch.
+        """
+        import base64
+        cache = self._require_cache()
+        payload = request.json()
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise HttpError(400, "bad_request",
+                            "expected 'entries': a list of {key, data}")
+        imported, rejected = 0, []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                rejected.append("<non-object>")
+                continue
+            key = entry.get("key", "")
+            try:
+                data = base64.b64decode(entry.get("data", ""),
+                                        validate=True)
+                ok = await asyncio.to_thread(cache.import_entry, key, data)
+            except (ValueError, TypeError):
+                ok = False
+            if ok:
+                imported += 1
+            else:
+                rejected.append(str(key)[:64])
+        self.metrics.cache_imports += imported
+        return {"imported": imported, "rejected": rejected}
+
     def _deadline_from(self, payload: dict) -> float:
         value = payload.get("deadline_s")
         if value is None:
@@ -647,4 +734,7 @@ _ROUTES = {
     ("POST", "/v1/cluster"): SimulationService._post_cluster,
     ("POST", "/v1/sweep"): SimulationService._post_sweep,
     ("POST", "/v1/tune"): SimulationService._post_tune,
+    ("GET", "/v1/cache/manifest"): SimulationService._get_cache_manifest,
+    ("GET", "/v1/cache/entry"): SimulationService._get_cache_entry,
+    ("POST", "/v1/cache/push"): SimulationService._post_cache_push,
 }

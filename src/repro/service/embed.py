@@ -8,15 +8,27 @@ through exactly the same graceful-drain path SIGTERM takes::
 
     with EmbeddedService(workers=0, cache=False) as service:
         metrics = service.client().simulate("NN", "GTX980")
+
+The sharded tier embeds the same way: :class:`EmbeddedCluster` boots N
+shards plus a :class:`~repro.service.shard.ShardRouter` in front of
+them, each on its own thread and event loop, with per-shard cache
+slices under one root — a faithful in-process replica of the
+``--router --spawn-shards N`` deployment.  Its :meth:`~EmbeddedService.
+kill` hook is the fault-injection entry point: it aborts a shard the
+way SIGKILL would (connection resets, then connection refused) without
+sacrificing a host process.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import shutil
+import tempfile
 import threading
 
 from repro.service.client import ServiceClient
-from repro.service.config import ServiceConfig
+from repro.service.config import RouterConfig, ServiceConfig
 from repro.service.core import SimulationService
 
 
@@ -64,6 +76,27 @@ class EmbeddedService:
             raise RuntimeError("embedded service did not drain in time")
         self._thread = None
 
+    def kill(self, timeout: float = 10.0) -> None:
+        """Fault injection: die like a SIGKILLed process.
+
+        In-flight connections are reset, the listener closes, and no
+        drain happens — exactly what a router observes when a real
+        shard process is killed under load.  Idempotent; safe after
+        :meth:`stop`.
+        """
+        if self._thread is None:
+            return
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(self.service.abort)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("embedded service did not abort in time")
+        self._thread = None
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None
+
     def __enter__(self) -> "EmbeddedService":
         return self.start()
 
@@ -97,3 +130,202 @@ class EmbeddedService:
         self.port = self.service.port
         self._ready.set()
         await self.service.wait_closed()
+
+
+class EmbeddedRouter:
+    """One in-process :class:`~repro.service.shard.ShardRouter`.
+
+    Same thread-plus-event-loop shape as :class:`EmbeddedService`;
+    keyword overrides are :class:`~repro.service.config.RouterConfig`
+    fields.  ``shards`` is a sequence of
+    :class:`~repro.service.shard.ShardSpec`.
+    """
+
+    def __init__(self, shards, *, profile=None, **overrides):
+        overrides.setdefault("port", 0)
+        self.config = RouterConfig(**overrides)
+        self.specs = tuple(shards)
+        self.profile = profile
+        self.router = None
+        self.port: "int | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._ready = threading.Event()
+        self._error: "BaseException | None" = None
+
+    def start(self) -> "EmbeddedRouter":
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="repro-router", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("embedded router did not become ready")
+        if self._error is not None:
+            raise RuntimeError(
+                f"embedded router failed to start: {self._error!r}") \
+                from self._error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.router is not None:
+            self._loop.call_soon_threadsafe(self.router.request_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("embedded router did not drain in time")
+        self._thread = None
+
+    def __enter__(self) -> "EmbeddedRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        if self.port is None:
+            raise RuntimeError("router is not running")
+        return ServiceClient(host=self.config.host, port=self.port,
+                             timeout=timeout)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        from repro.service.shard import ShardRouter
+        self.router = ShardRouter(self.config, self.specs,
+                                  profile=self.profile)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.router.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            raise
+        self.port = self.router.port
+        self._ready.set()
+        await self.router.wait_closed()
+
+
+class EmbeddedCluster:
+    """N embedded shards behind one embedded router.
+
+    Each shard gets its own cache slice (``<root>/shard-<i>``) so the
+    cluster exercises the real disjoint-slice layout; the root is a
+    private temporary directory unless ``cache_root`` is given.
+    Router knobs (``replication``, ``vnodes``, ``hot_key_threshold``,
+    ``dead_retry_s``...) are keyword-only; remaining overrides go to
+    every shard's :class:`~repro.service.config.ServiceConfig`. ::
+
+        with EmbeddedCluster(shards=2, replication=2) as cluster:
+            result = cluster.client().simulate("NN", "GTX980")
+            cluster.kill_shard(0)            # fault injection
+            result = cluster.client().simulate("NN", "GTX980")
+    """
+
+    def __init__(self, shards: int = 2, *, replication: int = 2,
+                 vnodes: int = 64, hot_key_threshold: int = 8,
+                 dead_retry_s: float = 0.2, upstream_timeout_s: float = 60.0,
+                 cache_root: str = None, profile=None, **shard_overrides):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.n = shards
+        self.router_overrides = dict(
+            replication=replication, vnodes=vnodes,
+            hot_key_threshold=hot_key_threshold, dead_retry_s=dead_retry_s,
+            upstream_timeout_s=upstream_timeout_s)
+        self.shard_overrides = shard_overrides
+        self.cache_root = cache_root
+        self.profile = profile
+        self._owns_root = False
+        self.shards: "list[EmbeddedService]" = []
+        self.router: "EmbeddedRouter | None" = None
+
+    def start(self) -> "EmbeddedCluster":
+        from repro.service.shard import ShardSpec
+        if self.cache_root is None:
+            self.cache_root = tempfile.mkdtemp(prefix="repro-cluster-")
+            self._owns_root = True
+        try:
+            for index in range(self.n):
+                self.shards.append(self._boot_shard(index))
+            specs = [ShardSpec(name=f"shard-{index}",
+                               host=shard.config.host, port=shard.port,
+                               pid=os.getpid())
+                     for index, shard in enumerate(self.shards)]
+            self.router = EmbeddedRouter(specs, profile=self.profile,
+                                         **self.router_overrides).start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def _boot_shard(self, index: int) -> EmbeddedService:
+        overrides = dict(self.shard_overrides)
+        overrides.setdefault("workers", 0)
+        overrides.setdefault("cache", True)
+        overrides.setdefault("cache_root",
+                             os.path.join(self.cache_root,
+                                          f"shard-{index}"))
+        return EmbeddedService(**overrides).start()
+
+    def stop(self) -> None:
+        if self.router is not None:
+            self.router.stop()
+            self.router = None
+        for shard in self.shards:
+            if shard.alive:
+                shard.stop()
+        self.shards.clear()
+        if self._owns_root and self.cache_root is not None:
+            shutil.rmtree(self.cache_root, ignore_errors=True)
+            self._owns_root = False
+
+    def __enter__(self) -> "EmbeddedCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        if self.router is None:
+            raise RuntimeError("cluster is not running")
+        return self.router.client(timeout=timeout)
+
+    def shard_client(self, index: int, timeout: float = 60.0
+                     ) -> ServiceClient:
+        shard = self.shards[index]
+        return ServiceClient(host=shard.config.host, port=shard.port,
+                             timeout=timeout)
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL-equivalent on shard ``index`` (see
+        :meth:`EmbeddedService.kill`); the router is not told — it
+        finds out the way it would in production, by failing over."""
+        self.shards[index].kill()
+
+    def add_shard(self, *, warm: bool = True) -> int:
+        """Boot one more shard and join it through the router's admin
+        endpoint; returns its index."""
+        index = len(self.shards)
+        shard = self._boot_shard(index)
+        self.shards.append(shard)
+        with self.client() as client:
+            client.admin_join(f"shard-{index}", shard.config.host,
+                              shard.port, warm=warm)
+        return index
+
+    def remove_shard(self, index: int, *, warm: bool = True) -> dict:
+        """Gracefully remove shard ``index`` via the admin endpoint
+        (redistributing its cache slice first), then stop it."""
+        with self.client() as client:
+            answer = client.admin_leave(f"shard-{index}", warm=warm)
+        shard = self.shards[index]
+        if shard.alive:
+            shard.stop()
+        return answer

@@ -28,9 +28,11 @@ REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -149,10 +151,52 @@ async def read_request(reader: asyncio.StreamReader, *,
                        headers=headers, body=body)
 
 
+async def read_response(reader: asyncio.StreamReader
+                        ) -> "tuple[int, dict[str, str], bytes]":
+    """Read one HTTP response off a stream (the router's client side).
+
+    Returns ``(status, headers, body)``.  Only the dialect the service
+    itself speaks is supported — JSON bodies framed by
+    ``Content-Length`` — which is all the router ever forwards to.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(502, "upstream_headers_too_large",
+                        "upstream response headers exceed the limit")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise HttpError(502, "bad_upstream_response",
+                        f"malformed upstream status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    if length is None or not length.isdigit():
+        raise HttpError(502, "bad_upstream_response",
+                        "upstream response lacks a Content-Length")
+    body = await reader.readexactly(int(length))
+    return status, headers, body
+
+
 def render_response(status: int, payload, *, keep_alive: bool = True,
                     retry_after_s: float = None) -> bytes:
-    """Serialize one JSON response (status line + headers + body)."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    """Serialize one JSON response (status line + headers + body).
+
+    ``payload`` is normally a JSON-able object; pre-encoded ``bytes``
+    pass through untouched — that is how the shard router relays a
+    backend's response without re-serializing it, keeping routed
+    results byte-identical to direct serving.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        body = bytes(payload)
+    else:
+        body = json.dumps(payload,
+                          separators=(",", ":")).encode("utf-8") + b"\n"
     reason = REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",

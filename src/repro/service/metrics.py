@@ -59,6 +59,9 @@ class ServiceMetrics:
         self.estimates = 0
         self.estimate_cache_hits = 0
         self.estimate_seconds = 0.0
+        # Cache-slice transfers (shard warmup / hot-key replication).
+        self.cache_exports = 0
+        self.cache_imports = 0
         self.timer = PhaseTimer()
         self._latencies = deque(maxlen=RESERVOIR)
 
@@ -156,5 +159,9 @@ class ServiceMetrics:
                 "writes": stats["writes"],
                 "corrupt": stats["corrupt"],
                 "hit_ratio": stats["hit_ratio"],
+                # Slice transfers in (router warmup/replication pushes)
+                # and out (manifest-driven exports to peers).
+                "imported": self.cache_imports,
+                "exported": self.cache_exports,
             }
         return document

@@ -1,0 +1,141 @@
+"""Consistent-hash ring mapping job content keys to shard replica sets.
+
+The routing problem the sharded tier solves is the serving-side twin
+of the paper's clustering argument: co-locate work that shares state.
+Every engine :class:`~repro.engine.job.SimJob` already carries a
+SHA-256 content hash, so placing *that key* on a ring gives us
+
+* **cache locality** — all requests for one computation land on one
+  shard, whose :class:`~repro.engine.cache.ResultCache` slice and
+  single-flight table therefore keep working exactly as they do on a
+  single node (N identical concurrent requests still execute once,
+  cluster-wide);
+* **disjoint slices** — two shards never own the same key (except as
+  explicit replicas), so cache storage scales with the shard count
+  instead of duplicating;
+* **minimal remapping** — with ``vnodes`` virtual points per shard,
+  adding or removing one shard of *n* remaps only ~1/n of the key
+  space, which is what makes manifest-based warmup on join/leave
+  affordable.
+
+The ring is deterministic — pure SHA-256, no process randomness — so
+any router (or client) holding the same membership list computes the
+same owners for a key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def ring_hash(data: str) -> int:
+    """Deterministic 64-bit ring position for a string."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes with virtual points.
+
+    ``owners(key, count)`` walks clockwise from the key's position and
+    returns the first ``count`` *distinct* nodes — the replica set,
+    primary first.  Equal keys always get equal owner lists for a
+    given membership, and membership changes move only the keys whose
+    arc gained or lost a point.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: "set[str]" = set()
+        self._points: "list[int]" = []       # sorted ring positions
+        self._owners_at: "list[str]" = []    # node owning each position
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def _positions(self, node: str) -> "list[int]":
+        return [ring_hash(f"{node}#{i}") for i in range(self.vnodes)]
+
+    def add(self, node: str) -> None:
+        """Insert a node (idempotent for an already-present name)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for position in self._positions(node):
+            index = bisect.bisect(self._points, position)
+            self._points.insert(index, position)
+            self._owners_at.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Drop a node (idempotent for an absent name)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [(p, n) for p, n in zip(self._points, self._owners_at)
+                if n != node]
+        self._points = [p for p, _ in keep]
+        self._owners_at = [n for _, n in keep]
+
+    @property
+    def nodes(self) -> "list[str]":
+        """Current membership, sorted by name."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def owners(self, key: str, count: int = 1) -> "list[str]":
+        """The replica set for ``key``: up to ``count`` distinct nodes,
+        primary first.  Empty when the ring has no members."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self._points:
+            return []
+        count = min(count, len(self._nodes))
+        start = bisect.bisect(self._points, ring_hash(key))
+        owners: "list[str]" = []
+        for step in range(len(self._points)):
+            node = self._owners_at[(start + step) % len(self._points)]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
+    def primary(self, key: str) -> "str | None":
+        """The first owner for ``key`` (``None`` on an empty ring)."""
+        owners = self.owners(key)
+        return owners[0] if owners else None
+
+    # ------------------------------------------------------------------
+    # introspection (tests, /metrics)
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-ready summary for the router's ``/metrics`` document."""
+        return {"nodes": self.nodes, "vnodes": self.vnodes,
+                "points": len(self._points)}
+
+    def distribution(self, keys) -> "dict[str, int]":
+        """How many of ``keys`` each node primaries (balance checks)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            owner = self.primary(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

@@ -76,3 +76,48 @@ class TestCorruptEntries:
         assert ResultCache.is_miss(cache.get(job))
         assert cache.stats()["corrupt"] == 1
         assert cache.stats()["misses"] == 2
+
+
+class TestEntryTransfer:
+    """The shard tier's warmup path: a shard enumerates its slice with
+    ``manifest()``, another node pulls entries with ``export_entry``
+    and installs them with ``import_entry`` — byte-for-byte."""
+
+    def test_manifest_lists_exactly_the_salt_slice(self, tmp_path, job):
+        cache = ResultCache(tmp_path / "cache", salt="1.0/now")
+        other = simulate_job("CONV", "GTX980", scale=0.2)
+        cache.put(job, {"cycles": 1})
+        cache.put(other, {"cycles": 2})
+        manifest = cache.manifest()
+        assert manifest["salt_tag"] == cache.salt_tag
+        assert manifest["count"] == 2
+        assert sorted(manifest["keys"]) == manifest["keys"]
+        assert set(manifest["keys"]) == {job.key, other.key}
+        # A different salt's slice of the same root is invisible.
+        rotated = ResultCache(tmp_path / "cache", salt="2.0/later")
+        assert rotated.manifest()["count"] == 0
+
+    def test_export_import_roundtrip_is_bit_identical(self, tmp_path,
+                                                      job):
+        source = ResultCache(tmp_path / "a")
+        target = ResultCache(tmp_path / "b")
+        source.put(job, {"cycles": 42, "nested": {"x": [1, 2]}})
+        data = source.export_entry(job.key)
+        assert data is not None
+        assert target.import_entry(job.key, data)
+        assert target.path_for_key(job.key).read_bytes() == data
+        assert target.get(job) == {"cycles": 42, "nested": {"x": [1, 2]}}
+
+    def test_export_absent_key_is_none(self, cache, job):
+        assert cache.export_entry(job.key) is None
+
+    def test_import_rejects_corrupt_payloads(self, cache, job):
+        assert not cache.import_entry(job.key, b"not a pickle")
+        assert not cache.path_for_key(job.key).exists()
+        assert ResultCache.is_miss(cache.get(job))
+
+    def test_bad_keys_are_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for_key("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.path_for_key("xyz")

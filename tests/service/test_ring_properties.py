@@ -1,0 +1,137 @@
+"""Property-based tests for the consistent-hash ring.
+
+The ring is the routing tier's correctness keystone: every guarantee
+the sharded service makes (exactly-once execution cluster-wide,
+disjoint cache slices, affordable warmup) reduces to three ring
+properties — deterministic placement, bounded imbalance, and minimal
+remapping on membership change.  Hypothesis searches for node-name
+sets and key populations that break them.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.ring import HashRing, ring_hash
+
+#: Node names: short, printable, unique — what launchers generate.
+node_names = st.sets(
+    st.text(alphabet=string.ascii_lowercase + string.digits + "-",
+            min_size=1, max_size=12),
+    min_size=2, max_size=6)
+
+keys = st.text(alphabet=string.hexdigits.lower(), min_size=8, max_size=64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=node_names, key=keys)
+def test_routing_is_deterministic_across_instances(nodes, key):
+    """Two rings with the same membership agree on every owner list —
+    regardless of construction order (constructor vs incremental adds,
+    different insertion orders)."""
+    constructed = HashRing(sorted(nodes))
+    incremental = HashRing()
+    for node in reversed(sorted(nodes)):
+        incremental.add(node)
+    for count in (1, 2, len(nodes)):
+        assert constructed.owners(key, count) \
+            == incremental.owners(key, count)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=node_names, key=keys,
+       replication=st.integers(min_value=1, max_value=6))
+def test_replica_sets_are_distinct_and_prefix_stable(nodes, key,
+                                                     replication):
+    """Owners are distinct nodes, primary-first, and growing the
+    replica count only *extends* the set (a failover chain computed
+    with replication=2 is a prefix of the replication=3 chain)."""
+    ring = HashRing(nodes)
+    owners = ring.owners(key, replication)
+    assert len(owners) == min(replication, len(nodes))
+    assert len(set(owners)) == len(owners)
+    assert all(owner in ring for owner in owners)
+    wider = ring.owners(key, replication + 1)
+    assert wider[:len(owners)] == owners
+    assert ring.primary(key) == owners[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(nodes=node_names, seed=st.integers(min_value=0, max_value=2**32))
+def test_distribution_is_balanced(nodes, seed):
+    """No node hogs the key space: with 64 vnodes each of N nodes
+    primaries a bounded share of a large key population (the bound is
+    loose — the property under test is "spread", not "perfect split")."""
+    ring = HashRing(nodes)
+    population = [f"key-{seed}-{i}" for i in range(512)]
+    counts = ring.distribution(population)
+    assert sum(counts.values()) == len(population)
+    ideal = len(population) / len(nodes)
+    assert max(counts.values()) <= 5 * ideal
+    # Every node takes part in routing.
+    assert all(count > 0 for count in counts.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(nodes=node_names, joiner=st.text(
+    alphabet=string.ascii_lowercase, min_size=13, max_size=16),
+    seed=st.integers(min_value=0, max_value=2**32))
+def test_join_remaps_only_onto_the_joiner(nodes, joiner, seed):
+    """Adding a node never moves a key between two *existing* nodes:
+    any key whose primary changed must now be primaried by the
+    joiner — the property that makes warmup transfer only the
+    newcomer's slice."""
+    ring = HashRing(nodes)
+    population = [f"key-{seed}-{i}" for i in range(256)]
+    before = {key: ring.primary(key) for key in population}
+    ring.add(joiner)
+    moved = 0
+    for key in population:
+        after = ring.primary(key)
+        if after != before[key]:
+            assert after == joiner
+            moved += 1
+    # ~1/(n+1) of the space moves; assert the minimal-remap *bound*.
+    assert moved <= len(population) * 3 // (len(nodes) + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nodes=node_names, seed=st.integers(min_value=0, max_value=2**32))
+def test_leave_remaps_only_the_leavers_keys(nodes, seed):
+    """Removing a node only re-homes the keys it primaried; everyone
+    else's placement is untouched (and removal exactly undoes an
+    add)."""
+    ring = HashRing(nodes)
+    leaver = ring.nodes[0]
+    population = [f"key-{seed}-{i}" for i in range(256)]
+    before = {key: ring.primary(key) for key in population}
+    ring.remove(leaver)
+    for key in population:
+        if before[key] != leaver:
+            assert ring.primary(key) == before[key]
+        else:
+            assert ring.primary(key) != leaver
+    # Re-adding restores the exact original placement.
+    ring.add(leaver)
+    assert {key: ring.primary(key) for key in population} == before
+
+
+def test_ring_hash_is_stable():
+    """The ring function is pinned: repositioning every key between
+    releases would silently invalidate every deployed cache slice."""
+    assert ring_hash("repro") == int.from_bytes(
+        __import__("hashlib").sha256(b"repro").digest()[:8], "big")
+
+
+def test_empty_and_single_node_edges():
+    ring = HashRing()
+    assert ring.owners("anything", 3) == []
+    assert ring.primary("anything") is None
+    ring.add("only")
+    assert ring.owners("anything", 3) == ["only"]
+    ring.remove("only")
+    ring.remove("only")  # idempotent
+    assert len(ring) == 0

@@ -1,0 +1,145 @@
+"""Fault-injection harness for the sharded serving tier.
+
+Every test boots a real :class:`~repro.service.embed.EmbeddedCluster`
+(N shards + router, each on its own event loop and socket) and then
+injects the failure a production cluster actually sees — a shard
+dying mid-flight — via :meth:`EmbeddedService.kill`, which aborts the
+shard's listener and resets its live connections exactly the way
+SIGKILL does, without sacrificing the host process.
+
+The contract under test: with ``replication >= 2`` a single shard
+death is *invisible to clients* — the router retries onto a replica,
+every response stays bit-identical, and the only evidence is the
+router's own failover counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceError
+from repro.service.embed import EmbeddedCluster
+
+SIM = {"workload": "NN", "gpu": "GTX980", "scale": 0.2, "seed": 7}
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def primary_index(cluster: EmbeddedCluster) -> int:
+    """Which shard the cluster routed SIM to (it has routed > 0)."""
+    with cluster.client() as client:
+        shards = client.metrics()["shards"]
+    routed = [name for name, info in shards.items() if info["routed"] > 0]
+    assert len(routed) == 1, f"expected one routed shard, got {routed}"
+    return int(routed[0].rsplit("-", 1)[1])
+
+
+@pytest.fixture
+def cluster():
+    with EmbeddedCluster(shards=2, replication=2, hot_key_threshold=1,
+                         dead_retry_s=0.1, workers=0) as running:
+        yield running
+
+
+def test_kill_primary_failover_is_bit_identical(cluster):
+    """Kill the primary after its result replicated; the very next
+    request must succeed through the replica with the same bytes."""
+    with cluster.client() as client:
+        baseline = client.simulate(**SIM)
+        # hot_key_threshold=1 promotes the key immediately; wait for
+        # the background push to land on the standby replica.
+        assert wait_until(lambda: client.metrics()["routing"]
+                          ["replicated_entries"] >= 1), \
+            "hot-key replication never happened"
+        cluster.kill_shard(primary_index(cluster))
+        assert client.simulate(**SIM) == baseline
+        metrics = client.metrics()
+    assert metrics["routing"]["failovers"] >= 1
+    assert metrics["routing"]["upstream_errors"] >= 1
+    assert metrics["routing"]["all_replicas_failed"] == 0
+
+
+def test_kill_under_load_zero_client_errors(cluster):
+    """The satellite contract: SIGKILL one shard while a client storm
+    is mid-flight; not a single request may fail."""
+    with cluster.client() as client:
+        baseline = client.simulate(**SIM)
+        assert wait_until(lambda: client.metrics()["routing"]
+                          ["replicated_entries"] >= 1)
+        victim = primary_index(cluster)
+
+    errors: "list[BaseException]" = []
+    results: "list[dict]" = []
+    stop = threading.Event()
+
+    def storm():
+        with cluster.client() as client:
+            while not stop.is_set():
+                try:
+                    results.append(client.simulate(**SIM))
+                except BaseException as exc:
+                    errors.append(exc)
+
+    threads = [threading.Thread(target=storm, daemon=True)
+               for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    assert wait_until(lambda: len(results) >= 8), "storm never got going"
+    cluster.kill_shard(victim)          # mid-flight, by construction
+    assert wait_until(lambda: len(results) >= len(threads) * 2 + 16)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    assert not errors, f"client-visible failures: {errors[:3]}"
+    assert results and all(result == baseline for result in results)
+    with cluster.client() as client:
+        metrics = client.metrics()
+    # The router recorded the failover; the survivor won the traffic.
+    assert metrics["routing"]["failovers"] >= 1
+    assert metrics["routing"]["all_replicas_failed"] == 0
+    survivor = f"shard-{1 - victim}"
+    assert metrics["shards"][survivor]["failover_wins"] >= 1
+
+
+def test_all_replicas_dead_surfaces_502(cluster):
+    """When every replica is gone the router answers a structured 502
+    (all_replicas_failed) instead of hanging or crashing."""
+    with cluster.client() as client:
+        client.simulate(**SIM)
+        cluster.kill_shard(0)
+        cluster.kill_shard(1)
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(**SIM)
+        assert excinfo.value.status == 502
+        assert excinfo.value.code == "all_replicas_failed"
+        # And readiness reflects it: no shard is ready.
+        assert not client.readyz()
+
+
+def test_dead_shard_recovers_after_dead_retry(cluster):
+    """The lazy circuit breaker un-marks a shard that answers again:
+    kill the primary, fail over, and confirm the ring keeps serving
+    with the survivor counted alive."""
+    with cluster.client() as client:
+        baseline = client.simulate(**SIM)
+        assert wait_until(lambda: client.metrics()["routing"]
+                          ["replicated_entries"] >= 1)
+        cluster.kill_shard(primary_index(cluster))
+        for _ in range(3):
+            assert client.simulate(**SIM) == baseline
+            time.sleep(0.15)  # beyond dead_retry_s: probes the corpse
+        metrics = client.metrics()
+    states = {info["state"] for info in metrics["shards"].values()}
+    assert "alive" in states  # the survivor keeps serving
+    assert metrics["routing"]["all_replicas_failed"] == 0
