@@ -23,6 +23,7 @@ concurrent runs in the same checkout.
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pickle
 import tempfile
@@ -48,6 +49,55 @@ def _is_hex_key(key: str) -> bool:
     """True for strings that look like SHA-256 job content hashes."""
     return (isinstance(key, str) and len(key) == 64
             and all(c in _HEX for c in key))
+
+
+#: Globals a *transferred* cache entry may reference: exactly the
+#: result record types the executors produce (the table in
+#: :mod:`repro.engine.executors`) plus the enum/support types nested
+#: inside them.  :meth:`ResultCache.import_entry` feeds bytes that
+#: arrived over the network (the shard tier's ``POST /v1/cache/push``)
+#: to the unpickler, so any lookup outside this list is refused —
+#: ``os.system``-style reduce payloads never resolve a callable.  A
+#: new job kind's result type must be added here before warmup or
+#: hot-key replication can move it between nodes; an unlisted type
+#: only costs the receiving shard a recompute.
+SAFE_ENTRY_GLOBALS = frozenset({
+    ("repro.analysis.reuse", "ReuseProfile"),
+    ("repro.core.framework", "DecisionSummary"),
+    ("repro.core.indexing", "PartitionDirection"),
+    ("repro.core.indexing", "RowMajorIndexing"),
+    ("repro.experiments.schemes", "SchemeResults"),
+    ("repro.gpu.analytic", "AnalyticEstimate"),
+    ("repro.gpu.metrics", "CtaRecord"),
+    ("repro.gpu.metrics", "KernelMetrics"),
+    ("repro.gpu.refmodel", "CacheStats"),
+    ("repro.kernels.kernel", "LocalityCategory"),
+    ("repro.kernels.microbench", "MicrobenchResult"),
+    ("repro.tuner.core", "TuneResult"),
+    ("repro.tuner.space", "Candidate"),
+    ("repro.tuner.space", "ConfigPoint"),
+})
+
+
+class _EntryUnpickler(pickle.Unpickler):
+    """Unpickler for network-supplied entry bytes: allowlisted globals
+    only.  Containers of scalars need no global lookups at all, so the
+    common metrics payloads pass untouched."""
+
+    def find_class(self, module, name):
+        if (module, name) in SAFE_ENTRY_GLOBALS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"cache entry references forbidden global {module}.{name}")
+
+
+def safe_loads_entry(data: bytes):
+    """Unpickle transferred entry bytes under the allowlist.
+
+    Raises (``pickle.UnpicklingError`` among others) on anything a
+    cache entry could not legitimately contain.
+    """
+    return _EntryUnpickler(io.BytesIO(data)).load()
 
 
 def default_cache_root() -> Path:
@@ -221,15 +271,21 @@ class ResultCache:
     def import_entry(self, key: str, data: bytes) -> bool:
         """Atomically install one exported entry; ``False`` on bad data.
 
-        The payload must unpickle — a truncated or corrupt transfer is
-        rejected here rather than poisoning a future lookup (the same
-        stance :meth:`get` takes toward on-disk corruption).
+        The payload arrives from *another node* (the shard tier's
+        warmup and hot-key replication push raw entry bytes over
+        HTTP), so it is never trusted: the key is validated before the
+        payload is even parsed, and the payload must unpickle under
+        the :data:`SAFE_ENTRY_GLOBALS` allowlist — a truncated or
+        corrupt transfer, or a payload referencing any global outside
+        the known result record types (the arbitrary-code-execution
+        vector of plain ``pickle.loads``), is rejected here rather
+        than installed.
         """
+        path = self.path_for_key(key)  # ValueError before parsing data
         try:
-            pickle.loads(data)
+            safe_loads_entry(data)
         except Exception:
             return False
-        path = self.path_for_key(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import os
+import queue
 import re
 import signal
 import subprocess
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-root", default=None, metavar="DIR",
                         help="result cache directory (default: "
                              "$REPRO_CACHE_DIR or ./.repro_cache)")
+    parser.add_argument("--cache-token", default=None, metavar="TOKEN",
+                        help="shared secret for the /v1/cache/* admin "
+                             "endpoints (default $REPRO_CACHE_TOKEN); "
+                             "required for cache transfer between hosts "
+                             "— without it those endpoints only answer "
+                             "on a loopback bind")
     parser.add_argument("--profile", default=None, metavar="PATH",
                         help="write a profile JSON summary (same schema "
                              "as the experiments CLI) at shutdown")
@@ -113,13 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_token_from(args) -> "str | None":
+    return args.cache_token or os.environ.get("REPRO_CACHE_TOKEN") or None
+
+
 def config_from_args(args) -> ServiceConfig:
     return ServiceConfig(
         host=args.host, port=args.port, workers=args.workers,
         queue_depth=args.queue_depth, deadline_s=args.deadline,
         batch_max=args.batch_max, batch_window_s=args.batch_window,
         drain_timeout_s=args.drain_timeout, cache=not args.no_cache,
-        cache_root=args.cache_root)
+        cache_root=args.cache_root, cache_token=_cache_token_from(args))
 
 
 async def serve(config: ServiceConfig, profile_path: str = None) -> int:
@@ -159,19 +170,27 @@ def router_config_from_args(args) -> RouterConfig:
         host=args.host, port=args.port, replication=args.replication,
         vnodes=args.vnodes, hot_key_threshold=args.hot_key_threshold,
         upstream_timeout_s=args.upstream_timeout,
-        drain_timeout_s=args.drain_timeout)
+        drain_timeout_s=args.drain_timeout,
+        cache_token=_cache_token_from(args))
 
 
 _LISTENING = re.compile(r"listening on http://([^:\s]+):(\d+)")
+
+#: Deadline for a spawned shard to print its listening line.  A child
+#: wedged before binding (cache-dir I/O, import deadlock) must fail
+#: router startup loudly, not block it forever.
+SPAWN_TIMEOUT_S = 30.0
 
 
 def _spawn_shard(index: int, args) -> "tuple[subprocess.Popen, str, int]":
     """Fork one child shard on an ephemeral port; returns its address.
 
     The child's cache slice goes under ``<cache-root>/shard-<index>``
-    so spawned shards never share a slice.  Blocks until the child
-    prints its listening line (or dies), then pumps the rest of its
-    stdout to ours with a ``[shard-N]`` prefix.
+    so spawned shards never share a slice.  A single reader thread
+    scans the child's stdout for its listening line and then keeps
+    pumping to ours with a ``[shard-N]`` prefix; this function waits
+    on it for at most :data:`SPAWN_TIMEOUT_S` and kills the child if
+    the line never appears.
     """
     cache_root = args.cache_root \
         or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
@@ -188,24 +207,45 @@ def _spawn_shard(index: int, args) -> "tuple[subprocess.Popen, str, int]":
     ]
     if args.no_cache:
         command.append("--no-cache")
+    env = None
+    token = _cache_token_from(args)
+    if token:
+        # Via the environment, not argv: the secret must not show up
+        # in process listings, and the child's parser reads it there.
+        env = dict(os.environ, REPRO_CACHE_TOKEN=token)
     process = subprocess.Popen(command, stdout=subprocess.PIPE,
-                               stderr=None, text=True)
-    for line in process.stdout:
-        match = _LISTENING.search(line)
-        if match:
-            host, port = match.group(1), int(match.group(2))
-            break
-    else:
+                               stderr=None, text=True, env=env)
+    found: "queue.Queue[tuple | None]" = queue.Queue()
+
+    def pump():
+        address = None
+        for line in process.stdout:
+            if address is None:
+                match = _LISTENING.search(line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+                    found.put(address)
+                continue
+            print(f"[shard-{index}] {line}", end="", flush=True)
+        if address is None:
+            found.put(None)  # EOF before the listening line: child died
+    threading.Thread(target=pump, name=f"shard-{index}-stdout",
+                     daemon=True).start()
+
+    try:
+        address = found.get(timeout=SPAWN_TIMEOUT_S)
+    except queue.Empty:
+        process.kill()
+        process.wait()
+        raise RuntimeError(
+            f"spawned shard {index} did not report a listening address "
+            f"within {SPAWN_TIMEOUT_S:g}s") from None
+    if address is None:
         process.wait()
         raise RuntimeError(
             f"spawned shard {index} exited (status {process.returncode}) "
             f"before reporting its port")
-
-    def pump():
-        for rest in process.stdout:
-            print(f"[shard-{index}] {rest}", end="", flush=True)
-    threading.Thread(target=pump, name=f"shard-{index}-stdout",
-                     daemon=True).start()
+    host, port = address
     return process, host, port
 
 

@@ -39,10 +39,13 @@ class ServiceClient:
     """Blocking JSON-over-HTTP client for one service instance."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, cache_token: str = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Shared secret for the server's ``/v1/cache/*`` admin
+        #: endpoints; sent as ``X-Repro-Cache-Token`` when set.
+        self.cache_token = cache_token
         self._connection = None
 
     # ------------------------------------------------------------------
@@ -73,6 +76,8 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.cache_token:
+            headers["X-Repro-Cache-Token"] = self.cache_token
         connection = self._connect()
         try:
             connection.request(method, path, body=body, headers=headers)

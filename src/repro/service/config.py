@@ -48,6 +48,13 @@ class ServiceConfig:
     #: Upper bound on the candidate-evaluation budget a ``/v1/tune``
     #: request may ask for (tuning runs whole searches per request).
     max_tune_budget: int = 64
+    #: Shared secret for the ``/v1/cache/*`` admin endpoints (manifest
+    #: enumeration, raw-entry export, entry import).  When set, every
+    #: cache admin request must carry it in ``X-Repro-Cache-Token``;
+    #: when unset, those endpoints only answer on a loopback bind —
+    #: a shard reachable from the network must be given a token
+    #: before peers can move cache entries to or from it.
+    cache_token: "str | None" = None
 
     def __post_init__(self):
         if self.workers < 0:
@@ -100,6 +107,10 @@ class RouterConfig:
     probe_timeout_s: float = 2.0
     drain_timeout_s: float = 10.0
     max_body_bytes: int = 8 << 20
+    #: Shared secret sent to the shards' ``/v1/cache/*`` endpoints on
+    #: warmup and hot-key replication; must match the shards'
+    #: ``cache_token`` when they bind beyond loopback.
+    cache_token: "str | None" = None
 
     def __post_init__(self):
         if self.replication < 1:

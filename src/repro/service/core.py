@@ -38,6 +38,7 @@ The request pipeline, in order::
 from __future__ import annotations
 
 import asyncio
+import hmac
 import os
 import sys
 import time
@@ -57,6 +58,14 @@ from repro.service.httpio import (
     render_response,
 )
 from repro.service.metrics import ServiceMetrics
+
+#: Header carrying the shared cache-admin secret (see
+#: ``ServiceConfig.cache_token``).
+CACHE_TOKEN_HEADER = "x-repro-cache-token"
+
+#: Bind addresses on which the cache admin endpoints work without a
+#: token — anything else is network-reachable and needs the secret.
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
 
 
 def _execute_one(job: SimJob) -> tuple:
@@ -482,15 +491,45 @@ class SimulationService:
                             "this instance serves without a result cache")
         return self.cache
 
+    def _authorize_cache_admin(self, request: HttpRequest) -> ResultCache:
+        """Gate the ``/v1/cache/*`` endpoints.
+
+        These endpoints enumerate, export and *install* raw cache
+        entries — the transfer plane between cluster members, not part
+        of the public serving surface.  With a ``cache_token``
+        configured, every request must present it (constant-time
+        comparison); without one they only answer on a loopback bind,
+        so a shard exposed to the network (multi-host ``--shard``
+        deployments) can never accept or leak entries from
+        unauthenticated peers.
+        """
+        cache = self._require_cache()
+        token = self.config.cache_token
+        if token:
+            sent = request.headers.get(CACHE_TOKEN_HEADER, "")
+            if not hmac.compare_digest(sent.encode("utf-8"),
+                                       token.encode("utf-8")):
+                raise HttpError(
+                    403, "bad_cache_token",
+                    f"cache admin endpoints require the shared token "
+                    f"in the {CACHE_TOKEN_HEADER} header")
+        elif self.config.host not in _LOOPBACK_HOSTS:
+            raise HttpError(
+                403, "cache_admin_disabled",
+                "cache admin endpoints are disabled on a non-loopback "
+                "bind unless a cache token is configured "
+                "(--cache-token / $REPRO_CACHE_TOKEN)")
+        return cache
+
     async def _get_cache_manifest(self, request: HttpRequest) -> dict:
         """Enumerate this shard's cache slice (see shard warmup)."""
-        cache = self._require_cache()
+        cache = self._authorize_cache_admin(request)
         return await asyncio.to_thread(cache.manifest)
 
     async def _get_cache_entry(self, request: HttpRequest) -> dict:
         """Export one raw cache entry, base64-wrapped for transport."""
         import base64
-        cache = self._require_cache()
+        cache = self._authorize_cache_admin(request)
         key = request.query.get("key", "")
         try:
             data = await asyncio.to_thread(cache.export_entry, key)
@@ -506,12 +545,15 @@ class SimulationService:
     async def _post_cache_push(self, request: HttpRequest) -> dict:
         """Import exported entries (warmup / hot-key replication).
 
-        Each entry is validated (hex key, base64 payload that actually
-        unpickles) and installed atomically; invalid entries are
-        reported per-key, never imported, and never fail the batch.
+        Each entry is validated (hex key, base64 payload that
+        unpickles under the engine's
+        :data:`~repro.engine.cache.SAFE_ENTRY_GLOBALS` allowlist — the
+        bytes are untrusted network input) and installed atomically;
+        invalid entries are reported per-key, never imported, and
+        never fail the batch.
         """
         import base64
-        cache = self._require_cache()
+        cache = self._authorize_cache_admin(request)
         payload = request.json()
         entries = payload.get("entries")
         if not isinstance(entries, list):

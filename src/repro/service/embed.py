@@ -107,7 +107,8 @@ class EmbeddedService:
         if self.port is None:
             raise RuntimeError("service is not running")
         return ServiceClient(host=self.config.host, port=self.port,
-                             timeout=timeout)
+                             timeout=timeout,
+                             cache_token=self.config.cache_token)
 
     # ------------------------------------------------------------------
 
@@ -185,7 +186,8 @@ class EmbeddedRouter:
         if self.port is None:
             raise RuntimeError("router is not running")
         return ServiceClient(host=self.config.host, port=self.port,
-                             timeout=timeout)
+                             timeout=timeout,
+                             cache_token=self.config.cache_token)
 
     def _thread_main(self) -> None:
         try:
@@ -229,15 +231,17 @@ class EmbeddedCluster:
     def __init__(self, shards: int = 2, *, replication: int = 2,
                  vnodes: int = 64, hot_key_threshold: int = 8,
                  dead_retry_s: float = 0.2, upstream_timeout_s: float = 60.0,
-                 cache_root: str = None, profile=None, **shard_overrides):
+                 cache_root: str = None, cache_token: str = None,
+                 profile=None, **shard_overrides):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.n = shards
         self.router_overrides = dict(
             replication=replication, vnodes=vnodes,
             hot_key_threshold=hot_key_threshold, dead_retry_s=dead_retry_s,
-            upstream_timeout_s=upstream_timeout_s)
-        self.shard_overrides = shard_overrides
+            upstream_timeout_s=upstream_timeout_s, cache_token=cache_token)
+        self.shard_overrides = dict(shard_overrides,
+                                    cache_token=cache_token)
         self.cache_root = cache_root
         self.profile = profile
         self._owns_root = False
@@ -301,7 +305,8 @@ class EmbeddedCluster:
                      ) -> ServiceClient:
         shard = self.shards[index]
         return ServiceClient(host=shard.config.host, port=shard.port,
-                             timeout=timeout)
+                             timeout=timeout,
+                             cache_token=shard.config.cache_token)
 
     def kill_shard(self, index: int) -> None:
         """SIGKILL-equivalent on shard ``index`` (see

@@ -26,6 +26,7 @@ MAX_HEADER_BYTES = 32 * 1024
 REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -158,8 +159,17 @@ async def read_response(reader: asyncio.StreamReader
     Returns ``(status, headers, body)``.  Only the dialect the service
     itself speaks is supported — JSON bodies framed by
     ``Content-Length`` — which is all the router ever forwards to.
+    An upstream emitting oversized or unterminated headers surfaces as
+    a 502 :class:`HttpError` (never a bare ``LimitOverrunError``), so
+    the router's failover handlers treat it like any other bad
+    upstream and move to the next replica.
     """
-    head = await reader.readuntil(b"\r\n\r\n")
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise HttpError(502, "upstream_headers_too_large",
+                        "upstream response headers exceed the limit") \
+            from None
     if len(head) > MAX_HEADER_BYTES:
         raise HttpError(502, "upstream_headers_too_large",
                         "upstream response headers exceed the limit")

@@ -112,10 +112,11 @@ class ShardLink:
     POOL = 4
 
     def __init__(self, spec: ShardSpec, *, connect_timeout_s: float,
-                 request_timeout_s: float):
+                 request_timeout_s: float, cache_token: str = None):
         self.spec = spec
         self.connect_timeout_s = connect_timeout_s
         self.request_timeout_s = request_timeout_s
+        self.cache_token = cache_token
         self._free: "list[tuple]" = []
 
     async def _open(self):
@@ -128,7 +129,10 @@ class ShardLink:
         head = (f"{method} {target} HTTP/1.1\r\n"
                 f"Host: {self.spec.address}\r\n"
                 f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n\r\n")
+                f"Content-Length: {len(body)}\r\n")
+        if self.cache_token:
+            head += f"X-Repro-Cache-Token: {self.cache_token}\r\n"
+        head += "\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
         return await read_response(reader)
@@ -330,7 +334,8 @@ class ShardRouter:
         self.shards[spec.name] = ShardState(spec)
         self.links[spec.name] = ShardLink(
             spec, connect_timeout_s=self.config.connect_timeout_s,
-            request_timeout_s=self.config.upstream_timeout_s)
+            request_timeout_s=self.config.upstream_timeout_s,
+            cache_token=self.config.cache_token)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -812,8 +817,12 @@ class ShardRouter:
                     if key not in have
                     and target in self.ring.owners(
                         key, self.config.replication)]
-            total += await self._copy_entries(source, target, keys)
-            have.update(keys)
+            # Only keys that *arrived* count as held: an export or
+            # import failure leaves the key eligible when a later
+            # source holds the same entry (replicated slices overlap).
+            copied = await self._copy_entries(source, target, keys)
+            total += len(copied)
+            have.update(copied)
         self.metrics.warmed_entries += total
         return total
 
@@ -832,7 +841,7 @@ class ShardRouter:
                 moves.setdefault(owner, []).append(key)
         total = 0
         for target, keys in moves.items():
-            total += await self._copy_entries(leaver, target, keys)
+            total += len(await self._copy_entries(leaver, target, keys))
         self.metrics.warmed_entries += total
         return total
 
@@ -845,22 +854,29 @@ class ShardRouter:
                 asyncio.IncompleteReadError, HttpError, KeyError):
             return 0, {}
 
-    async def _copy_entries(self, source: str, target: str, keys) -> int:
-        copied = 0
+    async def _copy_entries(self, source: str, target: str, keys
+                            ) -> "set[str]":
+        """Move entries ``source`` -> ``target``; returns the keys that
+        actually landed (export fetched, push accepted), so callers
+        can retry the rest against other sources."""
+        copied: "set[str]" = set()
         for start in range(0, len(keys), WARMUP_CHUNK):
             entries = []
             for key in keys[start:start + WARMUP_CHUNK]:
                 status, doc = await self._try_json(
                     source, "GET", f"/v1/cache/entry?key={key}")
-                if status == 200 and "key" in doc and "data" in doc:
-                    entries.append({"key": doc["key"],
-                                    "data": doc["data"]})
+                if status == 200 and doc.get("key") == key \
+                        and "data" in doc:
+                    entries.append({"key": key, "data": doc["data"]})
             if not entries:
                 continue
             status, answer = await self._try_json(
                 target, "POST", "/v1/cache/push", {"entries": entries})
-            if status == 200:
-                copied += answer.get("imported", 0)
+            if status != 200:
+                continue
+            rejected = {str(key) for key in answer.get("rejected", ())}
+            copied.update(entry["key"] for entry in entries
+                          if entry["key"] not in rejected)
         return copied
 
     async def _post_join(self, request: HttpRequest) -> dict:

@@ -4,7 +4,8 @@ import pickle
 
 import pytest
 
-from repro.engine import ResultCache, simulate_job
+from repro.engine import ResultCache, execute, reuse_job, simulate_job
+from repro.engine.cache import SAFE_ENTRY_GLOBALS, safe_loads_entry
 
 
 @pytest.fixture
@@ -121,3 +122,60 @@ class TestEntryTransfer:
             cache.path_for_key("../../etc/passwd")
         with pytest.raises(ValueError):
             cache.path_for_key("xyz")
+
+
+class _Exec:
+    """A classic pickle RCE gadget: unpickling calls ``os.system``."""
+
+    def __reduce__(self):
+        import os
+        return (os.system, ("true",))
+
+
+class TestImportSafety:
+    """``import_entry`` consumes bytes that arrived over the network
+    (``POST /v1/cache/push``), so it must never resolve a global
+    outside the known result record types — a crafted payload whose
+    reduce hook names ``os.system`` (or any other callable) has to be
+    rejected before anything executes, not installed, not run."""
+
+    def test_reduce_gadget_is_rejected_not_executed(self, cache, job):
+        payload = pickle.dumps(_Exec())
+        assert not cache.import_entry(job.key, payload)
+        assert not cache.path_for_key(job.key).exists()
+        assert ResultCache.is_miss(cache.get(job))
+
+    def test_unlisted_repro_global_is_rejected(self, cache, job, tmp_path):
+        # Even package-internal types outside the allowlist are refused
+        # — the allowlist names result records, not "anything repro".
+        payload = pickle.dumps(ResultCache(tmp_path / "x"))
+        assert not cache.import_entry(job.key, payload)
+        assert not cache.path_for_key(job.key).exists()
+
+    def test_bad_key_raises_before_payload_is_parsed(self, cache):
+        with pytest.raises(ValueError):
+            cache.import_entry("../../etc/cron.d/x", pickle.dumps(_Exec()))
+
+    def test_real_result_record_roundtrips(self, tmp_path):
+        # A genuine executor result (a ReuseProfile record) must pass
+        # the allowlist, or warmup could never move real entries.
+        job = reuse_job("NN", scale=0.05)
+        value = execute(job)
+        source = ResultCache(tmp_path / "a")
+        target = ResultCache(tmp_path / "b")
+        source.put(job, value)
+        data = source.export_entry(job.key)
+        assert target.import_entry(job.key, data)
+        assert target.get(job) == value
+
+    def test_safe_loads_entry_allows_plain_containers(self):
+        value = {"cycles": 42, "nested": {"x": [1, 2.5, None, "s"]}}
+        assert safe_loads_entry(pickle.dumps(value)) == value
+
+    def test_allowlist_globals_resolve(self):
+        # Every allowlisted (module, name) must import — a rename in
+        # the package would otherwise silently break entry transfer.
+        import importlib
+        for module, name in sorted(SAFE_ENTRY_GLOBALS):
+            assert isinstance(
+                getattr(importlib.import_module(module), name), type)

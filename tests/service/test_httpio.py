@@ -10,6 +10,7 @@ import pytest
 from repro.service.httpio import (
     HttpError,
     read_request,
+    read_response,
     render_response,
 )
 
@@ -81,6 +82,52 @@ class TestParse:
     def test_bad_content_length_rejected(self):
         with pytest.raises(HttpError):
             parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+
+def parse_response(raw: bytes):
+    """Feed raw bytes through read_response on a private loop."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_response(reader)
+    return asyncio.run(run())
+
+
+class TestReadResponse:
+    def test_roundtrip_of_rendered_response(self):
+        status, headers, body = parse_response(
+            render_response(200, {"ok": True}))
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+
+    def test_header_overrun_is_502_not_limit_overrun_error(self):
+        """Headers past the StreamReader's 64 KiB scan limit raise
+        ``LimitOverrunError`` inside ``readuntil``; that must surface
+        as a transport-class ``HttpError`` the failover handlers catch,
+        never as a bare asyncio exception turning into a client 500."""
+        raw = (b"HTTP/1.1 200 OK\r\n"
+               + b"X-Junk: " + b"a" * (80 * 1024) + b"\r\n\r\n")
+        with pytest.raises(HttpError) as excinfo:
+            parse_response(raw)
+        assert excinfo.value.status == 502
+        assert excinfo.value.code == "upstream_headers_too_large"
+
+    def test_oversized_but_terminated_headers_rejected(self):
+        # Below the stream limit, above MAX_HEADER_BYTES: the explicit
+        # size check catches what readuntil lets through.
+        raw = (b"HTTP/1.1 200 OK\r\n"
+               + b"X-Junk: " + b"a" * (40 * 1024) + b"\r\n"
+               + b"Content-Length: 0\r\n\r\n")
+        with pytest.raises(HttpError) as excinfo:
+            parse_response(raw)
+        assert excinfo.value.status == 502
+        assert excinfo.value.code == "upstream_headers_too_large"
+
+    def test_missing_content_length_is_502(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_response(b"HTTP/1.1 200 OK\r\n\r\n")
+        assert excinfo.value.code == "bad_upstream_response"
 
 
 class TestRender:

@@ -85,3 +85,62 @@ class TestDaemonLifecycle:
         summary = json.loads(profile_path.read_text())
         validate_profile(summary)
         assert summary["job_spans"] == 1
+
+
+class TestSpawnShardDeadline:
+    """A child shard that wedges before printing its listening line
+    must fail router startup with a clear error — never block the
+    launcher forever on a stdout read."""
+
+    def test_wedged_child_is_killed_and_raises(self, monkeypatch):
+        import repro.service.__main__ as launcher
+
+        read_fd, write_fd = os.pipe()
+        events = []
+
+        class WedgedProcess:
+            # Holds its stdout open but never prints: the exact shape
+            # of a child stuck on cache-dir I/O before binding.
+            stdout = os.fdopen(read_fd, "r")
+            returncode = None
+
+            def kill(self):
+                events.append("kill")
+                os.close(write_fd)  # EOF lets the pump thread exit
+
+            def wait(self, timeout=None):
+                events.append("wait")
+                self.returncode = -9
+                return self.returncode
+
+        monkeypatch.setattr(launcher.subprocess, "Popen",
+                            lambda *a, **k: WedgedProcess())
+        monkeypatch.setattr(launcher, "SPAWN_TIMEOUT_S", 0.2)
+        args = launcher.build_parser().parse_args(
+            ["--router", "--spawn-shards", "1"])
+        started = time.monotonic()
+        with pytest.raises(RuntimeError,
+                           match="did not report a listening address"):
+            launcher._spawn_shard(0, args)
+        assert time.monotonic() - started < 5.0
+        assert events == ["kill", "wait"]
+
+    def test_child_death_before_banner_still_raises(self, monkeypatch):
+        import repro.service.__main__ as launcher
+
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)  # immediate EOF: the child died silently
+
+        class DeadProcess:
+            stdout = os.fdopen(read_fd, "r")
+            returncode = 1
+
+            def wait(self, timeout=None):
+                return self.returncode
+
+        monkeypatch.setattr(launcher.subprocess, "Popen",
+                            lambda *a, **k: DeadProcess())
+        args = launcher.build_parser().parse_args(
+            ["--router", "--spawn-shards", "1"])
+        with pytest.raises(RuntimeError, match="exited \\(status 1\\)"):
+            launcher._spawn_shard(0, args)

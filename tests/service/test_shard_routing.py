@@ -258,3 +258,51 @@ def test_parse_shard_spec():
     assert (named.name, named.host, named.port) == ("cache-a", "h1", 81)
     with pytest.raises(ValueError):
         parse_shard_spec("no-port", 0)
+
+
+class TestWarmupPartialSources:
+    """`warm_shard` must only count a key as held by the target when
+    its copy actually landed — a failed export from one source leaves
+    the key eligible for later sources holding the same entry."""
+
+    def test_failed_copy_retries_against_a_later_source(self):
+        import asyncio
+        import base64
+        import hashlib
+        import pickle
+
+        from repro.service.config import RouterConfig
+        from repro.service.shard import ShardRouter, ShardSpec
+
+        k1 = hashlib.sha256(b"k1").hexdigest()
+        k2 = hashlib.sha256(b"k2").hexdigest()
+        data = base64.b64encode(pickle.dumps({"cycles": 1})).decode()
+        router = ShardRouter(RouterConfig(replication=3), [
+            ShardSpec("a", "127.0.0.1", 1),
+            ShardSpec("b", "127.0.0.1", 2),
+            ShardSpec("t", "127.0.0.1", 3),
+        ])
+        pushed = []
+
+        async def fake_try_json(name, method, target, payload=None):
+            if target == "/v1/cache/manifest":
+                return 200, {"keys": {"a": [k1, k2], "b": [k2],
+                                      "t": []}[name]}
+            if target.startswith("/v1/cache/entry"):
+                key = target.rpartition("key=")[2]
+                if name == "a" and key == k2:
+                    return 0, {}  # source a cannot export this entry
+                return 200, {"key": key, "data": data}
+            assert target == "/v1/cache/push"
+            pushed.append((name,
+                           sorted(e["key"] for e in payload["entries"])))
+            return 200, {"imported": len(payload["entries"]),
+                         "rejected": []}
+
+        router._try_json = fake_try_json
+        total = asyncio.run(router.warm_shard("t", sources=["a", "b"]))
+        # k1 arrives from a; k2 fails on a but must still come from b.
+        assert total == 2
+        assert ("t", [k1]) in pushed
+        assert ("t", [k2]) in pushed
+        assert router.metrics.warmed_entries == 2
