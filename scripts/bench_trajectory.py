@@ -21,7 +21,10 @@ independent fast-path runs; ``--check`` re-times it with a 1.2x
 floor), and the rung-0 analytic-vs-simulated cost per tuning decision
 (one closed-form estimate against one fast-path simulation over the
 same matrix; ``--check`` re-times it with a 20x floor — the model
-exists to be ~50x+ cheaper per decision).
+exists to be ~50x+ cheaper per decision), and the same economics on a
+chiplet *placement* decision (the chiplet study's HST/BKP x placement
+matrix on the 4-chiplet Maxwell through both executors; ``--check``
+floor 5x at the study's shrunken scale).
 
 Usage::
 
@@ -214,6 +217,61 @@ def _measure_analytic(passes: int) -> dict:
     }
 
 
+def _measure_chiplet(passes: int) -> dict:
+    """Warm per-decision cost of a chiplet *placement* decision.
+
+    The chiplet study's question — which placement policy for this
+    workload on this multi-die package — is answered either by a full
+    NUMA-charged simulation or by the rung-0 analytic model pricing
+    remote hops.  This times the study's own matrix (HST/BKP x three
+    placement policies on the 4-chiplet Maxwell, in its shrunken-L2
+    regime) through both executors; the ratio is what rung-0 triage
+    saves per placement candidate it rules out without simulating.
+    """
+    from repro.engine import estimate_job, execute, measure_job
+    from repro.experiments.chiplet_study import (STUDY_L2_DIVISOR,
+                                                 STUDY_PLACEMENTS,
+                                                 STUDY_SCALE,
+                                                 STUDY_WORKLOADS)
+
+    gpu = "GTX980x4"
+
+    def matrix(builder, **spelling):
+        return [builder(abbr, gpu, plan="clu", scale=STUDY_SCALE, seed=0,
+                        l2_divisor=STUDY_L2_DIVISOR, placement=placement,
+                        **spelling)
+                for abbr in STUDY_WORKLOADS
+                for placement in STUDY_PLACEMENTS]
+
+    seconds = {}
+    for label, builder, spelling in (
+            ("simulated", measure_job, {"scheme": "CLU"}),
+            ("analytic", estimate_job, {})):
+        jobs = matrix(builder, **spelling)
+        for job in jobs:
+            execute(job)  # warm traces / compiled streams
+        best = float("inf")
+        for _ in range(passes):
+            start = time.perf_counter()
+            for job in jobs:
+                execute(job)
+            best = min(best, time.perf_counter() - start)
+        seconds[label] = best
+    decisions = len(STUDY_WORKLOADS) * len(STUDY_PLACEMENTS)
+    return {
+        "gpu": gpu,
+        "decisions": decisions,
+        "simulated_seconds": round(seconds["simulated"], 4),
+        "analytic_seconds": round(seconds["analytic"], 4),
+        "simulated_ms_per_decision": round(
+            seconds["simulated"] / decisions * 1e3, 3),
+        "analytic_ms_per_decision": round(
+            seconds["analytic"] / decisions * 1e3, 3),
+        "speedup": round(seconds["simulated"] / seconds["analytic"], 1),
+        "passes": passes,
+    }
+
+
 def _measure_tuner(passes: int) -> dict:
     """Cold vs warm-cache tune timing on one small hillclimb search.
 
@@ -310,6 +368,20 @@ def _check(output: str, passes: int, tolerance: float) -> int:
               f"(recorded {last['analytic']['speedup']:.1f}x, "
               f"floor {floor:.0f}x) -> {verdict}")
         failed = failed or analytic["speedup"] < floor
+    if last.get("chiplet") is not None:
+        # Same economics on the chiplet placement decision: rung-0
+        # must stay far cheaper than a NUMA-charged simulation for
+        # placement triage to make sense.  The matrix runs at the
+        # study's shrunken 0.3 scale, so the floor sits below the
+        # tuner-scale analytic floor.
+        floor = 5.0
+        chiplet = _measure_chiplet(passes)
+        verdict = "OK" if chiplet["speedup"] >= floor else "REGRESSION"
+        print(f"bench check: chiplet placement decision "
+              f"{chiplet['speedup']:.1f}x cheaper analytically than "
+              f"simulated (recorded {last['chiplet']['speedup']:.1f}x, "
+              f"floor {floor:.0f}x) -> {verdict}")
+        failed = failed or chiplet["speedup"] < floor
     return 1 if failed else 0
 
 
@@ -354,6 +426,7 @@ def main(argv=None) -> int:
         "fastpath": _measure_fastpath(args.passes),
         "batched": _measure_batched(args.passes),
         "analytic": _measure_analytic(args.passes),
+        "chiplet": _measure_chiplet(args.passes),
         "tuner": _measure_tuner(args.passes),
     }
 

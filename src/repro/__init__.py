@@ -70,15 +70,24 @@ from repro.core.inspector import (
 from repro.core.throttling import throttle_candidates
 from repro.experiments.report import format_table
 from repro.gpu import (
+    CHIPLET_PLATFORMS,
+    ChipletTopology,
     EVALUATION_PLATFORMS,
     GTX570,
     GTX750TI,
     GTX980,
+    GTX980X2,
+    GTX980X4,
     GTX1080,
+    GTX1080X2,
+    GTX1080X4,
     GpuSimulator,
     KernelMetrics,
+    PLACEMENTS,
     TESLA_K40,
+    TOPOLOGIES,
     baseline_plan,
+    chiplet_variant,
     max_ctas_per_sm,
     platform,
     run_measured,
@@ -101,7 +110,7 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def version_line() -> str:
@@ -121,8 +130,10 @@ __all__ = [
     "optimize", "prefetch_plan", "redirection_plan", "vote_active_agents",
     "affinity_order", "conserved_affinity", "inspect_kernel",
     "throttle_candidates", "format_table",
-    "EVALUATION_PLATFORMS", "GTX570", "GTX750TI", "GTX980", "GTX1080",
-    "GpuSimulator", "KernelMetrics", "TESLA_K40", "baseline_plan",
+    "CHIPLET_PLATFORMS", "ChipletTopology", "EVALUATION_PLATFORMS",
+    "GTX570", "GTX750TI", "GTX980", "GTX980X2", "GTX980X4", "GTX1080",
+    "GTX1080X2", "GTX1080X4", "GpuSimulator", "KernelMetrics", "PLACEMENTS",
+    "TESLA_K40", "TOPOLOGIES", "baseline_plan", "chiplet_variant",
     "max_ctas_per_sm", "platform", "run_measured",
     "AddressSpace", "ArrayRef", "Dim3", "KernelSpec", "LocalityCategory",
     "read", "write",

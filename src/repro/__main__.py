@@ -1,0 +1,76 @@
+"""Top-level package CLI: the registries at a glance.
+
+``python -m repro --list`` prints every name the facade accepts —
+platforms (flat and chiplet), clustering schemes, fidelity rungs,
+topology presets and placement policies — so a user can discover the
+vocabulary of ``repro.api.simulate(...)`` / ``tune(...)`` without
+reading source.  ``python -m repro --version`` prints the same
+package + engine-schema banner as ``python -m repro.experiments``.
+
+The artifact drivers keep their own CLI (``python -m
+repro.experiments``); this entry stays read-only and instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+
+
+def _print_registries() -> None:
+    from repro.api import SCHEMES
+    from repro.fidelity import FIDELITIES
+    from repro.gpu.config import CHIPLET_PLATFORMS, PLATFORMS
+    from repro.gpu.topology import (PLACEMENT_DESCRIPTIONS, PLACEMENTS,
+                                    TOPOLOGIES)
+
+    chiplet_names = {gpu.name for gpu in CHIPLET_PLATFORMS}
+    print("platforms:")
+    for name, gpu in PLATFORMS.items():
+        kind = (f"{gpu.topology.chiplets}-chiplet"
+                if name in chiplet_names else "single die")
+        print(f"  {name:<12} {gpu.architecture.value:<8} "
+              f"{gpu.num_sms} SMs  {kind}")
+    print("schemes:")
+    print(f"  {', '.join(SCHEMES)}")
+    print("fidelity rungs (cheapest first):")
+    for fid in FIDELITIES.values():
+        print(f"  {fid.name:<10} rung {fid.rung}  "
+              f"~{fid.relative_cost:g}x full cost  {fid.description}")
+    print("topology presets:")
+    for name, topo in TOPOLOGIES.items():
+        if topo is None:
+            print(f"  {name:<12} flat die (no interposer hops)")
+        else:
+            print(f"  {name:<12} {topo.chiplets} chiplets, "
+                  f"hop +{topo.hop_latency:g} cyc fill / "
+                  f"+{topo.hop_service:g} cyc service, "
+                  f"{topo.block_bytes // 1024} KiB ownership blocks")
+    print("placement policies:")
+    for name in PLACEMENTS:
+        print(f"  {name:<12} {PLACEMENT_DESCRIPTIONS[name]}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Registry listing for the repro package; artifact "
+                    "regeneration lives in `python -m repro.experiments`.")
+    parser.add_argument("--version", action="version",
+                        version=repro.version_line())
+    parser.add_argument("--list", action="store_true", dest="list_registries",
+                        help="print every registry the facade accepts: "
+                             "platforms, schemes, fidelity rungs, topology "
+                             "presets, placement policies")
+    args = parser.parse_args(argv)
+    if args.list_registries:
+        _print_registries()
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,8 @@ from repro.gpu.plan import ExecutionPlan, baseline_plan
 from repro.gpu.simulator import GpuSimulator
 from repro.gpu.simulator import simulate as _simulate_kernel
 from repro.kernels.kernel import KernelSpec
+from repro.gpu.topology import (ChipletTopology, TOPOLOGIES, chiplet_variant,
+                                resolve_placement)
 from repro.service.client import ServiceClient, ServiceError, connect
 from repro.workloads.base import Workload
 from repro.workloads.registry import workload as _lookup_workload
@@ -64,8 +66,46 @@ from repro.workloads.registry import workload as _lookup_workload
 SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
 
 __all__ = ["AnalyticEstimate", "FIDELITIES", "Fidelity", "SCHEMES",
-           "ServiceClient", "ServiceError", "cluster", "connect",
-           "estimate", "resolve_fidelity", "simulate", "sweep", "tune"]
+           "ServiceClient", "ServiceError", "apply_topology", "cluster",
+           "connect", "estimate", "resolve_fidelity", "simulate", "sweep",
+           "tune"]
+
+
+def apply_topology(config: GpuConfig, topology) -> GpuConfig:
+    """Derive the chiplet variant of a platform, or return it as-is.
+
+    ``topology`` may be ``None`` (no change), a preset name from
+    :data:`repro.gpu.topology.TOPOLOGIES` (``"single-die"`` /
+    ``"2-chiplet"`` / ``"4-chiplet"``), a chiplet count, or a
+    :class:`~repro.gpu.topology.ChipletTopology`.  Trivial topologies
+    return ``config`` itself — the same object, the same name — so a
+    1-chiplet request is provably the flat die.
+    """
+    if topology is None:
+        return config
+    if isinstance(topology, str):
+        try:
+            topology = TOPOLOGIES[topology]
+        except KeyError:
+            raise KeyError(f"unknown topology {topology!r}; "
+                           f"known: {sorted(TOPOLOGIES)}") from None
+        if topology is None:
+            return config
+    if isinstance(topology, bool):
+        raise TypeError("topology must be a name, count or "
+                        "ChipletTopology, not a bool")
+    if isinstance(topology, int):
+        return chiplet_variant(config, topology)
+    if isinstance(topology, ChipletTopology):
+        if topology.is_trivial:
+            return config
+        return chiplet_variant(config, topology.chiplets,
+                               hop_latency=topology.hop_latency,
+                               hop_service=topology.hop_service,
+                               page_size=topology.page_size,
+                               block_pages=topology.block_pages)
+    raise TypeError(f"topology must be a preset name, chiplet count or "
+                    f"ChipletTopology, got {type(topology).__name__}")
 
 
 def _resolve_config(gpu) -> "tuple[GpuSimulator | None, GpuConfig]":
@@ -100,7 +140,7 @@ def _resolve_kernel(workload, config: GpuConfig,
 
 def cluster(kernel, scheme: str = "CLU", *, gpu,
             direction=None, active_agents: int = None,
-            seed: int = 0) -> ExecutionPlan:
+            seed: int = 0, placement: str = None) -> ExecutionPlan:
     """Build the execution plan for one of the paper's named schemes.
 
     ``kernel`` is a :class:`~repro.kernels.KernelSpec` (or a registry
@@ -111,9 +151,14 @@ def cluster(kernel, scheme: str = "CLU", *, gpu,
     framework would choose.  For the throttled schemes,
     ``active_agents`` overrides the dynamic throttling vote (which
     simulates candidate degrees and therefore costs a few runs).
+    ``placement`` names a chiplet placement policy
+    (:data:`repro.gpu.topology.PLACEMENTS`) applied to the CLU-family
+    binding on a multi-chiplet platform — a no-op on flat dies and for
+    ``BSL``/``RD``.
     """
     if scheme not in SCHEMES:
         raise KeyError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+    resolve_placement(placement)  # fail early on a bad policy name
     simulator, config = _resolve_config(gpu)
     kernel, _ = _resolve_kernel(kernel, config, scale=1.0)
     if scheme == "BSL":
@@ -123,16 +168,18 @@ def cluster(kernel, scheme: str = "CLU", *, gpu,
     if scheme == "RD":
         return redirection_plan(kernel, config, part)
     if scheme == "CLU":
-        return agent_plan(kernel, config, part, scheme="CLU")
+        return agent_plan(kernel, config, part, scheme="CLU",
+                          placement=placement)
     if active_agents is None:
         sim = simulator if simulator is not None else GpuSimulator(config)
         active_agents = vote_active_agents(sim, kernel, part).active_agents
     if scheme == "CLU+TOT":
         return agent_plan(kernel, config, part, active_agents=active_agents,
-                          scheme="CLU+TOT")
+                          scheme="CLU+TOT", placement=placement)
     if scheme == "CLU+TOT+BPS":
         return agent_plan(kernel, config, part, active_agents=active_agents,
-                          bypass_streams=True, scheme="CLU+TOT+BPS")
+                          bypass_streams=True, scheme="CLU+TOT+BPS",
+                          placement=placement)
     return prefetch_plan(kernel, config, part, active_agents=active_agents)
 
 
@@ -140,7 +187,8 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
              scale: float = 1.0, seed: int = 0, warmups: int = 1,
              record_per_cta: bool = False, tracer=None,
              fast: bool = None, backend: str = None,
-             fidelity=None) -> KernelMetrics:
+             fidelity=None, topology=None,
+             placement: str = None) -> KernelMetrics:
     """Measure one workload (or kernel) on one platform.
 
     ``workload`` is a registry abbreviation (``"NN"``), a
@@ -174,18 +222,34 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     canonical metric fields with :class:`~repro.gpu.metrics.KernelMetrics`)
     and ignoring the simulation-only knobs (``record_per_cta``,
     ``tracer``, ``fast``, ``backend``).
+
+    ``topology`` derives a chiplet variant of the platform before
+    anything runs (see :func:`apply_topology`); ``placement`` names
+    the chiplet binding policy the planned scheme uses.  Combining
+    ``topology`` with a prepared :class:`~repro.GpuSimulator` is
+    rejected — the simulator was already built for its own config.
     """
     if scheme is not None and plan is not None:
         raise ValueError("pass either scheme= or plan=, not both")
+    if placement is not None and plan is not None:
+        raise ValueError("placement= applies to a planned scheme; "
+                         "pass it to cluster() when building a plan")
     rung = resolve_fidelity(fidelity, default=FULL)
     if not rung.simulated:
         return estimate(workload, gpu, scheme=scheme, plan=plan, scale=scale,
-                        seed=seed, warmups=warmups)
+                        seed=seed, warmups=warmups, topology=topology,
+                        placement=placement)
     scale = scale * rung.scale_multiplier
     simulator, config = _resolve_config(gpu)
+    if topology is not None:
+        if simulator is not None:
+            raise ValueError("topology= cannot rewrite a prepared "
+                             "GpuSimulator; pass a config or name")
+        config = apply_topology(config, topology)
     kernel, _ = _resolve_kernel(workload, config, scale=scale)
     if plan is None and scheme is not None and scheme != "BSL":
-        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed)
+        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed,
+                       placement=placement)
     return _simulate_kernel(simulator if simulator is not None else config,
                             kernel, plan, seed=seed, warmups=warmups,
                             record_per_cta=record_per_cta, tracer=tracer,
@@ -194,7 +258,8 @@ def simulate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
 
 def estimate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
              scale: float = 1.0, seed: int = 0, warmups: int = 1,
-             calibrated: bool = True) -> AnalyticEstimate:
+             calibrated: bool = True, topology=None,
+             placement: str = None) -> AnalyticEstimate:
     """Analytically estimate one configuration — fidelity rung 0.
 
     Same workload/platform/scheme/plan spellings as :func:`simulate`,
@@ -209,10 +274,20 @@ def estimate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     """
     if scheme is not None and plan is not None:
         raise ValueError("pass either scheme= or plan=, not both")
+    if placement is not None and plan is not None:
+        raise ValueError("placement= applies to a planned scheme; "
+                         "pass it to cluster() when building a plan")
     simulator, config = _resolve_config(gpu)
+    if topology is not None:
+        if simulator is not None:
+            raise ValueError("topology= cannot rewrite a prepared "
+                             "GpuSimulator; pass a config or name")
+        config = apply_topology(config, topology)
+        simulator = None
     kernel, _ = _resolve_kernel(workload, config, scale=scale)
     if plan is None and scheme is not None and scheme != "BSL":
-        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed)
+        plan = cluster(kernel, scheme, gpu=simulator or config, seed=seed,
+                       placement=placement)
     from repro.gpu.analytic import estimate as _estimate_kernel
     return _estimate_kernel(config, kernel, plan, seed=seed, warmups=warmups,
                             calibrated=calibrated)
@@ -231,7 +306,9 @@ def _job_at_fidelity(job, rung: Fidelity):
     if job.kind == "simulate":
         return estimate_job(job.workload, job.gpu, scheme=job.scheme,
                             scale=job.scale, seed=job.seed,
-                            warmups=job.warmups)
+                            warmups=job.warmups,
+                            topology=job.extra("topology"),
+                            placement=job.extra("placement"))
     if job.kind == "measure":
         tile = job.extra("tile")
         return estimate_job(
@@ -240,7 +317,8 @@ def _job_at_fidelity(job, rung: Fidelity):
             direction=job.extra("direction"),
             active_agents=job.extra("active_agents"),
             bypass_streams=bool(job.extra("bypass_streams", False)),
-            tile=tuple(tile) if tile is not None else None)
+            tile=tuple(tile) if tile is not None else None,
+            placement=job.extra("placement"))
     raise ValueError(f"job kind {job.kind!r} has no analytic (rung 0) "
                      f"counterpart; only simulate/measure/estimate jobs "
                      f"can run at fidelity 'analytic'")
@@ -274,7 +352,8 @@ def sweep(jobs, *, runner=None, fidelity=None) -> list:
 def tune(workload, gpu, *, objective: str = "cycles",
          strategy: str = "hillclimb", budget: int = None,
          scale: float = 1.0, seed: int = 0, warmups: int = 1,
-         fidelity=None, runner=None, progress: bool = False, profile=None):
+         fidelity=None, runner=None, progress: bool = False, profile=None,
+         topology=None, placement: str = None):
     """Search clustering configurations for one (workload, GPU) pair.
 
     ``workload`` is a registry abbreviation, ``gpu`` a platform name
@@ -297,14 +376,27 @@ def tune(workload, gpu, *, objective: str = "cycles",
     Fig.-11 rules.  Results are bit-deterministic for a fixed
     (seed, budget) and candidate evaluations persist in the engine's
     result cache, so a repeat tune re-simulates nothing.
+
+    ``topology`` swaps in the platform's chiplet variant (the variant
+    must be a registered platform — the tuner names its jobs with
+    platform strings); ``placement`` pins the chiplet placement axis
+    to one policy instead of searching it.
     """
     from repro.tuner import DEFAULT_BUDGET, tune as _tune
     _, config = _resolve_config(gpu)
+    if topology is not None:
+        config = apply_topology(config, topology)
+        if config.name not in PLATFORMS:
+            raise KeyError(
+                f"topology variant {config.name!r} is not a registered "
+                f"platform; tune() needs a name the engine can resolve "
+                f"(known: {sorted(PLATFORMS)})")
     return _tune(_abbr_of(workload), config.name, objective=objective,
                  strategy=strategy,
                  budget=DEFAULT_BUDGET if budget is None else budget,
                  scale=scale, seed=seed, warmups=warmups, fidelity=fidelity,
-                 runner=runner, progress=progress, profile=profile)
+                 runner=runner, progress=progress, profile=profile,
+                 placement=placement)
 
 
 def _abbr_of(workload) -> str:

@@ -23,6 +23,7 @@ from repro.core.partition import CtaPartitioner
 from repro.gpu.config import GpuConfig
 from repro.gpu.occupancy import max_ctas_per_sm
 from repro.gpu.plan import ExecutionPlan
+from repro.gpu.topology import place_tasks, resolve_placement
 from repro.kernels.kernel import KernelSpec
 
 
@@ -32,13 +33,22 @@ def agent_plan(kernel: KernelSpec, config: GpuConfig,
                active_agents: int = None,
                bypass_streams: bool = False,
                prefetch_depth: int = 0,
-               scheme: str = None) -> ExecutionPlan:
+               scheme: str = None,
+               placement: str = None) -> ExecutionPlan:
     """Build the agent-based (CLU family) execution plan.
 
     ``active_agents`` is the throttling degree (ACTIVE_AGENTS); it
     defaults to the maximum allowable agents per SM (MAX_AGENTS), which
     is the plain "CLU" configuration of the evaluation.  ``scheme``
     defaults to a Figure-12-style label derived from the options.
+
+    ``placement`` selects the topology-aware binding policy (see
+    :data:`repro.gpu.topology.PLACEMENTS`) on a multi-chiplet
+    platform: the binding ``g : N -> C`` stays a balanced bijection,
+    but *which* SM (and hence which chiplet) runs each cluster follows
+    the policy.  ``None`` / ``"oblivious"`` — or any policy on a flat
+    die — is exactly the historical cluster-index-equals-SM-id
+    binding.
     """
     max_agents = max_ctas_per_sm(config, kernel)
     if active_agents is None:
@@ -59,18 +69,28 @@ def agent_plan(kernel: KernelSpec, config: GpuConfig,
         if prefetch_depth > 0:
             scheme = "PFH+TOT" if active_agents != max_agents else "PFH"
 
+    policy = resolve_placement(placement)
+    sm_tasks = partitioner.all_cluster_tasks()
+    notes = {
+        "indexing": indexing.name,
+        "max_agents": max_agents,
+        "active_agents": active_agents,
+    }
+    topo = config.topology
+    if topo is not None and not topo.is_trivial:
+        sm_tasks = place_tasks(sm_tasks, policy, topo, config, kernel)
+        # Recorded only on chiplet platforms so flat-die plan digests
+        # (and the goldens hashed from them) are unchanged.
+        notes["placement"] = policy
+
     return ExecutionPlan(
         scheme=scheme,
         mode="placed",
-        sm_tasks=partitioner.all_cluster_tasks(),
+        sm_tasks=sm_tasks,
         active_agents=active_agents,
         agent_bind_overhead=sm_binding_overhead(config, active_agents),
         per_task_overhead=task_overhead(config, indexing.index_cost_units),
         bypass_streams=bypass_streams,
         prefetch_depth=prefetch_depth,
-        notes={
-            "indexing": indexing.name,
-            "max_agents": max_agents,
-            "active_agents": active_agents,
-        },
+        notes=notes,
     )

@@ -115,7 +115,8 @@ def measure_job(workload, gpu, *, plan: str = "baseline",
                 bypass_streams: bool = False, tile: "tuple[int, int]" = None,
                 scheduler: str = None, hiding_cap: float = None,
                 join_stagger: int = None, l1_size: int = None,
-                l1_sectors: int = None, l2_divisor: int = 1) -> SimJob:
+                l1_sectors: int = None, l2_divisor: int = 1,
+                placement: str = None) -> SimJob:
     """One measured run of one plan on one (workload, GPU) pair.
 
     ``plan`` is ``baseline``/``rd``/``clu``/``pfh``; ``direction`` is
@@ -126,6 +127,9 @@ def measure_job(workload, gpu, *, plan: str = "baseline",
     plan to tile-wise indexing, the remaining knobs override the
     platform (L1 size/sectors, scaled L2) and the timing model
     (scheduler policy, ``hiding_cap``, ``join_stagger``).
+    ``placement`` names a chiplet placement policy for the CLU plan
+    (see :data:`repro.gpu.topology.PLACEMENTS`; a no-op on flat
+    platforms).
     """
     if plan not in ("baseline", "rd", "clu", "pfh"):
         raise ValueError(f"unknown plan kind {plan!r}")
@@ -135,11 +139,15 @@ def measure_job(workload, gpu, *, plan: str = "baseline",
         plan=plan, direction=direction, active_agents=active_agents,
         bypass_streams=bypass_streams, tile=tile, scheduler=scheduler,
         hiding_cap=hiding_cap, join_stagger=join_stagger, l1_size=l1_size,
-        l1_sectors=l1_sectors, l2_divisor=l2_divisor)
+        l1_sectors=l1_sectors, l2_divisor=l2_divisor, placement=placement)
 
 
 def _platform_for(job: SimJob) -> GpuConfig:
     gpu = platform(job.gpu)
+    topology = job.extra("topology")
+    if topology is not None:
+        from repro.api import apply_topology
+        gpu = apply_topology(gpu, topology)
     l1_size = job.extra("l1_size")
     if l1_size is not None:
         gpu = gpu.with_l1_size(int(l1_size))
@@ -196,7 +204,8 @@ def _measure_plan(job: SimJob, workload: Workload, gpu: GpuConfig, kernel):
     if kind == "clu":
         tile = job.extra("tile")
         kwargs = {"active_agents": active_agents,
-                  "bypass_streams": bool(job.extra("bypass_streams", False))}
+                  "bypass_streams": bool(job.extra("bypass_streams", False)),
+                  "placement": job.extra("placement")}
         if scheme is not None:
             kwargs["scheme"] = scheme
         if tile is not None:
@@ -308,17 +317,26 @@ def _run_framework(job: SimJob):
 # ----------------------------------------------------------------------
 
 def simulate_job(workload, gpu, *, scheme: str = None, scale: float = 1.0,
-                 seed: int = 0, warmups: int = 1) -> SimJob:
+                 seed: int = 0, warmups: int = 1,
+                 topology: str = None, placement: str = None) -> SimJob:
     """One :func:`repro.api.simulate` call, named entirely by strings.
 
     The executor *is* the facade call, so a result served from this
     job — directly, from the persistent cache, or through
     :mod:`repro.service` — is bit-identical to calling
     ``repro.api.simulate`` with the same arguments in-process.
+
+    ``topology`` names a preset from
+    :data:`repro.gpu.topology.TOPOLOGIES` (or gives a chiplet count);
+    ``placement`` a policy from
+    :data:`repro.gpu.topology.PLACEMENTS`.  Both participate in the
+    job's content hash — a chiplet measurement can never alias a
+    flat-die cache entry.
     """
     return SimJob.make("simulate", workload=_abbr(workload),
                        gpu=_gpu_name(gpu), scheme=scheme, scale=scale,
-                       seed=seed, warmups=warmups)
+                       seed=seed, warmups=warmups, topology=topology,
+                       placement=placement)
 
 
 @executor("simulate")
@@ -326,12 +344,15 @@ def _run_simulate(job: SimJob):
     from repro.api import simulate as api_simulate
     return api_simulate(job.workload, job.gpu, scheme=job.scheme,
                         scale=job.scale, seed=job.seed,
-                        warmups=job.warmups)
+                        warmups=job.warmups,
+                        topology=job.extra("topology"),
+                        placement=job.extra("placement"))
 
 
 def cluster_job(workload, gpu, *, scheme: str = "CLU",
                 direction: str = None, active_agents: int = None,
-                seed: int = 0) -> SimJob:
+                seed: int = 0, topology: str = None,
+                placement: str = None) -> SimJob:
     """One :func:`repro.api.cluster` call; the result is the plan's
     JSON-stable digest (:meth:`~repro.gpu.plan.ExecutionPlan.describe`),
     since live plans hold callables and never cross process
@@ -341,7 +362,8 @@ def cluster_job(workload, gpu, *, scheme: str = "CLU",
     return SimJob.make("cluster", workload=_abbr(workload),
                        gpu=_gpu_name(gpu), scheme=scheme, seed=seed,
                        warmups=0, direction=direction,
-                       active_agents=active_agents)
+                       active_agents=active_agents, topology=topology,
+                       placement=placement)
 
 
 # ----------------------------------------------------------------------
@@ -386,7 +408,8 @@ def estimate_job(workload, gpu, *, scheme: str = None, plan: str = None,
                  scale: float = 1.0, seed: int = 0, warmups: int = 1,
                  direction: str = None, active_agents: int = None,
                  bypass_streams: bool = False,
-                 tile: "tuple[int, int]" = None) -> SimJob:
+                 tile: "tuple[int, int]" = None, l2_divisor: int = 1,
+                 topology: str = None, placement: str = None) -> SimJob:
     """One rung-0 analytic estimate of one clustering configuration.
 
     Two spellings, matching the two callers: ``scheme`` names a
@@ -408,7 +431,8 @@ def estimate_job(workload, gpu, *, scheme: str = None, plan: str = None,
         "estimate", workload=_abbr(workload), gpu=_gpu_name(gpu),
         scheme=scheme, scale=scale, seed=seed, warmups=warmups,
         plan=plan, direction=direction, active_agents=active_agents,
-        bypass_streams=bypass_streams, tile=tile)
+        bypass_streams=bypass_streams, tile=tile, l2_divisor=l2_divisor,
+        topology=topology, placement=placement)
 
 
 @executor("estimate")
@@ -421,7 +445,8 @@ def _run_estimate(job: SimJob):
         plan = _measure_plan(job, workload, gpu, kernel)
     elif job.scheme is not None and job.scheme != "BSL":
         from repro.api import cluster as api_cluster
-        plan = api_cluster(kernel, job.scheme, gpu=gpu, seed=job.seed)
+        plan = api_cluster(kernel, job.scheme, gpu=gpu, seed=job.seed,
+                           placement=job.extra("placement"))
     else:
         plan = None
     return analytic_estimate(gpu, kernel, plan, seed=job.seed,
@@ -446,7 +471,7 @@ def batch_key(job: SimJob):
         return None
     return (job.workload, job.gpu, job.scale,
             job.extra("l1_size"), job.extra("l1_sectors"),
-            int(job.extra("l2_divisor", 1)))
+            int(job.extra("l2_divisor", 1)), job.extra("topology"))
 
 
 def execute_batch(jobs, *, timings: "list | None" = None) -> list:
@@ -484,7 +509,8 @@ def execute_batch(jobs, *, timings: "list | None" = None) -> list:
             from repro.api import cluster as api_cluster
             plan = None
             if job.scheme is not None and job.scheme != "BSL":
-                plan = api_cluster(kernel, job.scheme, gpu=gpu, seed=job.seed)
+                plan = api_cluster(kernel, job.scheme, gpu=gpu, seed=job.seed,
+                                   placement=job.extra("placement"))
             items.append(BatchItem(plan=plan, seed=job.seed,
                                    warmups=job.warmups))
     return simulate_batch(gpu, kernel, items, backend="batched",
@@ -500,7 +526,12 @@ def _run_cluster(job: SimJob):
     active_agents = job.extra("active_agents")
     if active_agents is not None:
         active_agents = int(active_agents)
-    plan = api_cluster(job.workload, job.scheme, gpu=job.gpu,
+    gpu = platform(job.gpu)
+    topology = job.extra("topology")
+    if topology is not None:
+        from repro.api import apply_topology
+        gpu = apply_topology(gpu, topology)
+    plan = api_cluster(job.workload, job.scheme, gpu=gpu,
                        direction=part, active_agents=active_agents,
-                       seed=job.seed)
+                       seed=job.seed, placement=job.extra("placement"))
     return plan.describe()

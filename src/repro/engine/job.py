@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 #: Engine schema version.  Participates in the cache salt: bump it
 #: whenever a change to the engine, the simulator or the workload
 #: models makes previously cached results stale.
-ENGINE_VERSION = "4"  # 4: analytic `estimate` job kind (fidelity rung 0)
+ENGINE_VERSION = "5"  # 5: chiplet topologies + placement-aware binding
 
 
 def canonical_value(value):

@@ -1,0 +1,218 @@
+"""Chiplet topology study: what CTA placement buys on a multi-die GPU.
+
+The tentpole question for :mod:`repro.gpu.topology`: when the same SM
+array is split across chiplets with local HBM slices, how much DRAM
+traffic crosses the interposer under the default (topology-oblivious)
+CTA binding, and how much of it a locality-aware placement policy
+recovers.  The study sweeps
+
+    workload x chiplet count x placement policy
+
+under the CLU scheme and reports, for every cell, the local/remote
+DRAM transaction split, the remote-traffic fraction and cycles against
+the single-die baseline of the same platform family.
+
+Two modelling facts shape the defaults (see DESIGN.md):
+
+* Remote traffic only exists where DRAM traffic exists, and at
+  evaluation scale the warm 2 MB L2 absorbs nearly every miss — so the
+  study shrinks L2 (``l2_divisor=16``) the same way the sensitivity
+  driver sweeps cache sizes, and pins its own scale (0.3) so a
+  full-run ``--scale`` cannot silently move it off the regime where
+  the effect is measurable.
+* Blocked-cyclic page striping leaves many workloads with no placement
+  headroom (every cluster touches every slice equally); HST and BKP
+  have skewed per-cluster footprints and are the demonstration pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import SweepRunner, measure_job
+from repro.experiments.driver import RunContext, register
+from repro.experiments.report import format_table
+from repro.gpu.topology import PLACEMENTS
+
+#: The demonstration pair: workloads whose per-cluster page footprints
+#: are skewed enough for ``local-first`` to beat ``oblivious`` on both
+#: remote traffic *and* cycles (most others are striping-neutral).
+STUDY_WORKLOADS = ("HST", "BKP")
+
+#: Chiplet counts swept; 1 is the single-die baseline row.
+STUDY_CHIPLETS = (1, 2, 4)
+
+#: Placement policies swept on the multi-die rows, canonical order.
+STUDY_PLACEMENTS = ("oblivious", "local-first", "balanced")
+
+#: Platform family: the single die and its registered chiplet variants.
+STUDY_BASE_GPU = "GTX980"
+
+#: The study's pinned knobs (see the module docstring).
+STUDY_SCALE = 0.3
+STUDY_L2_DIVISOR = 16
+
+
+def _gpu_name(base: str, chiplets: int) -> str:
+    return base if chiplets == 1 else f"{base}x{chiplets}"
+
+
+@dataclass(frozen=True)
+class ChipletCell:
+    """One (workload, chiplets, placement) measurement."""
+
+    workload: str
+    chiplets: int
+    placement: str
+    cycles: float
+    dram_local: int
+    dram_remote: int
+    remote_fraction: float
+
+    def slowdown_over(self, baseline: "ChipletCell") -> float:
+        return self.cycles / baseline.cycles
+
+
+@dataclass
+class ChipletStudyResult:
+    """The assembled sweep, with the CI invariant as a method."""
+
+    cells: "list[ChipletCell]" = field(default_factory=list)
+    base_gpu: str = STUDY_BASE_GPU
+
+    def baseline(self, workload: str) -> ChipletCell:
+        """The single-die row of one workload."""
+        for cell in self.cells:
+            if cell.workload == workload and cell.chiplets == 1:
+                return cell
+        raise KeyError(f"no single-die baseline for {workload!r}")
+
+    def cell(self, workload: str, chiplets: int,
+             placement: str) -> ChipletCell:
+        for c in self.cells:
+            if (c.workload, c.chiplets, c.placement) == \
+                    (workload, chiplets, placement):
+                return c
+        raise KeyError((workload, chiplets, placement))
+
+    def violations(self) -> "list[str]":
+        """Cells where ``local-first`` *increased* remote traffic over
+        ``oblivious`` — the invariant the greedy policy's identity
+        fallback guarantees, asserted by the CI smoke job."""
+        found = []
+        for cell in self.cells:
+            if cell.placement != "local-first" or cell.chiplets == 1:
+                continue
+            oblivious = self.cell(cell.workload, cell.chiplets, "oblivious")
+            if cell.dram_remote > oblivious.dram_remote:
+                found.append(
+                    f"{cell.workload} x{cell.chiplets}: local-first remote "
+                    f"{cell.dram_remote} > oblivious {oblivious.dram_remote}")
+        return found
+
+    def render(self) -> str:
+        rows = []
+        for cell in self.cells:
+            base = self.baseline(cell.workload)
+            rows.append([
+                cell.workload, cell.chiplets, cell.placement,
+                cell.dram_local, cell.dram_remote,
+                round(cell.remote_fraction, 3),
+                round(cell.cycles, 1),
+                round(cell.slowdown_over(base), 4),
+            ])
+        table = format_table(
+            ["Workload", "Chiplets", "Placement", "DRAM local",
+             "DRAM remote", "Remote frac", "Cycles", "vs single-die"],
+            rows,
+            title=f"Chiplet study ({self.base_gpu} family, CLU, "
+                  f"scale {STUDY_SCALE}, L2/{STUDY_L2_DIVISOR})")
+        notes = self.violations()
+        if notes:
+            table += "\nVIOLATIONS:\n" + "\n".join(f"  {n}" for n in notes)
+        return table
+
+
+def _study_matrix(workloads, chiplets, placements):
+    """The sweep cells, single-die baseline first per workload."""
+    cells = []
+    for abbr in workloads:
+        for count in chiplets:
+            if count == 1:
+                cells.append((abbr, 1, "oblivious"))
+                continue
+            for placement in placements:
+                cells.append((abbr, count, placement))
+    return cells
+
+
+def _study_jobs(cells, *, base_gpu: str, scale: float, seed: int,
+                l2_divisor: int) -> list:
+    jobs = []
+    for abbr, count, placement in cells:
+        jobs.append(measure_job(
+            abbr, _gpu_name(base_gpu, count), plan="clu", scheme="CLU",
+            scale=scale, seed=seed, l2_divisor=l2_divisor,
+            placement=None if count == 1 else placement))
+    return jobs
+
+
+def _assemble(cells, results, *, base_gpu: str) -> ChipletStudyResult:
+    study = ChipletStudyResult(base_gpu=base_gpu)
+    for (abbr, count, placement), metrics in zip(cells, results):
+        study.cells.append(ChipletCell(
+            workload=abbr, chiplets=count, placement=placement,
+            cycles=metrics.cycles,
+            dram_local=metrics.dram_local_transactions,
+            dram_remote=metrics.dram_remote_transactions,
+            remote_fraction=metrics.remote_traffic_fraction))
+    return study
+
+
+@register
+class ChipletStudyDriver:
+    """Chiplet count x placement policy sweep on the HST/BKP pair."""
+
+    name = "chiplet_study"
+    workloads = STUDY_WORKLOADS
+    chiplets = STUDY_CHIPLETS
+    placements = STUDY_PLACEMENTS
+    base_gpu = STUDY_BASE_GPU
+
+    def _cells(self):
+        return _study_matrix(self.workloads, self.chiplets, self.placements)
+
+    def jobs(self, ctx: RunContext) -> list:
+        return _study_jobs(self._cells(), base_gpu=self.base_gpu,
+                           scale=STUDY_SCALE, seed=ctx.seed,
+                           l2_divisor=STUDY_L2_DIVISOR)
+
+    def render(self, ctx: RunContext, results) -> ChipletStudyResult:
+        return _assemble(self._cells(), results, base_gpu=self.base_gpu)
+
+
+def run_chiplet_study(workloads=STUDY_WORKLOADS, chiplets=STUDY_CHIPLETS,
+                      placements=STUDY_PLACEMENTS, *,
+                      base_gpu: str = STUDY_BASE_GPU,
+                      scale: float = STUDY_SCALE,
+                      l2_divisor: int = STUDY_L2_DIVISOR,
+                      seed: int = 0,
+                      runner: SweepRunner = None) -> ChipletStudyResult:
+    """Run a (possibly reduced) study matrix as one engine batch.
+
+    The CI smoke job calls this with a small matrix; every knob that
+    the driver pins is overridable here so a quick run stays quick.
+    """
+    for placement in placements:
+        if placement not in PLACEMENTS:
+            raise KeyError(f"unknown placement {placement!r}; "
+                           f"known: {sorted(PLACEMENTS)}")
+    cells = _study_matrix(workloads, chiplets, placements)
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(_study_jobs(cells, base_gpu=base_gpu, scale=scale,
+                                     seed=seed, l2_divisor=l2_divisor))
+    return _assemble(cells, results, base_gpu=base_gpu)
+
+
+if __name__ == "__main__":
+    print(run_chiplet_study().render())

@@ -94,6 +94,7 @@ def _load_all() -> None:
     _LOADED = True
     from repro.experiments import (  # noqa: F401
         ablations,
+        chiplet_study,
         evaluation,
         fig2,
         fig3,

@@ -3,15 +3,28 @@
 from repro.gpu.config import (
     Architecture,
     BY_ARCHITECTURE,
+    CHIPLET_PLATFORMS,
     EVALUATION_PLATFORMS,
     GTX570,
     GTX750TI,
     GTX980,
+    GTX980X2,
+    GTX980X4,
     GTX1080,
+    GTX1080X2,
+    GTX1080X4,
     GpuConfig,
     PLATFORMS,
     TESLA_K40,
     platform,
+)
+from repro.gpu.topology import (
+    ChipletTopology,
+    PLACEMENTS,
+    TOPOLOGIES,
+    chiplet_variant,
+    place_tasks,
+    resolve_placement,
 )
 from repro.gpu.analytic import (
     AnalyticEstimate,
@@ -37,9 +50,13 @@ from repro.gpu.simulator import (
 )
 
 __all__ = [
-    "Architecture", "BY_ARCHITECTURE", "EVALUATION_PLATFORMS", "GTX570",
-    "GTX750TI", "GTX980", "GTX1080", "GpuConfig", "PLATFORMS", "TESLA_K40",
-    "platform", "AnalyticEstimate", "analytic_estimate", "fit_power_law",
+    "Architecture", "BY_ARCHITECTURE", "CHIPLET_PLATFORMS",
+    "EVALUATION_PLATFORMS", "GTX570", "GTX750TI", "GTX980", "GTX980X2",
+    "GTX980X4", "GTX1080", "GTX1080X2", "GTX1080X4", "GpuConfig",
+    "PLATFORMS", "TESLA_K40", "platform",
+    "ChipletTopology", "PLACEMENTS", "TOPOLOGIES", "chiplet_variant",
+    "place_tasks", "resolve_placement",
+    "AnalyticEstimate", "analytic_estimate", "fit_power_law",
     "load_calibration", "reload_calibration",
     "KernelMetrics", "geometric_mean", "max_ctas_per_sm",
     "occupancy_report", "ExecutionPlan", "baseline_plan", "ObservedScheduler",

@@ -106,6 +106,12 @@ class AnalyticEstimate:
     calibrated: bool
     fidelity: str = "analytic"
     sm_cycles: tuple = ()
+    #: Chiplet count of the modeled package (1 = flat die) and the
+    #: modeled NUMA split; all defaulted so flat-die estimates (and
+    #: any code unpacking them) are unchanged.
+    chiplets: int = 1
+    dram_remote_transactions: int = 0
+    remote_traffic_fraction: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -346,6 +352,9 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
     """
     plan = plan if plan is not None else baseline_plan()
     config = gpu
+    topo = config.topology
+    if topo is not None and topo.is_trivial:
+        topo = None
     l1_line, l2_line = config.l1_line, config.l2_line
     sub_per_line = config.l2_transactions_per_l1_miss
     sectors = max(1, config.l1_sectors)
@@ -375,6 +384,12 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
     l2_distinct_sum = 0
     l2_union: set = set()
     carried_by_sm: dict = {}
+    # Distinct-L2-line NUMA affinity over the sampled waves: the share
+    # of each CTA's footprint owned by a chiplet other than the one
+    # running its SM.  This is what makes rung 0 placement-aware — the
+    # same plan on a different SM changes ``home`` and hence the price.
+    numa_lines = 0
+    numa_remote = 0
 
     for sm, wave_index, cta_ids in sampled:
         n = len(cta_ids)
@@ -382,6 +397,13 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
             continue
         profiles = [_profile_cta(kernel, v, l1_line, l2_line)
                     for v in cta_ids]
+        if topo is not None:
+            home = topo.chiplet_of_sm(sm, config.num_sms)
+            for p in profiles:
+                numa_lines += len(p.l2_lines)
+                numa_remote += sum(
+                    1 for line in p.l2_lines
+                    if topo.owner_of_line(line, l2_line) != home)
         for v, p in zip(cta_ids, profiles):
             if v not in sampled_ids:
                 sampled_ids.add(v)
@@ -476,13 +498,26 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
         dram = cold + max(0.0, l2_traffic - cold) * (1.0 - survive_l2)
     p_l2_hit = 1.0 - (dram / l2_traffic) if l2_traffic else 0.0
 
+    # Interposer-hop pricing (rung-0 NUMA model): a DRAM fill crosses
+    # the interposer with probability ``remote_frac``, stretching the
+    # expected fill latency and adding hop arbitration per remote
+    # transaction.  Flat dies take the historical expressions verbatim.
+    remote_frac = 0.0
+    if topo is not None and numa_lines:
+        remote_frac = numa_remote / numa_lines
+    dram_fill = config.dram_latency
+    dram_service = config.dram_service_cycles
+    if topo is not None:
+        dram_fill += remote_frac * topo.hop_latency
+        dram_service += remote_frac * topo.hop_service
+
     # expected fill latencies under the modeled L2 hit probability
     line_latency = (config.l2_latency
                     + (1.0 - p_l2_hit ** sub_per_line)
-                    * (config.dram_latency - config.l2_latency))
+                    * (dram_fill - config.l2_latency))
     bypass_latency = (config.l2_latency
                       + (1.0 - p_l2_hit)
-                      * (config.dram_latency - config.l2_latency))
+                      * (dram_fill - config.l2_latency))
 
     # ---- phase 3: cycle assembly per sampled wave ----
     alu_step = kernel.compute_cycles_per_access / config.issue_width
@@ -510,7 +545,7 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
         transactions = w_l2_reads + w_l2_writes
         service = (transactions * config.l2_service_cycles
                    + transactions * (1.0 - p_l2_hit)
-                   * config.dram_service_cycles)
+                   * dram_service)
         fixed = kernel.fixed_compute_cycles * n / config.issue_width
         total_cost += (ops * alu_step + latency / hiding + service
                        + fixed + pf_lines * issue)
@@ -546,6 +581,9 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
         ctas_sampled=n_sampled,
         sample_fraction=n_sampled / n_total if n_total else 0.0,
         calibrated=applied,
+        chiplets=topo.chiplets if topo is not None else 1,
+        dram_remote_transactions=int(round(dram * remote_frac)),
+        remote_traffic_fraction=remote_frac if dram else 0.0,
     )
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.gpu.topology import ChipletTopology, chiplet_variant
+
 
 class Architecture(enum.Enum):
     """NVIDIA GPU generations covered by the paper."""
@@ -95,6 +97,9 @@ class GpuConfig:
     mlp_per_warp: float = 1.5
     issue_width: int = 2
     costs: ClusteringCosts = field(default_factory=ClusteringCosts)
+    #: Multi-chiplet package description, or ``None`` for a flat die.
+    #: A trivial (1-chiplet) topology behaves exactly like ``None``.
+    topology: "ChipletTopology | None" = None
 
     @property
     def max_threads_per_sm(self) -> int:
@@ -281,9 +286,22 @@ GTX750TI = GpuConfig(
 #: The paper's four evaluation platforms, in Table 1 order.
 EVALUATION_PLATFORMS = (GTX570, TESLA_K40, GTX980, GTX1080)
 
+#: Multi-chiplet variants of the modern architectures: the same total
+#: SM count and cache geometry split across 2 or 4 chiplet dies, each
+#: with a local HBM slice (see :mod:`repro.gpu.topology`).  These are
+#: *additional* registry entries — the paper's evaluation set above is
+#: untouched, and the flat platforms stay bit-identical.
+GTX980X2 = chiplet_variant(GTX980, 2)
+GTX980X4 = chiplet_variant(GTX980, 4)
+GTX1080X2 = chiplet_variant(GTX1080, 2)
+GTX1080X4 = chiplet_variant(GTX1080, 4)
+
+CHIPLET_PLATFORMS = (GTX980X2, GTX980X4, GTX1080X2, GTX1080X4)
+
 #: All modeled platforms, keyed by product name.
 PLATFORMS = {
-    gpu.name: gpu for gpu in EVALUATION_PLATFORMS + (GTX750TI,)
+    gpu.name: gpu
+    for gpu in EVALUATION_PLATFORMS + (GTX750TI,) + CHIPLET_PLATFORMS
 }
 
 #: Platforms keyed by architecture name for the evaluation set.

@@ -296,6 +296,21 @@ def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
     l2_acc = l2_misses = l2_reserved = 0
     l2_read_txn = l2_write_txn = dram_txn = 0
 
+    # --- multi-chiplet NUMA constants (inert on a flat die) -----------
+    # Ownership is pure address arithmetic over L2 line numbers; with
+    # ``topo_on`` False every guard below short-circuits on one local
+    # bool and the loop is bit-identical to the single-die fast path.
+    topo = sim._topo
+    topo_on = topo is not None
+    if topo_on:
+        home = topo.chiplet_of_sm(sm_id, config.num_sms)
+        n_chiplets = topo.chiplets
+        lines_per_block = topo.block_bytes // l2_line_size
+        hop_service = topo.hop_service
+        dram_latency_remote = dram_latency + topo.hop_latency
+        l2_fill_remote = l2_fill + topo.hop_latency
+    dram_remote = 0
+
     # --- raw L1 structure (LRU, write-evict), one part per sector ----
     parts = l1._parts
     l1_line_size = l1.line_size
@@ -391,12 +406,20 @@ def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
                                     tracer.cache_event("L2", "eviction",
                                                        cursor)
                             tags.append(line)
-                            readys.append(cursor + l2_fill)
+                            remote = topo_on and (line // lines_per_block) \
+                                % n_chiplets != home
+                            if remote:
+                                readys.append(cursor + l2_fill_remote)
+                            else:
+                                readys.append(cursor + l2_fill)
                             hit = False
                         service += l2_service
                         if not hit:
                             dram_txn += 1
                             service += dram_service
+                            if remote:
+                                dram_remote += 1
+                                service += hop_service
                     latency = 0.0
                 elif maybe_bypass and (not l1_enabled
                                        or (bypass and is_stream)):
@@ -439,11 +462,21 @@ def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
                                     tracer.cache_event("L2", "eviction",
                                                        cursor)
                             tags.append(line)
-                            readys.append(cursor + l2_fill)
+                            remote = topo_on and (line // lines_per_block) \
+                                % n_chiplets != home
+                            if remote:
+                                readys.append(cursor + l2_fill_remote)
+                            else:
+                                readys.append(cursor + l2_fill)
                             service += l2_service
                             dram_txn += 1
                             service += dram_service
-                            if dram_latency > worst:
+                            if remote:
+                                dram_remote += 1
+                                service += hop_service
+                                if dram_latency_remote > worst:
+                                    worst = dram_latency_remote
+                            elif dram_latency > worst:
                                 worst = dram_latency
                     latency = worst
                 else:
@@ -530,13 +563,24 @@ def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
                                         tracer.cache_event("L2", "eviction",
                                                            cursor)
                                 stags.append(sline)
-                                sreadys.append(cursor + l2_fill)
+                                sremote = topo_on \
+                                    and (sline // lines_per_block) \
+                                    % n_chiplets != home
+                                if sremote:
+                                    sreadys.append(cursor + l2_fill_remote)
+                                else:
+                                    sreadys.append(cursor + l2_fill)
                                 sub_hit = False
                             service += l2_service
                             if not sub_hit:
                                 dram_txn += 1
                                 service += dram_service
-                                line_latency = dram_latency
+                                if sremote:
+                                    dram_remote += 1
+                                    service += hop_service
+                                    line_latency = dram_latency_remote
+                                elif line_latency < dram_latency:
+                                    line_latency = dram_latency
                         readys.append(cursor + line_latency)
                         if line_latency > worst:
                             worst = line_latency
@@ -573,12 +617,14 @@ def execute_wave(sim, kernel, cta_ids, start, l1, l2, metrics,
     metrics.l2_read_transactions += l2_read_txn
     metrics.l2_write_transactions += l2_write_txn
     metrics.dram_transactions += dram_txn
+    metrics.dram_remote_transactions += dram_remote
 
     # prefetch the head of each agent's next task (Section 4.3-III):
     # cold code, shared with the reference executor
     if prefetch_targets:
         cursor += sim._issue_prefetches(kernel, prefetch_targets, l1, l2,
-                                        cursor, metrics, hiding, plan)
+                                        cursor, metrics, hiding, plan,
+                                        home if topo_on else -1)
 
     fixed = kernel.fixed_compute_cycles * n / issue_width
     duration = (cursor - start) + fixed

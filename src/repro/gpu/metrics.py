@@ -36,6 +36,11 @@ class KernelMetrics:
     l2_read_transactions: int = 0
     l2_write_transactions: int = 0
     dram_transactions: int = 0
+    #: DRAM transactions served by a *remote* chiplet's HBM slice
+    #: (always 0 on a flat die or a 1-chiplet topology).
+    dram_remote_transactions: int = 0
+    #: Chiplet count of the simulated package (1 = flat die).
+    chiplets: int = 1
     warp_accesses: int = 0
     ctas_executed: int = 0
     overhead_cycles: float = 0.0
@@ -54,6 +59,18 @@ class KernelMetrics:
     def l2_transactions(self) -> int:
         """Total L2 transactions, the paper's key cache metric."""
         return self.l2_read_transactions + self.l2_write_transactions
+
+    @property
+    def dram_local_transactions(self) -> int:
+        """DRAM transactions served by the requesting chiplet's HBM."""
+        return self.dram_transactions - self.dram_remote_transactions
+
+    @property
+    def remote_traffic_fraction(self) -> float:
+        """Share of DRAM traffic that crossed the interposer (0..1)."""
+        if self.dram_transactions <= 0:
+            return 0.0
+        return self.dram_remote_transactions / self.dram_transactions
 
     @property
     def achieved_occupancy(self) -> float:
@@ -105,7 +122,16 @@ def canonical_metrics(metrics: KernelMetrics) -> dict:
                 "misses": s.misses, "reserved_hits": s.reserved_hits,
                 "write_evictions": s.write_evictions}
 
+    # The NUMA split is emitted only when a multi-chiplet topology was
+    # actually simulated: flat-die canonical forms (and therefore every
+    # pre-topology golden fingerprint) are byte-identical to before.
+    numa = {}
+    if metrics.chiplets > 1:
+        numa = {"chiplets": metrics.chiplets,
+                "dram_remote_transactions": metrics.dram_remote_transactions}
+
     return {
+        **numa,
         "gpu_name": metrics.gpu_name,
         "kernel_name": metrics.kernel_name,
         "scheme": metrics.scheme,

@@ -87,6 +87,12 @@ class GpuSimulator:
         self.fast = default_fast() if fast is None else bool(fast)
         self.interleave_chunk = INTERLEAVE_CHUNK
         self.reserved_exposure = RESERVED_EXPOSURE
+        #: Active multi-chiplet topology for the current launch, or
+        #: ``None`` on a flat die (a 1-chiplet topology normalizes to
+        #: ``None``, which is what keeps it bit-identical to flat).
+        self._topo = (config.topology
+                      if config.topology is not None
+                      and not config.topology.is_trivial else None)
 
     # ------------------------------------------------------------------
     # public API
@@ -119,6 +125,8 @@ class GpuSimulator:
             warp_slots=config.warp_slots * config.num_sms,
             ctas_per_sm=[0] * config.num_sms,
         )
+        if self._topo is not None:
+            metrics.chiplets = self._topo.chiplets
         if caches is None:
             caches = self.fresh_caches()
         l1s, l2 = caches
@@ -292,6 +300,9 @@ class GpuSimulator:
         alu_step = kernel.compute_cycles_per_access / issue_width
         bypass = plan.bypass_streams
         sectors = config.l1_sectors
+        topo = self._topo
+        chiplet = (topo.chiplet_of_sm(sm_id, config.num_sms)
+                   if topo is not None else -1)
 
         # Traces are memoized on the kernel itself, so they survive
         # across warm-up launches, schemes and whole-sweep reruns.
@@ -325,7 +336,8 @@ class GpuSimulator:
                     access = trace[j]
                     use_l1 = self.l1_enabled and not (bypass and access.is_stream)
                     latency, service = self._do_access(access, l1, l2, cursor,
-                                                       sector, use_l1, metrics)
+                                                       sector, use_l1, metrics,
+                                                       chiplet)
                     step = alu_step + latency / hiding + service
                     cursor += step
                     cta_cycles[slot] += step
@@ -343,7 +355,8 @@ class GpuSimulator:
         # prefetch the head of each agent's next task (Section 4.3-III)
         if prefetch_targets:
             cursor += self._issue_prefetches(kernel, prefetch_targets, l1, l2,
-                                             cursor, metrics, hiding, plan)
+                                             cursor, metrics, hiding, plan,
+                                             chiplet)
 
         fixed = kernel.fixed_compute_cycles * n / issue_width
         duration = (cursor - start) + fixed
@@ -358,15 +371,23 @@ class GpuSimulator:
                     access_cycles=cta_cycles[slot]))
         return duration
 
-    def _do_access(self, access, l1, l2, now, sector, use_l1, metrics):
+    def _do_access(self, access, l1, l2, now, sector, use_l1, metrics,
+                   chiplet=-1):
         """Route one warp access through the hierarchy.
 
         Returns ``(latency, service)``: the load-to-use latency the warp
         must hide, and the bandwidth service time its L2/DRAM traffic
         occupies (the SM's share of the shared interconnect/DRAM
         throughput, which cannot be hidden by multithreading).
+
+        ``chiplet`` is the requesting SM's home chiplet when a
+        multi-chiplet topology is active (``-1`` on a flat die): DRAM
+        fills whose owning HBM slice is a *different* chiplet pay the
+        interposer hop on top of the ordinary DRAM cost.
         """
         config = self.config
+        topo = self._topo
+        base_fill = config.dram_latency - config.l2_latency
         if access.is_write:
             service = 0.0
             # L1 is write-evict: invalidate locally, write through to L2.
@@ -374,27 +395,42 @@ class GpuSimulator:
                 for seg in coalesce(access, config.l1_line):
                     l1.access(seg, now, 0.0, is_write=True, sector=sector)
             for seg in coalesce(access, config.l2_line):
-                hit, _ = l2.access(seg, now, config.dram_latency - config.l2_latency,
-                                   is_write=True)
+                fill, remote = base_fill, False
+                if topo is not None and \
+                        (seg // topo.block_bytes) % topo.chiplets != chiplet:
+                    fill, remote = base_fill + topo.hop_latency, True
+                hit, _ = l2.access(seg, now, fill, is_write=True)
                 metrics.l2_write_transactions += 1
                 service += config.l2_service_cycles
                 if not hit:
                     metrics.dram_transactions += 1
                     service += config.dram_service_cycles
+                    if remote:
+                        metrics.dram_remote_transactions += 1
+                        service += topo.hop_service
             return 0.0, service  # stores do not stall the warp
 
         if not use_l1:
             worst = config.l2_latency
             service = 0.0
             for seg in coalesce(access, config.l2_line):
-                hit, ready = l2.access(seg, now,
-                                       config.dram_latency - config.l2_latency)
+                fill, remote = base_fill, False
+                if topo is not None and \
+                        (seg // topo.block_bytes) % topo.chiplets != chiplet:
+                    fill, remote = base_fill + topo.hop_latency, True
+                hit, ready = l2.access(seg, now, fill)
                 metrics.l2_read_transactions += 1
                 service += config.l2_service_cycles
                 if not hit:
                     metrics.dram_transactions += 1
                     service += config.dram_service_cycles
-                    worst = max(worst, config.dram_latency)
+                    if remote:
+                        metrics.dram_remote_transactions += 1
+                        service += topo.hop_service
+                        worst = max(worst,
+                                    config.dram_latency + topo.hop_latency)
+                    else:
+                        worst = max(worst, config.dram_latency)
                 else:
                     wait = max(0.0, ready - now) * RESERVED_EXPOSURE
                     worst = max(worst, config.l2_latency + wait)
@@ -414,22 +450,32 @@ class GpuSimulator:
             line_latency = config.l2_latency
             for k in range(sub_per_line):
                 sub = seg + k * l2_line
-                l2_hit, _ = l2.access(sub, now,
-                                      config.dram_latency - config.l2_latency)
+                fill, remote = base_fill, False
+                if topo is not None and \
+                        (sub // topo.block_bytes) % topo.chiplets != chiplet:
+                    fill, remote = base_fill + topo.hop_latency, True
+                l2_hit, _ = l2.access(sub, now, fill)
                 metrics.l2_read_transactions += 1
                 service += config.l2_service_cycles
                 if not l2_hit:
                     metrics.dram_transactions += 1
                     service += config.dram_service_cycles
-                    line_latency = config.dram_latency
+                    if remote:
+                        metrics.dram_remote_transactions += 1
+                        service += topo.hop_service
+                        line_latency = config.dram_latency + topo.hop_latency
+                    elif line_latency < config.dram_latency:
+                        line_latency = config.dram_latency
             l1.install(seg, now + line_latency, sector=sector)
             worst = max(worst, line_latency)
         return worst, service
 
     def _issue_prefetches(self, kernel, targets, l1, l2, cursor, metrics,
-                          hiding, plan):
+                          hiding, plan, chiplet=-1):
         """Preload the first accesses of upcoming tasks into L1."""
         config = self.config
+        topo = self._topo
+        base_fill = config.dram_latency - config.l2_latency
         cost = 0.0
         issue = config.costs.prefetch_issue_cycles / config.issue_width
         for slot, v in enumerate(targets):
@@ -444,15 +490,25 @@ class GpuSimulator:
                     line_latency = config.l2_latency
                     for k in range(config.l2_transactions_per_l1_miss):
                         sub = seg + k * config.l2_line
-                        l2_hit, _ = l2.access(
-                            sub, cursor,
-                            config.dram_latency - config.l2_latency)
+                        fill, remote = base_fill, False
+                        if topo is not None and \
+                                (sub // topo.block_bytes) % topo.chiplets \
+                                != chiplet:
+                            fill = base_fill + topo.hop_latency
+                            remote = True
+                        l2_hit, _ = l2.access(sub, cursor, fill)
                         metrics.l2_read_transactions += 1
                         cost += config.l2_service_cycles
                         if not l2_hit:
                             metrics.dram_transactions += 1
                             cost += config.dram_service_cycles
-                            line_latency = config.dram_latency
+                            if remote:
+                                metrics.dram_remote_transactions += 1
+                                cost += topo.hop_service
+                                line_latency = (config.dram_latency
+                                                + topo.hop_latency)
+                            elif line_latency < config.dram_latency:
+                                line_latency = config.dram_latency
                     l1.install(seg, cursor + line_latency, sector=sector)
                     metrics.prefetch_issues += 1
                     cost += issue

@@ -115,16 +115,23 @@ class ServiceClient:
 
     def simulate(self, workload: str, gpu: str, *, scheme: str = None,
                  scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                 topology: str = None, placement: str = None,
                  deadline_s: float = None, full: bool = False) -> dict:
         """One served measurement; returns the canonical metrics dict
         (bit-comparable to ``canonical_metrics(repro.api.simulate(...))``).
-        ``full=True`` returns the whole envelope (``key``/``source``/
-        ``result``) instead.
+        ``topology``/``placement`` name a chiplet preset and binding
+        policy, exactly as the facade takes them.  ``full=True``
+        returns the whole envelope (``key``/``source``/``result``)
+        instead.
         """
         payload = {"workload": workload, "gpu": gpu, "scale": scale,
                    "seed": seed, "warmups": warmups}
         if scheme is not None:
             payload["scheme"] = scheme
+        if topology is not None:
+            payload["topology"] = topology
+        if placement is not None:
+            payload["placement"] = placement
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         envelope = self._call("POST", "/v1/simulate", payload)
@@ -132,6 +139,7 @@ class ServiceClient:
 
     def estimate(self, workload: str, gpu: str, *, scheme: str = None,
                  scale: float = 1.0, seed: int = 0, warmups: int = 1,
+                 topology: str = None, placement: str = None,
                  deadline_s: float = None, full: bool = False) -> dict:
         """One served rung-0 analytic estimate — same request shape and
         envelope as :meth:`simulate`, answered by the service without
@@ -143,6 +151,10 @@ class ServiceClient:
                    "seed": seed, "warmups": warmups}
         if scheme is not None:
             payload["scheme"] = scheme
+        if topology is not None:
+            payload["topology"] = topology
+        if placement is not None:
+            payload["placement"] = placement
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         envelope = self._call("POST", "/v1/estimate", payload)
@@ -150,8 +162,8 @@ class ServiceClient:
 
     def cluster(self, workload: str, gpu: str, *, scheme: str = "CLU",
                 direction: str = None, active_agents: int = None,
-                seed: int = 0, deadline_s: float = None,
-                full: bool = False) -> dict:
+                seed: int = 0, topology: str = None, placement: str = None,
+                deadline_s: float = None, full: bool = False) -> dict:
         """Plan digest for one scheme (see ``ExecutionPlan.describe``)."""
         payload = {"workload": workload, "gpu": gpu, "scheme": scheme,
                    "seed": seed}
@@ -159,6 +171,10 @@ class ServiceClient:
             payload["direction"] = direction
         if active_agents is not None:
             payload["active_agents"] = active_agents
+        if topology is not None:
+            payload["topology"] = topology
+        if placement is not None:
+            payload["placement"] = placement
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         envelope = self._call("POST", "/v1/cluster", payload)

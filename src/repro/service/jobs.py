@@ -91,6 +91,26 @@ def _check_scheme(name: "str | None", *, required: bool) -> "str | None":
     return name
 
 
+def _check_topology(name: "str | None") -> "str | None":
+    from repro.gpu.topology import TOPOLOGIES
+    if name is None:
+        return None
+    if name not in TOPOLOGIES:
+        raise _bad("topology", f"unknown topology {name!r}; "
+                               f"known: {sorted(TOPOLOGIES)}")
+    return name
+
+
+def _check_placement(name: "str | None") -> "str | None":
+    from repro.gpu.topology import PLACEMENTS
+    if name is None:
+        return None
+    if name not in PLACEMENTS:
+        raise _bad("placement", f"unknown placement {name!r}; "
+                                f"known: {sorted(PLACEMENTS)}")
+    return name
+
+
 def build_simulate_job(payload: dict) -> SimJob:
     """``POST /v1/simulate`` body -> a canonical ``simulate`` job."""
     workload = _check_workload(_string(payload, "workload", required=True))
@@ -99,8 +119,11 @@ def build_simulate_job(payload: dict) -> SimJob:
     scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
     seed = _number(payload, "seed", 0, cast=int, minimum=0)
     warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    topology = _check_topology(_string(payload, "topology"))
+    placement = _check_placement(_string(payload, "placement"))
     return simulate_job(workload, gpu, scheme=scheme, scale=scale,
-                        seed=seed, warmups=warmups)
+                        seed=seed, warmups=warmups, topology=topology,
+                        placement=placement)
 
 
 def build_estimate_job(payload: dict) -> SimJob:
@@ -117,8 +140,11 @@ def build_estimate_job(payload: dict) -> SimJob:
     scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
     seed = _number(payload, "seed", 0, cast=int, minimum=0)
     warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    topology = _check_topology(_string(payload, "topology"))
+    placement = _check_placement(_string(payload, "placement"))
     return estimate_job(workload, gpu, scheme=scheme, scale=scale,
-                        seed=seed, warmups=warmups)
+                        seed=seed, warmups=warmups, topology=topology,
+                        placement=placement)
 
 
 def build_cluster_job(payload: dict) -> SimJob:
@@ -133,8 +159,11 @@ def build_cluster_job(payload: dict) -> SimJob:
     active_agents = _number(payload, "active_agents", None, cast=int,
                             minimum=1)
     seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    topology = _check_topology(_string(payload, "topology"))
+    placement = _check_placement(_string(payload, "placement"))
     return cluster_job(workload, gpu, scheme=scheme, direction=direction,
-                       active_agents=active_agents, seed=seed)
+                       active_agents=active_agents, seed=seed,
+                       topology=topology, placement=placement)
 
 
 def build_tune_job(payload: dict, *, max_budget: int) -> SimJob:

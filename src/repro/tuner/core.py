@@ -85,7 +85,7 @@ def tune(workload: str, gpu: str, *, objective: str = "cycles",
          strategy: str = "hillclimb", budget: int = DEFAULT_BUDGET,
          scale: float = 1.0, seed: int = 0, warmups: int = 1,
          fidelity=None, runner=None, progress: bool = False,
-         profile=None) -> TuneResult:
+         profile=None, placement: str = None) -> TuneResult:
     """Search the clustering configuration space for one pair.
 
     ``budget`` bounds the number of candidate evaluations (fresh
@@ -97,7 +97,9 @@ def tune(workload: str, gpu: str, *, objective: str = "cycles",
     exploratory ranking).  ``runner`` accepts a pre-built
     :class:`~repro.engine.runner.SweepRunner` so callers control
     parallelism, caching and profiling; the default is the serial
-    cached engine.
+    cached engine.  ``placement`` pins the chiplet placement axis to
+    one policy (on chiplet platforms the axis is otherwise searched;
+    flat platforms have no axis to pin).
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
@@ -109,7 +111,8 @@ def tune(workload: str, gpu: str, *, objective: str = "cycles",
         runner = default_runner(jobs=1, cached=True, memo=True,
                                 profile=profile)
 
-    space = SearchSpace.for_workload(workload, gpu, scale=scale)
+    space = SearchSpace.for_workload(workload, gpu, scale=scale,
+                                     placement=placement)
     summary = runner.run([framework_job(workload, space.gpu, scale=scale,
                                         seed=seed)])[0]
     warm = point_from_decision(summary, space)

@@ -61,6 +61,9 @@ class ConfigPoint:
     active_agents: "int | None" = None
     bypass: bool = False
     tile: "tuple[int, int] | None" = None
+    #: Chiplet placement policy (``None`` = the canonical oblivious
+    #: binding; only meaningful for CLU points on chiplet platforms).
+    placement: "str | None" = None
 
     def sort_key(self) -> tuple:
         """Canonical total order (used for deterministic tie-breaks)."""
@@ -68,7 +71,8 @@ class ConfigPoint:
                 self.direction or "",
                 -1 if self.active_agents is None else self.active_agents,
                 self.bypass,
-                self.tile or ())
+                self.tile or (),
+                self.placement or "")
 
     def label(self) -> str:
         """Figure-12-style human-readable scheme label."""
@@ -89,6 +93,8 @@ class ConfigPoint:
             parts.append(self.direction)
         if self.active_agents is not None:
             parts.append(f"agents={self.active_agents}")
+        if self.placement is not None:
+            parts.append(self.placement)
         return name if not parts else f"{name}[{','.join(parts)}]"
 
 
@@ -132,17 +138,36 @@ class SearchSpace:
     gpu: str
     max_agents: int
     tiles: "tuple[tuple[int, int], ...]" = DEFAULT_TILES
+    #: The placement axis: values CLU points may take (``None`` is the
+    #: canonical oblivious spelling).  Flat platforms offer only
+    #: ``(None,)``, so their enumeration is exactly the pre-chiplet
+    #: space; ``tune(placement=...)`` pins the axis to a single value.
+    placements: "tuple[str | None, ...]" = (None,)
 
     @classmethod
     def for_workload(cls, workload: str, gpu: str, *, scale: float = 1.0,
-                     tiles=DEFAULT_TILES) -> "SearchSpace":
+                     tiles=DEFAULT_TILES,
+                     placement: str = None) -> "SearchSpace":
         """Bind the space to a registry workload on a named platform."""
+        from repro.gpu.topology import PLACEMENTS, resolve_placement
         from repro.workloads.registry import workload as lookup
         config = platform(gpu) if not isinstance(gpu, GpuConfig) else gpu
         kernel = lookup(workload).kernel(scale=scale, config=config)
+        chipleted = (config.topology is not None
+                     and not config.topology.is_trivial)
+        if placement is not None:
+            pinned = resolve_placement(placement)
+            placements = (None,) if pinned == "oblivious" \
+                else (pinned if chipleted else None,)
+        elif chipleted:
+            placements = (None,) + tuple(
+                sorted(p for p in PLACEMENTS if p != "oblivious"))
+        else:
+            placements = (None,)
         return cls(workload=workload, gpu=config.name,
                    max_agents=max_ctas_per_sm(config, kernel),
-                   tiles=tuple(tuple(t) for t in tiles))
+                   tiles=tuple(tuple(t) for t in tiles),
+                   placements=placements)
 
     # ------------------------------------------------------------------
     # axes
@@ -178,12 +203,18 @@ class SearchSpace:
         if kind == "PFH":
             return ConfigPoint(kind="PFH", direction=direction,
                                active_agents=agents)
+        placement = point.placement
+        if placement == "oblivious":
+            placement = None
+        if placement not in self.placements:
+            placement = self.placements[0]
         if point.tile is not None:
             return ConfigPoint(kind="CLU", direction=None,
                                active_agents=agents, bypass=point.bypass,
-                               tile=tuple(point.tile))
+                               tile=tuple(point.tile), placement=placement)
         return ConfigPoint(kind="CLU", direction=direction,
-                           active_agents=agents, bypass=point.bypass)
+                           active_agents=agents, bypass=point.bypass,
+                           placement=placement)
 
     def points(self) -> "list[ConfigPoint]":
         """Every valid point, in one canonical enumeration order."""
@@ -192,16 +223,20 @@ class SearchSpace:
             out.append(ConfigPoint(kind="RD", direction=d))
         degrees = (None,) + tuple(
             a for a in self.agent_degrees() if a != self.max_agents)
-        for bypass in (False, True):
-            for d in DIRECTIONS:
-                for agents in degrees:
-                    out.append(ConfigPoint(kind="CLU", direction=d,
-                                           active_agents=agents,
-                                           bypass=bypass))
-            for tile in self.tiles:
-                for agents in degrees:
-                    out.append(ConfigPoint(kind="CLU", active_agents=agents,
-                                           bypass=bypass, tile=tile))
+        for placement in self.placements:
+            for bypass in (False, True):
+                for d in DIRECTIONS:
+                    for agents in degrees:
+                        out.append(ConfigPoint(kind="CLU", direction=d,
+                                               active_agents=agents,
+                                               bypass=bypass,
+                                               placement=placement))
+                for tile in self.tiles:
+                    for agents in degrees:
+                        out.append(ConfigPoint(kind="CLU",
+                                               active_agents=agents,
+                                               bypass=bypass, tile=tile,
+                                               placement=placement))
         for d in DIRECTIONS:
             for agents in degrees:
                 out.append(ConfigPoint(kind="PFH", direction=d,
@@ -209,7 +244,8 @@ class SearchSpace:
         return out
 
     #: Coordinate-descent axis order for the hill climber.
-    AXES = ("kind", "direction", "active_agents", "bypass", "tile")
+    AXES = ("kind", "direction", "active_agents", "bypass", "tile",
+            "placement")
 
     def axis_variants(self, point: ConfigPoint,
                       axis: str) -> "list[ConfigPoint]":
@@ -241,6 +277,10 @@ class SearchSpace:
             raw = [replace(point, tile=t, direction=point.direction
                            or DIRECTIONS[0])
                    for t in (None,) + self.tiles]
+        elif axis == "placement":
+            if point.kind != "CLU" or len(self.placements) < 2:
+                return [point]
+            raw = [replace(point, placement=p) for p in self.placements]
         else:
             raise KeyError(f"unknown axis {axis!r}; known: {self.AXES}")
         seen, out = set(), []
@@ -267,7 +307,8 @@ class SearchSpace:
                            direction=point.direction,
                            active_agents=point.active_agents,
                            bypass_streams=point.bypass,
-                           tile=point.tile)
+                           tile=point.tile,
+                           placement=point.placement)
 
     def estimate_job(self, point: ConfigPoint, *, scale: float, seed: int = 0,
                      warmups: int = 1) -> SimJob:
@@ -285,7 +326,8 @@ class SearchSpace:
                                   direction=point.direction,
                                   active_agents=point.active_agents,
                                   bypass_streams=point.bypass,
-                                  tile=point.tile)
+                                  tile=point.tile,
+                                  placement=point.placement)
 
     def plan(self, point: ConfigPoint, *, scale: float = 1.0) -> ExecutionPlan:
         """Materialize the live execution plan for one point."""
@@ -312,10 +354,12 @@ class SearchSpace:
                               indexing=TileWiseIndexing(
                                   kernel.grid, tile_w=width, tile_h=height),
                               active_agents=point.active_agents,
-                              bypass_streams=point.bypass)
+                              bypass_streams=point.bypass,
+                              placement=point.placement)
         return agent_plan(kernel, config, part,
                           active_agents=point.active_agents,
-                          bypass_streams=point.bypass)
+                          bypass_streams=point.bypass,
+                          placement=point.placement)
 
 
 def point_from_decision(summary, space: SearchSpace) -> ConfigPoint:

@@ -58,18 +58,42 @@ def strategy(name: str) -> "SearchStrategy":
 
 @_strategy
 class GridStrategy:
-    """Exhaustive sweep over the declared space, in canonical order.
+    """Sweep the declared space, analytically triaged.
 
-    The budget simply truncates the enumeration, so a small budget
-    degrades to "the first N points" — still deterministic, still
-    regression-free (the warm start was evaluated up front).
+    The closed-form rung-0 model scores **every** point first — free
+    to the budget — and only the analytic-ranked top fraction is
+    *admitted* to simulation, so a grid sweep spends its charged
+    budget on the configurations the locality model already likes
+    instead of on a canonical-order prefix.  The admitted list is
+    always at least as long as the remaining budget (admission never
+    leaves budget idle; the evaluator still truncates when the budget
+    runs out first).  On an analytic-fidelity run there is nothing to
+    triage for, and the sweep is the plain enumeration.
     """
 
     name = "grid"
 
+    #: Admitted fraction of the analytic ranking (the rest never
+    #: charges the budget).
+    admit_fraction = 0.5
+
     def search(self, evaluator: Evaluator, space: SearchSpace,
                warm: ConfigPoint) -> None:
-        evaluator.evaluate(space.points())
+        points = space.points()
+        if evaluator.fidelity.rung > ANALYTIC.rung:
+            ranked = evaluator.evaluate(points, fidelity=ANALYTIC)
+            if ranked:
+                ranked = sorted(ranked, key=Candidate.rank_key)
+                keep = max(evaluator.remaining,
+                           int(len(ranked) * self.admit_fraction))
+                admitted = [c.point for c in ranked[:keep]]
+                if len(admitted) < len(points):
+                    evaluator.note(
+                        f"analytic admission: {len(admitted)}/{len(points)} "
+                        f"candidate(s) admitted to simulation")
+                evaluator.evaluate(admitted)
+                return
+        evaluator.evaluate(points)
 
 
 @_strategy
@@ -84,6 +108,26 @@ class HillClimbStrategy:
 
     name = "hillclimb"
 
+    def _admit(self, evaluator: Evaluator, pool, current):
+        """Analytic admission for one axis neighborhood.
+
+        Rung-0 scores the whole neighborhood for free; only the top
+        half (plus the incumbent, which is already paid for) charges
+        simulation budget.  Neighborhoods of <= 2 points gain nothing
+        from triage and pass through unfiltered.
+        """
+        if evaluator.fidelity.rung <= ANALYTIC.rung or len(pool) <= 2:
+            return pool
+        ranked = evaluator.evaluate(pool, fidelity=ANALYTIC)
+        if not ranked:
+            return pool
+        ranked = sorted(ranked, key=Candidate.rank_key)
+        keep = max(1, len(ranked) // 2)
+        admitted = [c.point for c in ranked[:keep]]
+        if current not in admitted:
+            admitted.append(current)
+        return admitted
+
     def search(self, evaluator: Evaluator, space: SearchSpace,
                warm: ConfigPoint) -> None:
         current = space.normalize(warm)
@@ -93,7 +137,10 @@ class HillClimbStrategy:
             for axis in space.AXES:
                 if not evaluator.remaining:
                     break
-                found = evaluator.evaluate(space.axis_variants(current, axis))
+                pool = self._admit(evaluator,
+                                   space.axis_variants(current, axis),
+                                   current)
+                found = evaluator.evaluate(pool)
                 if not found:
                     continue
                 best = min(found, key=Candidate.rank_key)

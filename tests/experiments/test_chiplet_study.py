@@ -1,0 +1,81 @@
+"""chiplet_study driver tests (planning + a reduced end-to-end run)."""
+
+import pytest
+
+from repro.engine import default_runner
+from repro.experiments.chiplet_study import (
+    STUDY_CHIPLETS,
+    STUDY_PLACEMENTS,
+    STUDY_WORKLOADS,
+    ChipletCell,
+    run_chiplet_study,
+)
+from repro.experiments.driver import RunContext, get_driver
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestPlanning:
+    def test_one_measure_job_per_cell(self):
+        driver = get_driver("chiplet_study")
+        jobs = driver.jobs(RunContext())
+        # Per workload: one single-die baseline plus a cell for every
+        # (multi-chiplet, placement) pair.
+        per_workload = 1 + (len(STUDY_CHIPLETS) - 1) * len(STUDY_PLACEMENTS)
+        assert len(jobs) == len(STUDY_WORKLOADS) * per_workload
+        assert len({job.key for job in jobs}) == len(jobs)
+
+    def test_study_pins_the_demonstration_pair(self):
+        assert STUDY_WORKLOADS == ("HST", "BKP")
+        assert STUDY_CHIPLETS[0] == 1  # baseline column must exist
+
+
+class TestReducedRun:
+    @pytest.fixture(scope="class")
+    def study(self):
+        runner = default_runner(jobs=1, cached=True, memo=True)
+        return run_chiplet_study(("HST",), (1, 4),
+                                 ("oblivious", "local-first"), runner=runner)
+
+    def test_invariant_holds_and_locality_improves(self, study):
+        assert study.violations() == []
+        oblivious = study.cell("HST", 4, "oblivious")
+        local = study.cell("HST", 4, "local-first")
+        assert local.remote_fraction < oblivious.remote_fraction
+        assert local.dram_remote <= oblivious.dram_remote
+
+    def test_baseline_is_the_single_die_row(self, study):
+        base = study.baseline("HST")
+        assert base.chiplets == 1
+        assert base.dram_remote == 0
+        assert base.slowdown_over(base) == 1.0
+
+    def test_render_tabulates_every_cell(self, study):
+        text = study.render()
+        assert "Chiplet study" in text
+        assert "local-first" in text
+        assert "VIOLATIONS" not in text
+
+    def test_missing_cell_raises(self, study):
+        with pytest.raises(KeyError):
+            study.cell("HST", 8, "oblivious")
+        with pytest.raises(KeyError):
+            study.baseline("NN")
+
+    def test_unknown_placement_rejected_before_any_simulation(self):
+        with pytest.raises(KeyError, match="teleport"):
+            run_chiplet_study(("HST",), (1, 2), ("teleport",))
+
+    def test_violation_report_names_the_offending_cell(self):
+        from repro.experiments.chiplet_study import ChipletStudyResult
+        rigged = ChipletStudyResult(cells=[
+            ChipletCell("HST", 1, "oblivious", 100.0, 10, 0, 0.0),
+            ChipletCell("HST", 2, "oblivious", 110.0, 8, 2, 0.2),
+            ChipletCell("HST", 2, "local-first", 120.0, 5, 5, 0.5),
+        ])
+        notes = rigged.violations()
+        assert len(notes) == 1 and "HST x2" in notes[0]
+        assert "VIOLATIONS" in rigged.render()

@@ -1,0 +1,35 @@
+"""Top-level package CLI tests (python -m repro)."""
+
+import pytest
+
+from repro import __main__ as cli
+from repro import __version__
+
+
+class TestList:
+    def test_list_prints_every_registry(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("platforms:", "schemes:", "fidelity rungs",
+                        "topology presets:", "placement policies:"):
+            assert heading in out
+
+    def test_list_annotates_chiplet_platforms(self, capsys):
+        cli.main(["--list"])
+        out = capsys.readouterr().out
+        assert "GTX980x4" in out
+        assert "4-chiplet" in out
+        assert "single die" in out
+        assert "local-first" in out
+
+
+class TestBanner:
+    def test_version_flag_prints_the_package_banner(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_no_arguments_shows_help_and_succeeds(self, capsys):
+        assert cli.main([]) == 0
+        assert "repro.experiments" in capsys.readouterr().out

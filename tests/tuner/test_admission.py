@@ -1,0 +1,86 @@
+"""Analytic admission filters: rung-0 triage inside grid and hillclimb.
+
+The contract under test: with the closed-form model pre-ranking
+candidates, the simulating strategies charge *fewer* full-fidelity
+evaluations while landing on an equal-or-better best objective than
+the untriaged search — on this suite's small NN space, the exact
+brute-force optimum.
+"""
+
+from repro.engine import default_runner
+from repro.tuner import Evaluator, tune
+from repro.tuner.objective import objective as lookup_objective
+from repro.tuner.space import Candidate, SearchSpace
+from repro.tuner.strategies import HillClimbStrategy
+from tests.tuner.conftest import GPU, SCALE, WORKLOAD
+
+
+def _brute_force_best(space):
+    """Every point at full fidelity — the reference optimum."""
+    points = space.points()
+    evaluator = Evaluator(
+        space=space, runner=default_runner(jobs=1, cached=True, memo=True),
+        objective=lookup_objective("cycles"), scale=SCALE,
+        budget=len(points) + 1)
+    found = evaluator.evaluate(points)
+    assert evaluator.truncated == 0
+    return min(found, key=Candidate.rank_key)
+
+
+class TestGridAdmission:
+    def test_fewer_charged_evals_at_the_brute_force_optimum(self):
+        space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        full_sweep = len(space.points())
+        budget = full_sweep // 3
+        result = tune(WORKLOAD, GPU, strategy="grid", budget=budget,
+                      scale=SCALE, seed=0)
+        # Far fewer charged evaluations than sweeping the space...
+        assert result.evaluations <= budget < full_sweep
+        # ...and the analytic ranking still admitted the true winner.
+        brute = _brute_force_best(space)
+        assert result.best.score == brute.score
+        assert result.best.point == brute.point
+
+    def test_admission_never_leaves_budget_idle(self):
+        """With budget >= the space, admission is a no-op: every point
+        still gets simulated (the `keep >= remaining` clause)."""
+        space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        full_sweep = len(space.points())
+        result = tune(WORKLOAD, GPU, strategy="grid", budget=full_sweep + 8,
+                      scale=SCALE, seed=0)
+        assert result.evaluations >= full_sweep - 1
+
+    def test_analytic_run_skips_triage(self):
+        """A rung-0 tune has nothing to admit *to*; the sweep is the
+        plain enumeration and charges nothing."""
+        result = tune(WORKLOAD, GPU, strategy="grid", budget=8,
+                      scale=SCALE, seed=0, fidelity="analytic")
+        assert result.evaluations == 0
+
+
+class TestHillClimbAdmission:
+    def test_fewer_charged_evals_than_the_unfiltered_climb(self, monkeypatch):
+        budget = 40
+        admitted = tune(WORKLOAD, GPU, strategy="hillclimb", budget=budget,
+                        scale=SCALE, seed=0)
+        monkeypatch.setattr(HillClimbStrategy, "_admit",
+                            lambda self, evaluator, pool, current: pool)
+        unfiltered = tune(WORKLOAD, GPU, strategy="hillclimb", budget=budget,
+                          scale=SCALE, seed=0)
+        assert admitted.evaluations < unfiltered.evaluations
+        assert admitted.best.score <= unfiltered.best.score
+
+    def test_incumbent_always_survives_triage(self):
+        """The filter may never drop the current point: the climb's
+        strict-improvement rule needs it in every neighborhood."""
+        space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        evaluator = Evaluator(
+            space=space, runner=default_runner(jobs=1, cached=True,
+                                               memo=True),
+            objective=lookup_objective("cycles"), scale=SCALE, budget=30)
+        strategy = HillClimbStrategy()
+        current = space.normalize(space.points()[0])
+        pool = space.axis_variants(current, "active_agents")
+        admitted = strategy._admit(evaluator, pool, current)
+        assert current in admitted
+        assert len(admitted) <= len(pool)
