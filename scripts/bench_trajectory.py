@@ -21,8 +21,11 @@ independent fast-path runs; ``--check`` re-times it with a 1.2x
 floor), and the rung-0 analytic-vs-simulated cost per tuning decision
 (one closed-form estimate against one fast-path simulation over the
 same matrix; ``--check`` re-times it with a 20x floor — the model
-exists to be ~50x+ cheaper per decision), and the same economics on a
-chiplet *placement* decision (the chiplet study's HST/BKP x placement
+exists to be ~50x+ cheaper per decision), the reuse-graph oracle
+bound's cost against a full simulation of the same kernels (the
+tuner's admission filter and the tenancy oracle column both lean on
+the bound being essentially free; expected >= 50x, ``--check`` floor
+15x), and the same economics on a chiplet *placement* decision (the chiplet study's HST/BKP x placement
 matrix on the 4-chiplet Maxwell through both executors; ``--check``
 floor 5x at the study's shrunken scale).
 
@@ -272,6 +275,56 @@ def _measure_chiplet(passes: int) -> dict:
     }
 
 
+def _measure_bound(passes: int) -> dict:
+    """Warm per-decision cost: reuse-graph bound vs full simulation.
+
+    The tuner's admission filter and the tenancy report's oracle
+    column both price configurations with ``cache_hit_bound`` — one
+    linear set-arithmetic pass over the compiled streams — instead of
+    simulating them.  The bound is *schedule-free*: seed, scheme and
+    plan never enter, so one evaluation per (workload, platform,
+    scale) answers for **every** candidate of that cell, while a
+    simulation pays per candidate.  This times the smoke matrix the
+    way both consumers use it — one ``measure`` execution per
+    (workload, scheme) decision against one ``bound`` execution per
+    workload — at scale 1.0, the tuner's operating point.
+    """
+    from repro.engine import bound_job, execute, measure_job
+
+    # The calibration scheme spread — the candidate axis a real tuner
+    # cell actually prices per workload.
+    schemes = ("BSL", "RD", "CLU", "CLU+TOT")
+    decisions = len(WORKLOADS) * len(schemes)
+    seconds = {}
+    for label, jobs in (
+            ("simulated", [measure_job(abbr, TESLA_K40.name,
+                                       scheme=None if s == "BSL" else s,
+                                       scale=1.0, seed=0)
+                           for abbr in WORKLOADS for s in schemes]),
+            ("bound", [bound_job(abbr, TESLA_K40.name, scale=1.0)
+                       for abbr in WORKLOADS])):
+        for job in jobs:
+            execute(job)  # warm traces / compiled streams
+        best = float("inf")
+        for _ in range(passes):
+            start = time.perf_counter()
+            for job in jobs:
+                execute(job)
+            best = min(best, time.perf_counter() - start)
+        seconds[label] = best
+    return {
+        "decisions": decisions,
+        "simulated_seconds": round(seconds["simulated"], 4),
+        "bound_seconds": round(seconds["bound"], 4),
+        "simulated_ms_per_decision": round(
+            seconds["simulated"] / decisions * 1e3, 3),
+        "bound_ms_per_decision": round(
+            seconds["bound"] / decisions * 1e3, 3),
+        "speedup": round(seconds["simulated"] / seconds["bound"], 1),
+        "passes": passes,
+    }
+
+
 def _measure_tuner(passes: int) -> dict:
     """Cold vs warm-cache tune timing on one small hillclimb search.
 
@@ -368,6 +421,19 @@ def _check(output: str, passes: int, tolerance: float) -> int:
               f"(recorded {last['analytic']['speedup']:.1f}x, "
               f"floor {floor:.0f}x) -> {verdict}")
         failed = failed or analytic["speedup"] < floor
+    if last.get("bound") is not None:
+        # The oracle bound backs the tuner's admission pruning and the
+        # tenancy oracle column; both assume asking the bound is
+        # essentially free next to simulating.  Recorded entries claim
+        # >= 50x; 15x is the CI-variance floor.
+        floor = 15.0
+        bound = _measure_bound(passes)
+        verdict = "OK" if bound["speedup"] >= floor else "REGRESSION"
+        print(f"bench check: oracle bound {bound['speedup']:.1f}x "
+              f"cheaper per decision than simulation "
+              f"(recorded {last['bound']['speedup']:.1f}x, "
+              f"floor {floor:.0f}x) -> {verdict}")
+        failed = failed or bound["speedup"] < floor
     if last.get("chiplet") is not None:
         # Same economics on the chiplet placement decision: rung-0
         # must stay far cheaper than a NUMA-charged simulation for
@@ -426,6 +492,7 @@ def main(argv=None) -> int:
         "fastpath": _measure_fastpath(args.passes),
         "batched": _measure_batched(args.passes),
         "analytic": _measure_analytic(args.passes),
+        "bound": _measure_bound(args.passes),
         "chiplet": _measure_chiplet(args.passes),
         "tuner": _measure_tuner(args.passes),
     }

@@ -38,12 +38,17 @@ SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT")
 
 DEFAULT_SCALE = 0.3
 
+#: A per-class refinement fit needs at least this many (raw, sim)
+#: pairs; sparser classes fall back to the arch-wide fit at load time.
+MIN_CLASS_POINTS = 6
+
 
 def collect(gpu, abbrs, scale, *, verbose=True):
-    """(raw, simulated) cycle pairs for one platform."""
-    raws, sims = [], []
+    """(raw, simulated, class) cycle triples for one platform."""
+    raws, sims, classes = [], [], []
     for abbr in abbrs:
-        kernel = workload(abbr).kernel(scale=scale, config=gpu)
+        spec = workload(abbr)
+        kernel = spec.kernel(scale=scale, config=gpu)
         for scheme in SCHEMES:
             if scheme == "BSL":
                 plan = baseline_plan()
@@ -59,7 +64,36 @@ def collect(gpu, abbrs, scale, *, verbose=True):
             guess = estimate(gpu, kernel, plan, calibrated=False)
             raws.append(guess.raw_cycles)
             sims.append(metrics.cycles)
-    return raws, sims
+            classes.append(spec.category.value)
+    return raws, sims, classes
+
+
+def fit_classes(raws, sims, classes, *, verbose=True):
+    """Per-workload-class refinement fits over one platform's triples.
+
+    Classes with fewer than ``MIN_CLASS_POINTS`` pairs, or whose fit
+    is refused, get no entry — the loader then serves them the
+    arch-wide fallback, so a sparse class can never be *worse*
+    calibrated than before the class axis existed.
+    """
+    fits = {}
+    for name in sorted(set(classes)):
+        pairs = [(r, s) for r, s, c in zip(raws, sims, classes)
+                 if c == name]
+        if len(pairs) < MIN_CLASS_POINTS:
+            if verbose:
+                print(f"    class {name}: {len(pairs)} point(s), "
+                      f"below the {MIN_CLASS_POINTS}-point floor; "
+                      f"arch-wide fallback", file=sys.stderr)
+            continue
+        fit = fit_power_law([r for r, _ in pairs], [s for _, s in pairs])
+        if fit is None:
+            if verbose:
+                print(f"    class {name}: fit refused; arch-wide "
+                      f"fallback", file=sys.stderr)
+            continue
+        fits[name] = fit
+    return fits
 
 
 def main(argv=None):
@@ -82,20 +116,26 @@ def main(argv=None):
     for arch, gpu in BY_ARCHITECTURE.items():
         print(f"  fitting {arch.value} ({gpu.name}) over "
               f"{len(abbrs)} workloads x {len(SCHEMES)} schemes ...")
-        raws, sims = collect(gpu, abbrs, args.scale)
+        raws, sims, classes = collect(gpu, abbrs, args.scale)
         fit = fit_power_law(raws, sims)
         if fit is None:
             print(f"    {arch.value}: fit refused (degenerate inputs); "
                   f"keeping no coefficients", file=sys.stderr)
             continue
+        class_fits = fit_classes(raws, sims, classes)
+        if class_fits:
+            fit = {**fit, "classes": class_fits}
         coefficients[arch.value] = fit
         print(f"    a={fit['a']:.4f} b={fit['b']:.4f} "
-              f"points={fit['points']} log_rmse={fit['log_rmse']}")
+              f"points={fit['points']} log_rmse={fit['log_rmse']} "
+              f"classes={sorted(class_fits)}")
 
     document = {
         "comment": "Per-architecture power-law calibration of the "
                    "analytic locality model against the fast-path "
-                   "simulator: cycles = exp(b) * raw_cycles**a. "
+                   "simulator: cycles = exp(b) * raw_cycles**a; "
+                   "per-workload-class refinement fits under "
+                   "'classes' (arch-wide fit is the fallback). "
                    "Regenerate with scripts/calibrate_analytic.py.",
         "scale": args.scale,
         "schemes": list(SCHEMES),

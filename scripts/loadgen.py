@@ -192,8 +192,20 @@ def collect_metrics(control: ServiceClient) -> dict:
     return {"router": document, "shards": shards}
 
 
+def _section(document: dict, name: str) -> dict:
+    """A /metrics section, tolerating shards that omit it.
+
+    Estimate/bound-only traffic never forms a pool batch, and a shard
+    can answer with a reduced document (older build, draining snapshot)
+    — aggregation must degrade to zeros, not KeyError the whole run.
+    """
+    section = document.get(name)
+    return section if isinstance(section, dict) else {}
+
+
 def _jobs_delta(before: dict, after: dict, field: str) -> int:
-    return (after["jobs"][field] - before["jobs"][field])
+    return (_section(after, "jobs").get(field, 0)
+            - _section(before, "jobs").get(field, 0))
 
 
 def server_summary(before: dict, after: dict) -> dict:
@@ -207,8 +219,8 @@ def server_summary(before: dict, after: dict) -> dict:
         if after_doc is None or before_doc is None:
             per_shard[name] = None  # unreachable at one end of the run
             continue
-        requests = (after_doc["requests"]["total"]
-                    - before_doc["requests"]["total"])
+        requests = (_section(after_doc, "requests").get("total", 0)
+                    - _section(before_doc, "requests").get("total", 0))
         submitted = _jobs_delta(before_doc, after_doc, "submitted")
         cache_hits = _jobs_delta(before_doc, after_doc, "cache_hits")
         totals["jobs_submitted"] += submitted
@@ -217,8 +229,8 @@ def server_summary(before: dict, after: dict) -> dict:
         totals["cache_hits"] += cache_hits
         totals["executed"] += _jobs_delta(before_doc, after_doc, "executed")
         totals["rejected_queue_full"] += (
-            after_doc["requests"]["rejected_queue_full"]
-            - before_doc["requests"]["rejected_queue_full"])
+            _section(after_doc, "requests").get("rejected_queue_full", 0)
+            - _section(before_doc, "requests").get("rejected_queue_full", 0))
         requests_total += requests
         per_shard[name] = {
             "requests": requests,
@@ -228,8 +240,8 @@ def server_summary(before: dict, after: dict) -> dict:
             # Micro-batch occupancy over the run (from the shard's
             # cumulative counters): how full its pool batches left.
             "batch_fill_ratio": round(
-                after_doc["batches"]["fill_ratio"], 4),
-            "queue_peak": after_doc["queue"]["peak"],
+                _section(after_doc, "batches").get("fill_ratio", 0.0), 4),
+            "queue_peak": _section(after_doc, "queue").get("peak", 0),
         }
     for info in per_shard.values():
         if info is not None and requests_total:
@@ -244,10 +256,11 @@ def server_summary(before: dict, after: dict) -> dict:
                             if submitted else 0.0),
     }
     if after["router"] is not None and before["router"] is not None:
-        routing_after = after["router"]["routing"]
-        routing_before = before["router"]["routing"]
+        routing_after = _section(after["router"], "routing")
+        routing_before = _section(before["router"], "routing")
         summary["router"] = {
-            field: routing_after[field] - routing_before[field]
+            field: (routing_after.get(field, 0)
+                    - routing_before.get(field, 0))
             for field in ("forwards", "failovers", "upstream_errors",
                           "all_replicas_failed", "replicated_entries",
                           "warmed_entries")}

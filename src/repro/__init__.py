@@ -21,10 +21,11 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
 The layers underneath:
 
 * ``repro.api`` — the stable entry points: ``simulate``, ``cluster``,
-  ``sweep``, ``tune``, ``estimate`` (everything here is re-exported at
-  top level).  ``simulate``/``sweep``/``tune`` accept ``fidelity=``
-  naming a rung of the measurement ladder (:mod:`repro.fidelity`):
-  ``"analytic"`` / ``"reduced"`` / ``"full"``.
+  ``sweep``, ``tune``, ``estimate``, ``bound``, ``cotenant``
+  (everything here is re-exported at top level).
+  ``simulate``/``sweep``/``tune`` accept ``fidelity=`` naming a rung
+  of the measurement ladder (:mod:`repro.fidelity`): ``"analytic"`` /
+  ``"reduced"`` / ``"full"``.
 * ``repro.gpu`` — platforms (Table 1), caches, GigaThread scheduler
   models, the cycle-approximate simulator.
 * ``repro.core`` — the contribution: partitioning/inverting/binding,
@@ -34,6 +35,9 @@ The layers underneath:
   cached sweep runner.
 * ``repro.tuner`` — budget-aware, seed-deterministic search over
   clustering configurations (``grid``/``hillclimb``/``halving``).
+* ``repro.tenancy`` — the multi-tenant interference lab: concurrent
+  kernels sharing SMs and the L2, with per-tenant accounting and the
+  reuse-graph oracle bound as the report's ceiling column.
 * ``repro.obs`` — observability: simulator tracers, phase timers,
   ``--profile`` artifacts and Chrome trace export.
 * ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments`` —
@@ -41,8 +45,11 @@ The layers underneath:
   per-table/figure drivers.
 """
 
-from repro.api import (SCHEMES, AnalyticEstimate, cluster, estimate,
-                       simulate, sweep, tune)
+from repro.api import (SCHEMES, AnalyticEstimate, bound, cluster, cotenant,
+                       estimate, simulate, sweep, tune)
+from repro.analysis.bound import BoundReport
+from repro.tenancy import (POLICIES, TenancyReport, TenantMix, TenantResult,
+                           TenantSpec)
 from repro.fidelity import (ANALYTIC, FIDELITIES, FULL, REDUCED, Fidelity,
                             resolve_fidelity)
 from repro.core import (
@@ -110,7 +117,7 @@ from repro.workloads.registry import (
     workload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def version_line() -> str:
@@ -121,7 +128,10 @@ def version_line() -> str:
     return f"repro {__version__} (engine schema {ENGINE_VERSION})"
 
 __all__ = [
-    "SCHEMES", "cluster", "estimate", "simulate", "sweep", "tune",
+    "SCHEMES", "bound", "cluster", "cotenant", "estimate", "simulate",
+    "sweep", "tune",
+    "BoundReport", "POLICIES", "TenancyReport", "TenantMix",
+    "TenantResult", "TenantSpec",
     "ANALYTIC", "AnalyticEstimate", "FIDELITIES", "FULL", "Fidelity",
     "REDUCED", "resolve_fidelity",
     "CtaPartitioner", "OptimizationDecision", "TileWiseIndexing",

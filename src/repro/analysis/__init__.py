@@ -1,5 +1,15 @@
-"""Locality analysis: inter-/intra-CTA reuse quantification (Fig. 3)."""
+"""Locality analysis: reuse quantification and the oracle hit bound.
 
+Two data-driven models over the kernel traces, neither of which runs
+the simulator: the Figure-3 inter-/intra-CTA reuse attribution
+(:mod:`repro.analysis.reuse`) and the reuse-graph cache-hit upper
+bound (:mod:`repro.analysis.bound`) that caps what any demand-caching
+schedule can achieve.
+"""
+
+from repro.analysis.bound import (BoundReport, bound_floor_cycles,
+                                  cache_hit_bound)
 from repro.analysis.reuse import ReuseProfile, figure3_row, quantify_reuse
 
-__all__ = ["ReuseProfile", "figure3_row", "quantify_reuse"]
+__all__ = ["BoundReport", "ReuseProfile", "bound_floor_cycles",
+           "cache_hit_bound", "figure3_row", "quantify_reuse"]

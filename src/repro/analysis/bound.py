@@ -1,0 +1,213 @@
+"""Reuse-graph oracle bound on per-kernel cache hit rates.
+
+"A Graph-based Model for GPU Caching Problems" (PAPERS.md) models a
+kernel's caching potential as a reuse graph: nodes are the cache lines
+the compiled access stream touches, and every access beyond a line's
+first is a reuse edge that an omniscient cache could turn into a hit.
+This module evaluates that model over the simulator's own compiled
+access streams (:meth:`repro.kernels.kernel.KernelSpec.compiled_trace`)
+and reports the *theoretical* hit-rate ceiling no demand-caching
+schedule — any scheme, any CTA order, any warm state, any co-tenant
+interference — can exceed:
+
+* **L1** — every per-SM L1 starts a launch flushed and is filled only
+  by demand misses, so each distinct L1 line costs at least one
+  compulsory miss *somewhere*, and under write-evict every store
+  access is a miss by definition.  Hits are therefore at most
+  ``accesses - distinct_lines - write_accesses``.  Stream bypass
+  removes always-cold streaming reads from the L1 denominator, which
+  can only *raise* the achievable rate, so the bound is the maximum
+  over the bypassed and non-bypassed access streams.
+* **L2** — the shared L2 is warm across launches, so compulsory misses
+  vanish; what survives any warmth and any replacement policy is the
+  per-set capacity argument: a set with ``assoc`` ways can carry at
+  most ``assoc`` lines across a launch boundary, so of ``d`` distinct
+  lines a launch drives through one set, at least ``d - assoc`` must
+  miss.  Only write traffic is *guaranteed* to reach the L2 under
+  every plan (reads may be fully filtered by L1 hits), so the sound
+  floor counts write-touched lines only.
+
+Both ceilings are schedule-free: they depend only on the multiset of
+compiled accesses, never on CTA placement or interleaving — which is
+what makes ``bound_hit_rate >= measured_hit_rate`` an invariant the
+differential and tenancy suites can assert on every kernel, platform,
+scheme and tenant mix.  Prefetching plans (``PFH+TOT``) are the one
+exception: a prefetch installs a line without a counted demand miss,
+so the demand-caching model does not cover them.
+
+The bound doubles as a *cycles floor* (:func:`bound_floor_cycles`) —
+the wall-clock no plan can beat — which the tuner's admission filter
+uses to discard candidates whose rung-0 estimate is already hopeless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.kernels.kernel import KernelSpec
+
+#: L2 associativity assumed by the per-set capacity floor; matches
+#: :func:`repro.gpu.cache.make_l2`.
+L2_ASSOC = 8
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """The oracle ceiling for one (kernel, platform) pair.
+
+    ``bound_hit_rate`` is the headline L1 (L1/Tex) ceiling, directly
+    comparable to :attr:`repro.gpu.metrics.KernelMetrics.l1_hit_rate`;
+    ``bound_l2_hit_rate`` bounds the measured L2 hit rate the same
+    way.  The remaining fields are the reuse-graph census both rates
+    are derived from.
+    """
+
+    kernel_name: str
+    gpu_name: str
+    n_ctas: int
+    warp_accesses: int
+    #: L1 accesses when every read goes through L1 (the maximal stream).
+    l1_accesses: int
+    l1_reads: int
+    l1_writes: int
+    l1_stream_reads: int
+    #: Distinct L1 lines touched by reads (compulsory-miss floor).
+    l1_distinct_lines: int
+    l1_distinct_nonstream_lines: int
+    bound_hit_rate: float
+    #: Maximal L2 transactions (every L1 read segment missing).
+    l2_accesses: int
+    l2_write_accesses: int
+    l2_distinct_write_lines: int
+    #: Per-set capacity floor over write-touched lines.
+    l2_capacity_floor: int
+    bound_l2_hit_rate: float
+
+    @property
+    def min_l1_misses(self) -> int:
+        """Misses no demand schedule avoids (maximal-stream variant)."""
+        return self.l1_distinct_lines + self.l1_writes
+
+    def headroom_over(self, measured_hit_rate: float) -> float:
+        """Oracle headroom left above a measured L1 hit rate."""
+        return self.bound_hit_rate - measured_hit_rate
+
+
+def _rate(hits_ceiling: int, accesses: int) -> float:
+    if accesses <= 0:
+        return 1.0
+    return max(0.0, min(1.0, hits_ceiling / accesses))
+
+
+def cache_hit_bound(config: GpuConfig, kernel: KernelSpec) -> BoundReport:
+    """Evaluate the reuse-graph bound for one kernel on one platform.
+
+    One linear pass over the compiled access streams of every CTA —
+    set arithmetic only, no cache model, no scheduler — so the answer
+    costs orders of magnitude less than a simulation of the same
+    launch.  The result depends only on ``(kernel, l1_line, l2_line,
+    l2 geometry)``; scale enters through the kernel instance itself.
+    """
+    l1_line = config.l1_line
+    l2_line = config.l2_line
+
+    l1_reads = 0
+    l1_writes = 0
+    l1_stream_reads = 0
+    read_lines: "set[int]" = set()
+    nonstream_lines: "set[int]" = set()
+    warp_accesses = 0
+
+    l2_accesses = 0
+    l2_write_accesses = 0
+    write_lines: "set[int]" = set()
+
+    for cta in range(kernel.n_ctas):
+        for op in kernel.compiled_trace(cta, l1_line, l2_line):
+            is_write, is_stream, l1_ops, l2_lines = op
+            warp_accesses += 1
+            if is_write:
+                l1_writes += len(l1_ops)
+                l2_accesses += len(l2_lines)
+                l2_write_accesses += len(l2_lines)
+                write_lines.update(l2_lines)
+                continue
+            nsegs = len(l1_ops)
+            l1_reads += nsegs
+            if is_stream:
+                l1_stream_reads += nsegs
+                for line, subs in l1_ops:
+                    read_lines.add(line)
+                    l2_accesses += len(subs)
+            else:
+                for line, subs in l1_ops:
+                    read_lines.add(line)
+                    nonstream_lines.add(line)
+                    l2_accesses += len(subs)
+
+    # L1 ceiling: max over the two feasible access streams (bypass
+    # removes always-missing streaming reads from the denominator).
+    acc_all = l1_reads + l1_writes
+    hits_all = acc_all - len(read_lines) - l1_writes
+    rate = _rate(hits_all, acc_all)
+    if l1_stream_reads:
+        acc_ns = l1_reads - l1_stream_reads + l1_writes
+        hits_ns = acc_ns - len(nonstream_lines) - l1_writes
+        rate = max(rate, _rate(hits_ns, acc_ns))
+
+    # L2 ceiling: per-set capacity floor over guaranteed (write) lines.
+    n_sets = config.l2_size // (l2_line * L2_ASSOC)
+    per_set: "dict[int, int]" = {}
+    for line in write_lines:
+        index = line % n_sets
+        per_set[index] = per_set.get(index, 0) + 1
+    floor = sum(count - L2_ASSOC
+                for count in per_set.values() if count > L2_ASSOC)
+    l2_rate = _rate(l2_accesses - floor, l2_accesses)
+
+    return BoundReport(
+        kernel_name=kernel.name,
+        gpu_name=config.name,
+        n_ctas=kernel.n_ctas,
+        warp_accesses=warp_accesses,
+        l1_accesses=acc_all,
+        l1_reads=l1_reads,
+        l1_writes=l1_writes,
+        l1_stream_reads=l1_stream_reads,
+        l1_distinct_lines=len(read_lines),
+        l1_distinct_nonstream_lines=len(nonstream_lines),
+        bound_hit_rate=rate,
+        l2_accesses=l2_accesses,
+        l2_write_accesses=l2_write_accesses,
+        l2_distinct_write_lines=len(write_lines),
+        l2_capacity_floor=floor,
+        bound_l2_hit_rate=l2_rate,
+    )
+
+
+def bound_floor_cycles(config: GpuConfig, kernel: KernelSpec,
+                       report: BoundReport = None, *,
+                       hiding_cap: float = 14.0) -> float:
+    """A cycles lower bound no execution plan can beat.
+
+    Sums the work every schedule must pay — ALU issue per warp access,
+    the minimum (fully hidden) load-to-use latency per read, the L2
+    service occupancy of the guaranteed write traffic, and the fixed
+    per-CTA compute — and spreads it perfectly across the SMs.  Real
+    runs add misses, overheads and load imbalance on top, so
+    ``simulate(...).cycles >= bound_floor_cycles(...)`` for every
+    demand plan; the tuner's admission filter prunes candidates whose
+    rung-0 estimate already exceeds a generous multiple of this floor.
+    """
+    if report is None:
+        report = cache_hit_bound(config, kernel)
+    issue_width = config.issue_width
+    alu = report.warp_accesses * kernel.compute_cycles_per_access \
+        / issue_width
+    reads = report.warp_accesses * (report.l1_reads / report.l1_accesses
+                                    if report.l1_accesses else 0.0)
+    latency = reads * config.l1_latency / max(1.0, hiding_cap)
+    service = report.l2_write_accesses * config.l2_service_cycles
+    fixed = report.n_ctas * kernel.fixed_compute_cycles / issue_width
+    return (alu + latency + service + fixed) / max(1, config.num_sms)

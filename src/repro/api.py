@@ -21,7 +21,13 @@ an internal module:
 * :func:`estimate` — the closed-form analytic locality model
   (:mod:`repro.gpu.analytic`): hit rates and a calibrated cycle
   estimate with no simulation behind them, orders of magnitude
-  cheaper — fidelity **rung 0**.
+  cheaper — fidelity **rung 0**;
+* :func:`bound` — the reuse-graph oracle ceiling
+  (:mod:`repro.analysis.bound`): the cache-hit rate no demand-caching
+  schedule can exceed, from the compiled access streams alone;
+* :func:`cotenant` — measure a multi-tenant mix
+  (:mod:`repro.tenancy`): several kernels sharing SMs and the L2,
+  with per-tenant interference metrics and the oracle column.
 
 Measurement *fidelity* is a first-class axis (:mod:`repro.fidelity`):
 ``simulate``/``sweep``/``tune`` accept a keyword-only ``fidelity=``
@@ -66,9 +72,9 @@ from repro.workloads.registry import workload as _lookup_workload
 SCHEMES = ("BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT")
 
 __all__ = ["AnalyticEstimate", "FIDELITIES", "Fidelity", "SCHEMES",
-           "ServiceClient", "ServiceError", "apply_topology", "cluster",
-           "connect", "estimate", "resolve_fidelity", "simulate", "sweep",
-           "tune"]
+           "ServiceClient", "ServiceError", "apply_topology", "bound",
+           "cluster", "connect", "cotenant", "estimate", "resolve_fidelity",
+           "simulate", "sweep", "tune"]
 
 
 def apply_topology(config: GpuConfig, topology) -> GpuConfig:
@@ -291,6 +297,55 @@ def estimate(workload, gpu, *, scheme: str = None, plan: ExecutionPlan = None,
     from repro.gpu.analytic import estimate as _estimate_kernel
     return _estimate_kernel(config, kernel, plan, seed=seed, warmups=warmups,
                             calibrated=calibrated)
+
+
+def bound(workload, gpu, *, scale: float = 1.0, topology=None):
+    """The reuse-graph oracle cache-hit ceiling — no simulation at all.
+
+    Same workload/platform spellings as :func:`simulate`; the answer
+    is a :class:`~repro.analysis.bound.BoundReport` whose
+    ``bound_hit_rate`` / ``bound_l2_hit_rate`` cap what *any*
+    demand-caching schedule — any scheme, CTA order, warm state or
+    co-tenant interference — can achieve on this (workload, platform)
+    pair.  The bound is schedule-free, so there is no seed, warmup or
+    scheme axis: one call answers every configuration at once, which
+    is what makes it an oracle column for results tables and a pruning
+    signal for the tuner.
+    """
+    simulator, config = _resolve_config(gpu)
+    if topology is not None:
+        if simulator is not None:
+            raise ValueError("topology= cannot rewrite a prepared "
+                             "GpuSimulator; pass a config or name")
+        config = apply_topology(config, topology)
+    kernel, _ = _resolve_kernel(workload, config, scale=scale)
+    from repro.analysis.bound import cache_hit_bound
+    return cache_hit_bound(config, kernel)
+
+
+def cotenant(tenants, gpu, *, policy: str = "shared", seed: int = 0,
+             warmups: int = 1, fast: bool = None):
+    """Measure a multi-tenant mix — several kernels sharing one GPU.
+
+    ``tenants`` is a prepared :class:`~repro.tenancy.TenantMix` (whose
+    own policy then applies) or a sequence of tenant descriptors —
+    registry abbreviations, mappings with ``workload``/``scheme``/
+    ``scale``/``seed``/``active_agents``/``bypass`` keys, or
+    :class:`~repro.tenancy.TenantSpec` instances — combined under
+    ``policy`` (``"shared"`` / ``"sm-split"`` / ``"cluster-isolated"``).
+    Returns a :class:`~repro.tenancy.TenancyReport` with per-tenant
+    co-run metrics, solo baselines, slowdown/hit-delta interference
+    numbers, the unfairness index and the oracle bound column.  A
+    one-tenant mix is bit-identical to :func:`simulate` of the same
+    configuration.
+    """
+    from repro.tenancy import TenantMix, run_mix
+    if isinstance(tenants, TenantMix):
+        mix = tenants
+    else:
+        mix = TenantMix.of(*tenants, policy=policy)
+    _, config = _resolve_config(gpu)
+    return run_mix(mix, config, seed=seed, warmups=warmups, fast=fast)
 
 
 def _job_at_fidelity(job, rung: Fidelity):

@@ -21,7 +21,9 @@ process boundary, and the job's content hash doubles as the cache key.
 
 from repro.engine.cache import ResultCache, default_cache_root
 from repro.engine.executors import (
+    bound_job,
     cluster_job,
+    cotenant_job,
     estimate_job,
     execute,
     framework_job,
@@ -44,6 +46,8 @@ __all__ = [
     "simulate_job",
     "SweepRunner",
     "SweepStats",
+    "bound_job",
+    "cotenant_job",
     "default_cache_root",
     "default_runner",
     "estimate_job",

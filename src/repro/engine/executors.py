@@ -25,6 +25,8 @@ simulate   one ``repro.api.simulate`` call, named by strings    ``KernelMetrics`
 cluster    one ``repro.api.cluster`` call, named by strings     ``dict`` (plan digest)
 tune       one ``repro.tuner`` search of one (app, GPU) pair    ``TuneResult`` record
 estimate   closed-form rung-0 estimate of one configuration     ``AnalyticEstimate``
+bound      reuse-graph oracle hit ceiling of one configuration  ``BoundReport``
+cotenant   one multi-tenant mix measurement (``repro.tenancy``) ``TenancyReport``
 ========== ==================================================== =====================
 
 The companion ``*_job`` builders are the only places job extras are
@@ -451,6 +453,67 @@ def _run_estimate(job: SimJob):
         plan = None
     return analytic_estimate(gpu, kernel, plan, seed=job.seed,
                              warmups=job.warmups)
+
+
+# ----------------------------------------------------------------------
+# bound — the reuse-graph oracle ceiling (no simulation behind it)
+# ----------------------------------------------------------------------
+
+def bound_job(workload, gpu, *, scale: float = 1.0, l2_divisor: int = 1,
+              topology: str = None) -> SimJob:
+    """The reuse-graph cache-hit ceiling of one (workload, GPU) pair.
+
+    The result is a :class:`~repro.analysis.bound.BoundReport` — the
+    theoretical L1/L2 hit-rate ceilings no demand-caching schedule can
+    exceed, computed from the compiled access streams alone.  Seed,
+    warmups, scheme and scheduler never enter: the bound is
+    schedule-free by construction, so the job omits them and every
+    (workload, platform, scale) triple hashes to one cache entry.
+    """
+    return SimJob.make("bound", workload=_abbr(workload),
+                       gpu=_gpu_name(gpu), scale=scale, warmups=0,
+                       l2_divisor=l2_divisor, topology=topology)
+
+
+@executor("bound")
+def _run_bound(job: SimJob):
+    from repro.analysis.bound import cache_hit_bound
+    workload = _lookup_workload(job.workload)
+    gpu = _platform_for(job)
+    kernel = workload.kernel(scale=job.scale, config=gpu)
+    return cache_hit_bound(gpu, kernel)
+
+
+# ----------------------------------------------------------------------
+# cotenant — one multi-tenant mix through repro.tenancy
+# ----------------------------------------------------------------------
+
+def cotenant_job(tenants, gpu, *, policy: str = "shared", seed: int = 0,
+                 warmups: int = 1) -> SimJob:
+    """One co-tenant measurement of a tenant mix on one platform.
+
+    ``tenants`` is a sequence of tenant descriptors — abbreviations,
+    mappings or :class:`~repro.tenancy.TenantSpec` instances — which
+    are normalized to their descriptor dicts before hashing, so a mix
+    built from specs and the same mix built from JSON alias the same
+    cache entry.  The result is a
+    :class:`~repro.tenancy.TenancyReport` (per-tenant co-run metrics,
+    solo baselines, interference deltas and the oracle column).
+    """
+    from repro.tenancy import TenantMix
+    mix = TenantMix.of(*tenants, policy=policy)
+    return SimJob.make("cotenant", gpu=_gpu_name(gpu), seed=seed,
+                       warmups=warmups, policy=mix.policy,
+                       tenants=[t.descriptor() for t in mix.tenants])
+
+
+@executor("cotenant")
+def _run_cotenant(job: SimJob):
+    from repro.tenancy import TenantMix, run_mix
+    tenants = [dict(pairs) for pairs in job.extra("tenants")]
+    mix = TenantMix.of(*tenants, policy=str(job.extra("policy", "shared")))
+    return run_mix(mix, platform(job.gpu), seed=job.seed,
+                   warmups=job.warmups)
 
 
 # ----------------------------------------------------------------------

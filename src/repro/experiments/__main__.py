@@ -45,13 +45,13 @@ from repro.gpu.config import EVALUATION_PLATFORMS
 
 ARTIFACTS = ("table1", "fig2", "fig3", "fig4", "table2", "fig12", "fig13",
              "scheduler", "ablations", "sensitivity", "framework",
-             "tuning_study", "chiplet_study")
+             "tuning_study", "chiplet_study", "tenancy_study")
 
 #: Artifacts excluded from the no-argument "run everything" sweep
 #: (tuning_study simulates dozens of candidates per cell; chiplet_study
-#: pins its own scale/L2 regime off the evaluation matrix; both run
-#: only when asked for by name).
-ON_DEMAND = ("tuning_study", "chiplet_study")
+#: and tenancy_study pin their own scale/cache regimes off the
+#: evaluation matrix; all run only when asked for by name).
+ON_DEMAND = ("tuning_study", "chiplet_study", "tenancy_study")
 
 
 def _print_driver_list() -> None:

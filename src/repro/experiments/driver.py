@@ -106,6 +106,7 @@ def _load_all() -> None:
         sensitivity,
         table1,
         table2,
+        tenancy_study,
         tuning_study,
     )
 

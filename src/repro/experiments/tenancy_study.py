@@ -1,0 +1,224 @@
+"""Tenancy study: interference under co-location and what isolation buys.
+
+The tentpole question for :mod:`repro.tenancy`: when two kernels
+share one GPU, how much does each slow down versus running alone, how
+unfair is the split, and how much of either effect does an isolation
+policy recover?  The study sweeps
+
+    tenant mix x partitioning policy
+
+and reports, for every cell, the per-tenant slowdown over the solo
+run, the L1 hit-rate delta, the mix's unfairness index (max/min
+slowdown), and the reuse-graph oracle column — the hit-rate ceiling
+(:mod:`repro.analysis.bound`) that no policy, schedule or co-tenant
+can push a tenant past, which is what turns "policy X helped" into
+"policy X recovered N points of the headroom that was there".
+
+Two invariants anchor the CI smoke job (``violations`` /
+``isolation_regressions``):
+
+* ``bound_hit_rate >= measured_hit_rate`` for every tenant of every
+  cell — the bound is schedule-free, so co-tenancy cannot break it.
+* ``cluster-isolated`` never *increases* unfairness over ``shared``
+  on the same mix: giving each tenant its own SM slice and L2
+  partition removes the cross-tenant eviction asymmetry that
+  unfairness measures.
+
+The mixes pair workloads with contrasting locality classes (a cache
+-friendly kernel against a streaming one is where shared-L2
+interference is worst), both tenants under the paper's CLU scheme so
+clustering and co-tenancy interact the way the deployment question
+asks.  The study pins its own scale (0.25): interference is a cache
+-pressure effect, and a full-run ``--scale`` must not move the study
+off the regime where the shared L2 is actually contended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import SweepRunner, cotenant_job
+from repro.experiments.driver import RunContext, register
+from repro.experiments.report import format_table
+from repro.tenancy import POLICIES
+
+#: Tenant mixes (pairs of registry abbreviations), cache-friendly
+#: first; the second member brings the contrasting access pattern.
+STUDY_MIXES = (("NN", "HS"), ("MM", "SRD"), ("HST", "BFS"))
+
+#: Partitioning policies swept per mix, canonical order.
+STUDY_POLICIES = POLICIES
+
+#: The platform and the study's pinned knobs (see module docstring).
+STUDY_GPU = "GTX980"
+STUDY_SCALE = 0.25
+STUDY_SCHEME = "CLU"
+
+
+@dataclass(frozen=True)
+class TenancyCell:
+    """One (mix, policy) measurement, flattened for tabulation."""
+
+    mix: "tuple[str, ...]"
+    policy: str
+    unfairness: float
+    makespan_cycles: float
+    #: Parallel tuples, one entry per tenant.
+    slowdowns: "tuple[float, ...]"
+    l1_hit_rates: "tuple[float, ...]"
+    bound_hit_rates: "tuple[float, ...]"
+    l1_hit_deltas: "tuple[float, ...]"
+
+    def label(self) -> str:
+        return "+".join(self.mix)
+
+
+@dataclass
+class TenancyStudyResult:
+    """The assembled sweep, with both CI invariants as methods."""
+
+    cells: "list[TenancyCell]" = field(default_factory=list)
+    gpu: str = STUDY_GPU
+    scale: float = STUDY_SCALE
+
+    def cell(self, mix, policy: str) -> TenancyCell:
+        mix = tuple(mix)
+        for c in self.cells:
+            if (c.mix, c.policy) == (mix, policy):
+                return c
+        raise KeyError((mix, policy))
+
+    def violations(self, tolerance: float = 1e-9) -> "list[str]":
+        """Tenants whose measured L1 hit rate exceeds the oracle bound
+        — impossible if both models are sound, so any entry is a bug."""
+        found = []
+        for cell in self.cells:
+            for i, (measured, bound) in enumerate(
+                    zip(cell.l1_hit_rates, cell.bound_hit_rates)):
+                if measured > bound + tolerance:
+                    found.append(
+                        f"{cell.label()} [{cell.policy}] tenant {i} "
+                        f"({cell.mix[i]}): measured L1 {measured:.4f} > "
+                        f"bound {bound:.4f}")
+        return found
+
+    def isolation_regressions(self, tolerance: float = 1e-9) -> "list[str]":
+        """Mixes where ``cluster-isolated`` is *less* fair than
+        ``shared`` — isolation removing fairness would mean the
+        partitioning model is charging the wrong tenant."""
+        found = []
+        for cell in self.cells:
+            if cell.policy != "cluster-isolated":
+                continue
+            try:
+                shared = self.cell(cell.mix, "shared")
+            except KeyError:
+                continue
+            if cell.unfairness > shared.unfairness + tolerance:
+                found.append(
+                    f"{cell.label()}: cluster-isolated unfairness "
+                    f"{cell.unfairness:.4f} > shared "
+                    f"{shared.unfairness:.4f}")
+        return found
+
+    def render(self) -> str:
+        rows = []
+        for cell in self.cells:
+            for i, abbr in enumerate(cell.mix):
+                rows.append([
+                    cell.label() if i == 0 else "",
+                    cell.policy if i == 0 else "",
+                    abbr,
+                    round(cell.slowdowns[i], 4),
+                    round(cell.l1_hit_rates[i], 4),
+                    round(cell.bound_hit_rates[i], 4),
+                    round(cell.bound_hit_rates[i] - cell.l1_hit_rates[i],
+                          4),
+                    round(cell.unfairness, 4) if i == 0 else "",
+                ])
+        table = format_table(
+            ["Mix", "Policy", "Tenant", "Slowdown", "L1 hit",
+             "Oracle bound", "Headroom", "Unfairness"],
+            rows,
+            title=f"Tenancy study ({self.gpu}, {STUDY_SCHEME} tenants, "
+                  f"scale {self.scale})")
+        notes = self.violations() + self.isolation_regressions()
+        if notes:
+            table += "\nVIOLATIONS:\n" + "\n".join(f"  {n}" for n in notes)
+        return table
+
+
+def _study_matrix(mixes, policies):
+    return [(tuple(mix), policy) for mix in mixes for policy in policies]
+
+
+def _study_jobs(cells, *, gpu: str, scale: float, seed: int,
+                warmups: int, scheme: str) -> list:
+    jobs = []
+    for mix, policy in cells:
+        tenants = [{"workload": abbr, "scheme": scheme, "scale": scale}
+                   for abbr in mix]
+        jobs.append(cotenant_job(tenants, gpu, policy=policy, seed=seed,
+                                 warmups=warmups))
+    return jobs
+
+
+def _assemble(cells, results, *, gpu: str,
+              scale: float = STUDY_SCALE) -> TenancyStudyResult:
+    study = TenancyStudyResult(gpu=gpu, scale=scale)
+    for (mix, policy), report in zip(cells, results):
+        study.cells.append(TenancyCell(
+            mix=mix, policy=policy,
+            unfairness=report.unfairness,
+            makespan_cycles=report.makespan_cycles,
+            slowdowns=tuple(t.slowdown for t in report.tenants),
+            l1_hit_rates=tuple(t.l1_hit_rate for t in report.tenants),
+            bound_hit_rates=tuple(t.bound_hit_rate
+                                  for t in report.tenants),
+            l1_hit_deltas=tuple(t.l1_hit_delta for t in report.tenants)))
+    return study
+
+
+@register
+class TenancyStudyDriver:
+    """Tenant mix x partitioning policy sweep with the oracle column."""
+
+    name = "tenancy_study"
+    mixes = STUDY_MIXES
+    policies = STUDY_POLICIES
+    gpu = STUDY_GPU
+
+    def _cells(self):
+        return _study_matrix(self.mixes, self.policies)
+
+    def jobs(self, ctx: RunContext) -> list:
+        return _study_jobs(self._cells(), gpu=self.gpu, scale=STUDY_SCALE,
+                           seed=ctx.seed, warmups=1, scheme=STUDY_SCHEME)
+
+    def render(self, ctx: RunContext, results) -> TenancyStudyResult:
+        return _assemble(self._cells(), results, gpu=self.gpu)
+
+
+def run_tenancy_study(mixes=STUDY_MIXES, policies=STUDY_POLICIES, *,
+                      gpu: str = STUDY_GPU, scale: float = STUDY_SCALE,
+                      scheme: str = STUDY_SCHEME, seed: int = 0,
+                      warmups: int = 1,
+                      runner: SweepRunner = None) -> TenancyStudyResult:
+    """Run a (possibly reduced) study matrix as one engine batch.
+
+    The CI smoke job calls this with a single mix; every pinned knob
+    is overridable here so a quick run stays quick.
+    """
+    for policy in policies:
+        if policy not in POLICIES:
+            raise KeyError(f"unknown policy {policy!r}; "
+                           f"known: {POLICIES}")
+    cells = _study_matrix(mixes, policies)
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(_study_jobs(cells, gpu=gpu, scale=scale, seed=seed,
+                                     warmups=warmups, scheme=scheme))
+    return _assemble(cells, results, gpu=gpu, scale=scale)
+
+
+if __name__ == "__main__":
+    print(run_tenancy_study().render())

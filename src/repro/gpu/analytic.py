@@ -563,7 +563,12 @@ def estimate(gpu: GpuConfig, kernel: KernelSpec,
     if calibrated:
         coeffs = _calibration().get(config.architecture.value)
         if coeffs:
-            cycles = math.exp(coeffs["b"]) * raw ** coeffs["a"]
+            # Workload-class fit when one exists, else the arch-wide
+            # fit (class fits are refinements; a class the fitter had
+            # too few points for falls back rather than degrading).
+            fit = coeffs.get("classes", {}).get(
+                kernel.category.value, coeffs)
+            cycles = math.exp(fit["b"]) * raw ** fit["a"]
             applied = True
 
     return AnalyticEstimate(
@@ -601,11 +606,19 @@ def _calibration() -> dict:
     return _CALIBRATION_CACHE
 
 
+def _valid_fit(entry) -> bool:
+    return isinstance(entry, dict) and "a" in entry and "b" in entry
+
+
 def load_calibration(path: str = None) -> dict:
     """Per-architecture power-law coefficients, ``{arch: {a, b}}``.
 
-    Missing or unreadable files yield ``{}`` — estimates then report
-    ``calibrated=False`` and ``cycles == raw_cycles``.
+    An architecture entry may carry a ``"classes"`` sub-mapping of
+    per-workload-class refinement fits (keyed by
+    :class:`~repro.kernels.LocalityCategory` values); malformed class
+    entries are dropped individually, leaving the arch-wide fallback
+    intact.  Missing or unreadable files yield ``{}`` — estimates then
+    report ``calibrated=False`` and ``cycles == raw_cycles``.
     """
     path = path or CALIBRATION_FILE
     try:
@@ -614,8 +627,19 @@ def load_calibration(path: str = None) -> dict:
     except (OSError, ValueError):
         return {}
     coefficients = document.get("coefficients", {})
-    return {arch: entry for arch, entry in coefficients.items()
-            if isinstance(entry, dict) and "a" in entry and "b" in entry}
+    loaded = {}
+    for arch, entry in coefficients.items():
+        if not _valid_fit(entry):
+            continue
+        entry = dict(entry)
+        classes = entry.get("classes")
+        if isinstance(classes, dict):
+            entry["classes"] = {name: fit for name, fit in classes.items()
+                                if _valid_fit(fit)}
+        else:
+            entry.pop("classes", None)
+        loaded[arch] = entry
+    return loaded
 
 
 def reload_calibration(path: str = None) -> dict:

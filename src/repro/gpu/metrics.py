@@ -41,6 +41,14 @@ class KernelMetrics:
     dram_remote_transactions: int = 0
     #: Chiplet count of the simulated package (1 = flat die).
     chiplets: int = 1
+    #: Co-resident tenant count of the launch (1 = the kernel owned
+    #: the GPU, the single-tenant world every golden fixture lives in).
+    tenants: int = 1
+    #: This kernel's index within its :class:`~repro.tenancy.TenantMix`
+    #: (0 in a solo run).
+    tenant_index: int = 0
+    #: SM-partitioning policy of the co-tenant run ("" when solo).
+    tenancy_policy: str = ""
     warp_accesses: int = 0
     ctas_executed: int = 0
     overhead_cycles: float = 0.0
@@ -130,7 +138,18 @@ def canonical_metrics(metrics: KernelMetrics) -> dict:
         numa = {"chiplets": metrics.chiplets,
                 "dram_remote_transactions": metrics.dram_remote_transactions}
 
+    # Same conditional-section rule for co-tenancy: the block appears
+    # only on metrics produced by a multi-tenant run, so every solo
+    # canonical form (and golden fingerprint) is byte-identical to
+    # before the tenancy subsystem existed.
+    tenancy = {}
+    if metrics.tenants > 1:
+        tenancy = {"tenants": metrics.tenants,
+                   "tenant_index": metrics.tenant_index,
+                   "tenancy_policy": metrics.tenancy_policy}
+
     return {
+        **tenancy,
         **numa,
         "gpu_name": metrics.gpu_name,
         "kernel_name": metrics.kernel_name,

@@ -160,6 +160,38 @@ class ServiceClient:
         envelope = self._call("POST", "/v1/estimate", payload)
         return envelope if full else envelope["result"]
 
+    def bound(self, workload: str, gpu: str, *, scale: float = 1.0,
+              l2_divisor: int = 1, topology: str = None,
+              full: bool = False) -> dict:
+        """One served reuse-graph oracle bound — answered inline like
+        :meth:`estimate`, without touching the process pool.  Returns
+        the :class:`~repro.analysis.bound.BoundReport` as JSON;
+        ``full=True`` returns the whole envelope instead.
+        """
+        payload = {"workload": workload, "gpu": gpu, "scale": scale}
+        if l2_divisor != 1:
+            payload["l2_divisor"] = l2_divisor
+        if topology is not None:
+            payload["topology"] = topology
+        envelope = self._call("POST", "/v1/bound", payload)
+        return envelope if full else envelope["result"]
+
+    def cotenant(self, tenants: "list", gpu: str, *, policy: str = "shared",
+                 seed: int = 0, warmups: int = 1,
+                 deadline_s: float = None, full: bool = False) -> dict:
+        """One served co-tenant mix.  ``tenants`` is a list of workload
+        names or tenant descriptor dicts (``workload`` plus optional
+        ``scheme``/``scale``/``seed``/``active_agents``/``bypass``).
+        Returns the :class:`~repro.tenancy.TenancyReport` as JSON;
+        ``full=True`` returns the whole envelope instead.
+        """
+        payload = {"tenants": list(tenants), "gpu": gpu, "policy": policy,
+                   "seed": seed, "warmups": warmups}
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        envelope = self._call("POST", "/v1/cotenant", payload)
+        return envelope if full else envelope["result"]
+
     def cluster(self, workload: str, gpu: str, *, scheme: str = "CLU",
                 direction: str = None, active_agents: int = None,
                 seed: int = 0, topology: str = None, placement: str = None,

@@ -428,6 +428,69 @@ class SimulationService:
         return {"key": job.key, "source": "cache" if hit else "executed",
                 "result": jobmod.jsonable(value)}
 
+    async def _post_bound(self, request: HttpRequest) -> dict:
+        """Oracle fast path: the reuse-graph hit ceiling, inline.
+
+        Mirrors ``/v1/estimate``'s pool-free discipline — same
+        ``{key, source, result}`` envelope, same cache, but the work
+        runs on a loop-adjacent thread and never touches the admission
+        queue, the micro-batcher or the process pool.  The bound is a
+        single linear pass over the compiled access streams, so the
+        endpoint keeps answering while the pool is saturated with
+        simulations.  Visible in ``/metrics`` under ``bounds``.
+        """
+        payload = request.json()
+        job = jobmod.build_bound_job(payload)
+        self._deadline_from(payload)  # validate the field for parity
+        if self._draining:
+            raise HttpError(503, "draining",
+                            "service is draining and not admitting work")
+        started = time.perf_counter()
+        value, hit = None, False
+        if self.cache is not None:
+            with self.metrics.timer.phase("cache_lookup"):
+                cached = self.cache.get(job)
+            if not ResultCache.is_miss(cached):
+                value, hit = cached, True
+        if not hit:
+            try:
+                value = await asyncio.to_thread(execute, job)
+            except Exception as exc:
+                self.metrics.job_errors += 1
+                self.metrics.observe_bound(
+                    time.perf_counter() - started, cached=False)
+                raise HttpError(
+                    500, "job_failed",
+                    f"job {job.label()} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    detail={"job": job.label()}) from None
+            self.metrics.executed += 1
+            if self.cache is not None:
+                with self.metrics.timer.phase("cache_store"):
+                    try:
+                        self.cache.put(job, value)
+                    except OSError:
+                        pass  # a full disk must not fail the response
+        self.metrics.observe_bound(time.perf_counter() - started,
+                                   cached=hit)
+        return {"key": job.key, "source": "cache" if hit else "executed",
+                "result": jobmod.jsonable(value)}
+
+    async def _post_cotenant(self, request: HttpRequest) -> dict:
+        """One multi-tenant mix measurement; rides the full pipeline.
+
+        A co-tenant run costs several solo simulations plus the
+        co-dispatch itself, so unlike ``/v1/bound`` it goes through
+        single-flight dedup, the cache, admission and the pool exactly
+        like ``/v1/simulate``.
+        """
+        payload = request.json()
+        job = jobmod.build_cotenant_job(payload)
+        deadline = self._deadline_from(payload)
+        value, source = await self.submit(job, deadline)
+        return {"key": job.key, "source": source,
+                "result": jobmod.jsonable(value)}
+
     async def _post_cluster(self, request: HttpRequest) -> dict:
         payload = request.json()
         job = jobmod.build_cluster_job(payload)
@@ -773,6 +836,8 @@ _ROUTES = {
     ("GET", "/metrics"): SimulationService._get_metrics,
     ("POST", "/v1/simulate"): SimulationService._post_simulate,
     ("POST", "/v1/estimate"): SimulationService._post_estimate,
+    ("POST", "/v1/bound"): SimulationService._post_bound,
+    ("POST", "/v1/cotenant"): SimulationService._post_cotenant,
     ("POST", "/v1/cluster"): SimulationService._post_cluster,
     ("POST", "/v1/sweep"): SimulationService._post_sweep,
     ("POST", "/v1/tune"): SimulationService._post_tune,

@@ -22,7 +22,9 @@ import enum
 
 from repro.engine.executors import (
     EXECUTORS,
+    bound_job,
     cluster_job,
+    cotenant_job,
     estimate_job,
     simulate_job,
     tune_job,
@@ -147,6 +149,65 @@ def build_estimate_job(payload: dict) -> SimJob:
                         placement=placement)
 
 
+def build_bound_job(payload: dict) -> SimJob:
+    """``POST /v1/bound`` body -> a canonical ``bound`` job.
+
+    Deliberately the smallest request shape of the family: the
+    reuse-graph bound is schedule-free, so there is no scheme, seed or
+    warmup axis to validate — one (workload, gpu, scale, topology)
+    quadruple is the whole configuration space.
+    """
+    workload = _check_workload(_string(payload, "workload", required=True))
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    scale = _number(payload, "scale", 1.0, minimum=1e-6, maximum=16.0)
+    l2_divisor = _number(payload, "l2_divisor", 1, cast=int, minimum=1)
+    topology = _check_topology(_string(payload, "topology"))
+    return bound_job(workload, gpu, scale=scale, l2_divisor=l2_divisor,
+                     topology=topology)
+
+
+def build_cotenant_job(payload: dict) -> SimJob:
+    """``POST /v1/cotenant`` body -> a canonical ``cotenant`` job."""
+    from repro.tenancy import POLICIES, TENANT_SCHEMES
+    gpu = _check_gpu(_string(payload, "gpu", required=True))
+    policy = _string(payload, "policy", default="shared")
+    if policy not in POLICIES:
+        raise _bad("policy", f"unknown policy {policy!r}; "
+                             f"known: {POLICIES}")
+    seed = _number(payload, "seed", 0, cast=int, minimum=0)
+    warmups = _number(payload, "warmups", 1, cast=int, minimum=0, maximum=8)
+    entries = payload.get("tenants")
+    if not isinstance(entries, list) or not entries:
+        raise _bad("tenants", "expected a non-empty list of tenant "
+                              "descriptors")
+    tenants = []
+    for index, entry in enumerate(entries):
+        field = f"tenants[{index}]"
+        if isinstance(entry, str):
+            entry = {"workload": entry}
+        if not isinstance(entry, dict):
+            raise _bad(field, "expected an object or a workload "
+                              "abbreviation")
+        _check_workload(_string(entry, "workload", required=True))
+        scheme = _string(entry, "scheme", default="BSL")
+        if scheme not in TENANT_SCHEMES:
+            raise _bad(field, f"unknown tenant scheme {scheme!r}; "
+                              f"known: {TENANT_SCHEMES}")
+        _number(entry, "scale", 1.0, minimum=1e-6, maximum=16.0)
+        _number(entry, "seed", 0, cast=int, minimum=0)
+        _number(entry, "active_agents", None, cast=int, minimum=1)
+        bypass = entry.get("bypass", False)
+        if not isinstance(bypass, bool):
+            raise _bad(field, f"'bypass' must be a boolean, "
+                              f"got {type(bypass).__name__}")
+        tenants.append(entry)
+    try:
+        return cotenant_job(tenants, gpu, policy=policy, seed=seed,
+                            warmups=warmups)
+    except (ValueError, KeyError) as exc:
+        raise _bad("tenants", str(exc)) from None
+
+
 def build_cluster_job(payload: dict) -> SimJob:
     """``POST /v1/cluster`` body -> a canonical ``cluster`` job."""
     workload = _check_workload(_string(payload, "workload", required=True))
@@ -231,6 +292,10 @@ def _build_one(entry: dict) -> SimJob:
         return build_estimate_job(entry)
     if kind == "cluster":
         return build_cluster_job(entry)
+    if kind == "bound":
+        return build_bound_job(entry)
+    if kind == "cotenant":
+        return build_cotenant_job(entry)
     if kind not in EXECUTORS:
         raise _bad("kind", f"unknown job kind {kind!r}; "
                            f"known: {sorted(EXECUTORS)}")

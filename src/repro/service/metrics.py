@@ -59,6 +59,11 @@ class ServiceMetrics:
         self.estimates = 0
         self.estimate_cache_hits = 0
         self.estimate_seconds = 0.0
+        # The oracle-bound fast path (POST /v1/bound) — same inline
+        # discipline as estimates, its own funnel.
+        self.bounds = 0
+        self.bound_cache_hits = 0
+        self.bound_seconds = 0.0
         # Cache-slice transfers (shard warmup / hot-key replication).
         self.cache_exports = 0
         self.cache_imports = 0
@@ -77,6 +82,12 @@ class ServiceMetrics:
         if cached:
             self.estimate_cache_hits += 1
         self.estimate_seconds += seconds
+
+    def observe_bound(self, seconds: float, *, cached: bool) -> None:
+        self.bounds += 1
+        if cached:
+            self.bound_cache_hits += 1
+        self.bound_seconds += seconds
 
     def latency_summary(self) -> dict:
         values = sorted(self._latencies)
@@ -146,6 +157,13 @@ class ServiceMetrics:
                 "mean_latency_ms": (round(self.estimate_seconds
                                           / self.estimates * 1e3, 3)
                                     if self.estimates else 0.0),
+            },
+            "bounds": {
+                "count": self.bounds,
+                "cache_hits": self.bound_cache_hits,
+                "mean_latency_ms": (round(self.bound_seconds
+                                          / self.bounds * 1e3, 3)
+                                    if self.bounds else 0.0),
             },
             "latency": self.latency_summary(),
             "phase_seconds": {name: round(seconds, 6) for name, seconds

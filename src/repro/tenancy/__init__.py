@@ -1,0 +1,23 @@
+"""Multi-tenant interference lab: concurrent kernels on one GPU.
+
+The paper evaluates clustering with one kernel owning the whole GPU;
+this package adds the co-tenancy dimension (ROADMAP item 5): a frozen
+:class:`TenantMix` of registry workloads — each with its own scheme /
+throttle / bypass mitigation — dispatched concurrently onto shared
+SMs and a shared L2, with exact per-tenant cache accounting,
+solo-vs-co interference metrics and the reuse-graph oracle ceiling
+(:mod:`repro.analysis.bound`) as the report's oracle column.
+
+Entry point: :func:`run_mix`.
+"""
+
+from repro.tenancy.runner import (TENANT_STRIDE, TenancyReport,
+                                  TenantResult, run_mix, tenant_kernel)
+from repro.tenancy.spec import (POLICIES, TENANT_SCHEMES, TenantMix,
+                                TenantSpec)
+
+__all__ = [
+    "POLICIES", "TENANT_SCHEMES", "TENANT_STRIDE",
+    "TenancyReport", "TenantMix", "TenantResult", "TenantSpec",
+    "run_mix", "tenant_kernel",
+]

@@ -23,6 +23,66 @@ from repro.fidelity import ANALYTIC, FULL, REDUCED
 from repro.tuner.evaluate import Evaluator
 from repro.tuner.space import Candidate, ConfigPoint, SearchSpace
 
+#: Admission slack over the oracle cycles floor: a candidate whose
+#: rung-0 cycle estimate exceeds ``BOUND_SLACK x bound_floor_cycles``
+#: is hopeless — even a generous calibration error cannot bring it
+#: under configurations that sit near the floor — so it never charges
+#: simulation budget.  Generous by design: the floor is optimistic
+#: (perfect latency hiding, oracle hit rates), so real winners land at
+#: 2-4x it and only genuinely pathological points exceed 8x.
+BOUND_SLACK = 8.0
+
+#: (workload, gpu, scale) -> oracle cycles floor; the bound is
+#: schedule-free, so one linear pass per triple serves every strategy
+#: and every tuning run in the process.
+_FLOOR_MEMO: "dict[tuple, float]" = {}
+
+
+def oracle_floor(space: SearchSpace, scale: float) -> float:
+    """The reuse-graph cycles floor for the space's (workload, GPU).
+
+    Memoized per (workload, gpu, scale): the floor is a property of
+    the compiled access stream, not of any configuration point, so the
+    hill climber can consult it per neighborhood for free.
+    """
+    key = (space.workload, space.gpu, scale)
+    if key not in _FLOOR_MEMO:
+        from repro.analysis.bound import bound_floor_cycles
+        from repro.gpu.config import platform
+        from repro.workloads.registry import workload as lookup
+        config = platform(space.gpu)
+        kernel = lookup(space.workload).kernel(scale=scale, config=config)
+        _FLOOR_MEMO[key] = bound_floor_cycles(config, kernel)
+    return _FLOOR_MEMO[key]
+
+
+def bound_admit(ranked, floor: float, *, slack: float = BOUND_SLACK,
+                keep_points=()) -> "tuple[list, list]":
+    """Split analytic-ranked candidates into (admitted, pruned).
+
+    A candidate is pruned when its rung-0 cycle estimate exceeds
+    ``slack x floor`` — the bound-implied ceiling no plausible
+    calibration error explains away.  ``keep_points`` (the warm start,
+    a hill climb's incumbent) are exempt: the regression-free
+    guarantee requires they stay eligible no matter what the filter
+    thinks of them.  The admitted list is never empty — if the filter
+    would reject everything (a floor mis-estimate, not a real signal),
+    it admits the full ranking instead.
+    """
+    if not ranked or floor is None or floor <= 0:
+        return list(ranked), []
+    ceiling = slack * floor
+    keep = set(keep_points)
+    admitted, pruned = [], []
+    for candidate in ranked:
+        if candidate.cycles <= ceiling or candidate.point in keep:
+            admitted.append(candidate)
+        else:
+            pruned.append(candidate)
+    if not admitted:
+        return list(ranked), []
+    return admitted, pruned
+
 
 class SearchStrategy(Protocol):
     """The strategy contract: spend the evaluator's budget searching.
@@ -77,6 +137,9 @@ class GridStrategy:
     #: charges the budget).
     admit_fraction = 0.5
 
+    #: Oracle-floor admission slack (see :func:`bound_admit`).
+    bound_slack = BOUND_SLACK
+
     def search(self, evaluator: Evaluator, space: SearchSpace,
                warm: ConfigPoint) -> None:
         points = space.points()
@@ -84,6 +147,14 @@ class GridStrategy:
             ranked = evaluator.evaluate(points, fidelity=ANALYTIC)
             if ranked:
                 ranked = sorted(ranked, key=Candidate.rank_key)
+                ranked, pruned = bound_admit(
+                    ranked, oracle_floor(space, evaluator.scale),
+                    slack=self.bound_slack,
+                    keep_points=(space.normalize(warm),))
+                if pruned:
+                    evaluator.note(
+                        f"oracle floor: pruned {len(pruned)} candidate(s) "
+                        f"above {self.bound_slack:g}x the cycles bound")
                 keep = max(evaluator.remaining,
                            int(len(ranked) * self.admit_fraction))
                 admitted = [c.point for c in ranked[:keep]]
@@ -108,13 +179,19 @@ class HillClimbStrategy:
 
     name = "hillclimb"
 
-    def _admit(self, evaluator: Evaluator, pool, current):
+    #: Oracle-floor admission slack (see :func:`bound_admit`).
+    bound_slack = BOUND_SLACK
+
+    def _admit(self, evaluator: Evaluator, space: SearchSpace, pool,
+               current):
         """Analytic admission for one axis neighborhood.
 
-        Rung-0 scores the whole neighborhood for free; only the top
-        half (plus the incumbent, which is already paid for) charges
-        simulation budget.  Neighborhoods of <= 2 points gain nothing
-        from triage and pass through unfiltered.
+        Rung-0 scores the whole neighborhood for free; the oracle
+        floor first discards estimates beyond ``bound_slack`` x the
+        reuse-graph cycles bound, then only the top half of what
+        survives (plus the incumbent, which is already paid for)
+        charges simulation budget.  Neighborhoods of <= 2 points gain
+        nothing from triage and pass through unfiltered.
         """
         if evaluator.fidelity.rung <= ANALYTIC.rung or len(pool) <= 2:
             return pool
@@ -122,6 +199,13 @@ class HillClimbStrategy:
         if not ranked:
             return pool
         ranked = sorted(ranked, key=Candidate.rank_key)
+        ranked, pruned = bound_admit(
+            ranked, oracle_floor(space, evaluator.scale),
+            slack=self.bound_slack, keep_points=(current,))
+        if pruned:
+            evaluator.note(f"oracle floor: pruned {len(pruned)} "
+                           f"neighbor(s) above {self.bound_slack:g}x "
+                           f"the cycles bound")
         keep = max(1, len(ranked) // 2)
         admitted = [c.point for c in ranked[:keep]]
         if current not in admitted:
@@ -137,7 +221,7 @@ class HillClimbStrategy:
             for axis in space.AXES:
                 if not evaluator.remaining:
                     break
-                pool = self._admit(evaluator,
+                pool = self._admit(evaluator, space,
                                    space.axis_variants(current, axis),
                                    current)
                 found = evaluator.evaluate(pool)
@@ -180,6 +264,9 @@ class HalvingStrategy:
     #: Fidelity rungs, cheapest first; the run's target rung caps them.
     rungs = (ANALYTIC, REDUCED, FULL)
 
+    #: Oracle-floor admission slack (see :func:`bound_admit`).
+    bound_slack = BOUND_SLACK
+
     def search(self, evaluator: Evaluator, space: SearchSpace,
                warm: ConfigPoint) -> None:
         target = evaluator.fidelity
@@ -192,10 +279,18 @@ class HalvingStrategy:
         found = evaluator.evaluate(population, fidelity=ANALYTIC)
         if found and target.rung > ANALYTIC.rung:
             ranked = sorted(found, key=Candidate.rank_key)
+            total = len(ranked)
+            ranked, pruned = bound_admit(
+                ranked, oracle_floor(space, evaluator.scale),
+                slack=self.bound_slack, keep_points=(warm,))
+            if pruned:
+                evaluator.note(f"oracle floor: pruned {len(pruned)} "
+                               f"candidate(s) above {self.bound_slack:g}x "
+                               f"the cycles bound")
             keep = max(2, evaluator.budget // 8)
             population = [c.point for c in ranked[:keep]]
             evaluator.note(f"rung 0 (analytic): {len(population)}/"
-                           f"{len(ranked)} advance to simulation")
+                           f"{total} advance to simulation")
         if target.rung <= ANALYTIC.rung:
             return
         # Rung 1: reduced-scale simulation on the analytic survivors.

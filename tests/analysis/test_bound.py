@@ -1,0 +1,164 @@
+"""The reuse-graph oracle bound: soundness, exactness, and the floor.
+
+Three layers of evidence that :mod:`repro.analysis.bound` really is a
+bound:
+
+* *exactness* on a hand-built kernel whose optimal schedule is
+  trivially known — the bound and the simulator agree to the digit,
+  which pins the "why exact for LRU-set traces" argument in DESIGN;
+* *soundness* across the whole workload registry on every evaluation
+  platform — no measured L1/L2 hit rate ever exceeds its ceiling;
+* the derived *cycles floor* never exceeds a measured run.
+"""
+
+import pytest
+
+from repro import api
+from repro.analysis.bound import (BoundReport, bound_floor_cycles,
+                                  cache_hit_bound)
+from repro.gpu.config import EVALUATION_PLATFORMS, TESLA_K40
+from repro.gpu.plan import baseline_plan
+from repro.gpu.simulator import simulate
+from repro.kernels.access import read, write
+from repro.kernels.kernel import Dim3, KernelSpec
+from repro.workloads.registry import TABLE2_ORDER, workload
+
+SCALE = 0.25
+
+
+def _private_reread_kernel(n_ctas=4, lines_per_cta=4, rereads=1):
+    """Each CTA reads its own disjoint 128B lines, then re-reads them.
+
+    The optimal *and* the actual behaviour coincide: a flushed L1
+    takes exactly one compulsory miss per distinct line and every
+    re-read hits (the footprint is a few lines — no capacity or
+    conflict pressure, no cross-CTA sharing).  With ``r`` re-reads the
+    hit rate is exactly ``r / (r + 1)``.
+    """
+    line = 128
+
+    def trace(bx, by, bz):
+        base = 0x1000_0000 + bx * lines_per_cta * line * 64
+        pass_once = tuple(read(base + i * line, stride=4, lanes=32)
+                          for i in range(lines_per_cta))
+        return pass_once * (1 + rereads)
+
+    return KernelSpec(name="private-reread", grid=Dim3(n_ctas),
+                      block=Dim3(32), trace=trace)
+
+
+class TestExactness:
+    def test_bound_is_exact_on_private_reread(self):
+        gpu = TESLA_K40
+        kernel = _private_reread_kernel()
+        report = cache_hit_bound(gpu, kernel)
+        assert report.bound_hit_rate == pytest.approx(0.5)
+        measured = simulate(gpu, kernel, baseline_plan(), warmups=0)
+        # Achievable and achieved: the ceiling is tight here.
+        assert measured.l1_hit_rate == pytest.approx(
+            report.bound_hit_rate)
+
+    def test_misses_equal_distinct_lines_exactly(self):
+        """The DESIGN argument in numbers: when a set never holds more
+        live lines than its associativity, LRU takes *only* the
+        compulsory misses, so ``misses == distinct_lines``."""
+        gpu = TESLA_K40
+        kernel = _private_reread_kernel(rereads=3)
+        report = cache_hit_bound(gpu, kernel)
+        measured = simulate(gpu, kernel, baseline_plan(), warmups=0)
+        assert measured.l1.misses == report.l1_distinct_lines
+        assert measured.l1_hit_rate == pytest.approx(0.75)
+
+    def test_writes_never_count_as_hittable(self):
+        line = 128
+
+        def trace(bx, by, bz):
+            base = 0x2000_0000 + bx * 8 * line
+            return (write(base), write(base))  # same line twice
+
+        kernel = KernelSpec(name="write-only", grid=Dim3(2),
+                            block=Dim3(32), trace=trace)
+        report = cache_hit_bound(TESLA_K40, kernel)
+        # Write-evict: every store is a miss by definition.
+        assert report.bound_hit_rate == 0.0
+        assert report.l1_writes == report.l1_accesses
+
+
+class TestReportShape:
+    def test_census_fields_are_consistent(self):
+        gpu = TESLA_K40
+        kernel = workload("NN").kernel(scale=SCALE, config=gpu)
+        report = cache_hit_bound(gpu, kernel)
+        assert isinstance(report, BoundReport)
+        assert report.kernel_name == kernel.name
+        assert report.gpu_name == gpu.name
+        assert report.n_ctas == kernel.n_ctas
+        assert 0.0 <= report.bound_hit_rate <= 1.0
+        assert 0.0 <= report.bound_l2_hit_rate <= 1.0
+        assert report.l1_accesses == report.l1_reads + report.l1_writes
+        assert (report.l1_distinct_nonstream_lines
+                <= report.l1_distinct_lines)
+        assert report.min_l1_misses >= report.l1_distinct_lines
+
+    def test_schedule_free(self):
+        """Same kernel instance -> same bound, no seed/plan anywhere."""
+        gpu = TESLA_K40
+        kernel = workload("HS").kernel(scale=SCALE, config=gpu)
+        assert (cache_hit_bound(gpu, kernel)
+                == cache_hit_bound(gpu, kernel))
+
+
+class TestSoundness:
+    """``bound >= measured`` over registry x platform — the invariant
+    the tenancy suite, the service and the tuner all lean on."""
+
+    @pytest.mark.parametrize("gpu", EVALUATION_PLATFORMS,
+                             ids=lambda g: g.name)
+    def test_bound_dominates_measured_everywhere(self, gpu):
+        violations = []
+        for abbr in TABLE2_ORDER:
+            kernel = workload(abbr).kernel(scale=SCALE, config=gpu)
+            report = cache_hit_bound(gpu, kernel)
+            metrics = api.simulate(abbr, gpu.name, scale=SCALE,
+                                   warmups=1)
+            if metrics.l1_hit_rate > report.bound_hit_rate + 1e-9:
+                violations.append(
+                    f"{abbr} L1 {metrics.l1_hit_rate:.6f} > "
+                    f"{report.bound_hit_rate:.6f}")
+            if metrics.l2.hit_rate > report.bound_l2_hit_rate + 1e-9:
+                violations.append(
+                    f"{abbr} L2 {metrics.l2.hit_rate:.6f} > "
+                    f"{report.bound_l2_hit_rate:.6f}")
+        assert not violations, f"{gpu.name}: {violations}"
+
+    def test_bound_dominates_clustered_plans(self):
+        """Clustering raises hit rates — the ceiling still holds."""
+        gpu = TESLA_K40
+        for abbr in ("NN", "HS", "MM"):
+            kernel = workload(abbr).kernel(scale=SCALE, config=gpu)
+            report = cache_hit_bound(gpu, kernel)
+            for scheme in ("CLU", "CLU+TOT"):
+                metrics = api.simulate(abbr, gpu.name, scheme=scheme,
+                                       scale=SCALE, warmups=1)
+                assert (metrics.l1_hit_rate
+                        <= report.bound_hit_rate + 1e-9), (abbr, scheme)
+
+
+class TestCyclesFloor:
+    def test_floor_below_every_measured_run(self):
+        gpu = TESLA_K40
+        for abbr in ("NN", "HS", "SRD"):
+            kernel = workload(abbr).kernel(scale=SCALE, config=gpu)
+            floor = bound_floor_cycles(gpu, kernel)
+            assert floor > 0
+            for scheme in (None, "CLU"):
+                metrics = api.simulate(abbr, gpu.name, scheme=scheme,
+                                       scale=SCALE, warmups=0)
+                assert metrics.cycles >= floor, (abbr, scheme)
+
+    def test_floor_reuses_a_precomputed_report(self):
+        gpu = TESLA_K40
+        kernel = workload("NN").kernel(scale=SCALE, config=gpu)
+        report = cache_hit_bound(gpu, kernel)
+        assert (bound_floor_cycles(gpu, kernel, report)
+                == bound_floor_cycles(gpu, kernel))

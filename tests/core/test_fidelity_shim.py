@@ -1,0 +1,94 @@
+"""The float-multiplier fidelity shim: mapping, warning, and the
+removal guard.
+
+``resolve_fidelity`` still accepts the pre-1.4 raw scale-multiplier
+floats so old tuner call sites keep working; these tests pin down the
+exact deprecation contract (what maps where, what the warning says,
+and that the shim cannot silently outlive its advertised removal in
+2.0) so the shim can be deleted confidently, not accidentally.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.fidelity import (ANALYTIC, FIDELITIES, FULL, REDUCED,
+                            resolve_fidelity)
+
+
+class TestNamedResolution:
+    def test_none_returns_default(self):
+        assert resolve_fidelity(None) is FULL
+        assert resolve_fidelity(None, default=ANALYTIC) is ANALYTIC
+
+    def test_fidelity_passes_through(self):
+        for fid in FIDELITIES.values():
+            assert resolve_fidelity(fid) is fid
+
+    def test_names_case_insensitive(self):
+        assert resolve_fidelity("analytic") is ANALYTIC
+        assert resolve_fidelity("Reduced") is REDUCED
+        assert resolve_fidelity("FULL") is FULL
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            resolve_fidelity("ultra")
+
+
+class TestFloatShim:
+    def test_multiplier_at_or_above_one_maps_to_full(self):
+        for value in (1.0, 1, 1.5, 4.0):
+            with pytest.deprecated_call():
+                assert resolve_fidelity(value) is FULL
+
+    def test_multiplier_below_one_maps_to_reduced(self):
+        for value in (0.5, 0.25, 0.999):
+            with pytest.deprecated_call():
+                assert resolve_fidelity(value) is REDUCED
+
+    def test_warning_names_the_replacement_rung(self):
+        """The message must tell the caller what to write instead."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_fidelity(0.5)
+        assert len(caught) == 1
+        warning = caught[0]
+        assert warning.category is DeprecationWarning
+        message = str(warning.message)
+        assert "float fidelity 0.5 is deprecated" in message
+        assert "'reduced'" in message
+        assert "repro.fidelity" in message
+
+    def test_nonpositive_multiplier_rejected_without_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for value in (0.0, -1.0):
+                with pytest.raises(ValueError, match="must be > 0"):
+                    resolve_fidelity(value)
+        assert not caught  # rejects never deprecation-warn
+
+    def test_bool_is_not_a_multiplier(self):
+        """``True`` is an ``int`` subclass but means nothing as a
+        fidelity; it must hit the TypeError arm, not map to full."""
+        for value in (True, False):
+            with pytest.raises(TypeError, match="legacy float"):
+                resolve_fidelity(value)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError, match="Fidelity, rung name"):
+            resolve_fidelity(["full"])
+
+
+class TestRemovalGuard:
+    def test_shim_removed_by_2_0(self):
+        """The float shim is advertised for removal in the next major
+        version.  If this assertion ever fires, the release being cut
+        still carries the shim: delete the float arm of
+        ``resolve_fidelity`` (and this test class) before tagging 2.0,
+        or consciously extend the deprecation window here."""
+        major = int(repro.__version__.split(".")[0])
+        assert major < 2, (
+            f"repro {repro.__version__} still accepts deprecated float "
+            f"fidelity multipliers; remove the shim in "
+            f"repro.fidelity.resolve_fidelity before releasing 2.x")

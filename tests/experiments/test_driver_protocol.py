@@ -25,7 +25,7 @@ class TestRegistry:
         assert set(driver_names()) == {
             "ablations", "fig2", "fig3", "fig4", "fig12", "fig13",
             "framework", "scheduler", "sensitivity", "table1", "table2",
-            "tuning_study", "chiplet_study"}
+            "tuning_study", "chiplet_study", "tenancy_study"}
 
     def test_registered_objects_satisfy_the_protocol(self):
         driver_names()  # force _load_all

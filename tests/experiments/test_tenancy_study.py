@@ -1,0 +1,118 @@
+"""The tenancy_study driver: matrix planning, invariants, rendering."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.driver import get_driver
+from repro.experiments.tenancy_study import (
+    STUDY_MIXES, STUDY_POLICIES, TenancyCell, TenancyStudyResult,
+    _assemble, _study_jobs, _study_matrix, run_tenancy_study)
+from repro.experiments.driver import RunContext
+from repro.gpu.config import EVALUATION_PLATFORMS
+
+
+def _fake_report(slowdowns, l1=(0.5, 0.4), bound=(0.8, 0.7)):
+    tenants = [
+        SimpleNamespace(slowdown=s, l1_hit_rate=l, bound_hit_rate=b,
+                        l1_hit_delta=0.01)
+        for s, l, b in zip(slowdowns, l1, bound)
+    ]
+    return SimpleNamespace(
+        unfairness=max(slowdowns) / min(slowdowns),
+        makespan_cycles=1000.0, tenants=tenants)
+
+
+class TestPlanning:
+    def test_matrix_is_the_full_cross_product(self):
+        cells = _study_matrix(STUDY_MIXES, STUDY_POLICIES)
+        assert len(cells) == len(STUDY_MIXES) * len(STUDY_POLICIES)
+        assert cells[0] == (STUDY_MIXES[0], STUDY_POLICIES[0])
+
+    def test_jobs_are_cotenant_jobs(self):
+        cells = _study_matrix(STUDY_MIXES[:1], STUDY_POLICIES)
+        jobs = _study_jobs(cells, gpu="GTX980", scale=0.25, seed=0,
+                           warmups=1, scheme="CLU")
+        assert len(jobs) == len(STUDY_POLICIES)
+        for job, (mix, policy) in zip(jobs, cells):
+            assert job.kind == "cotenant"
+            assert job.extra("policy") == policy
+            tenants = [dict(pairs) for pairs in job.extra("tenants")]
+            assert [t["workload"] for t in tenants] == list(mix)
+            assert all(t["scheme"] == "CLU" for t in tenants)
+
+    def test_driver_is_registered(self):
+        driver = get_driver("tenancy_study")
+        ctx = RunContext(platforms=EVALUATION_PLATFORMS, scale=1.0,
+                         seed=0)
+        jobs = driver.jobs(ctx)
+        assert len(jobs) == len(STUDY_MIXES) * len(STUDY_POLICIES)
+        assert all(j.kind == "cotenant" for j in jobs)
+
+    def test_listed_in_the_cli_registry(self):
+        from repro.experiments.__main__ import ARTIFACTS, ON_DEMAND
+        assert "tenancy_study" in ARTIFACTS
+        assert "tenancy_study" in ON_DEMAND  # excluded from run-all
+
+    def test_unknown_policy_rejected_up_front(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            run_tenancy_study(mixes=(("NN", "HS"),),
+                              policies=("time-sliced",))
+
+
+class TestInvariants:
+    def test_assemble_flattens_reports(self):
+        cells = [(("NN", "HS"), "shared")]
+        study = _assemble(cells, [_fake_report((2.0, 1.5))],
+                          gpu="GTX980")
+        cell = study.cell(("NN", "HS"), "shared")
+        assert cell.slowdowns == (2.0, 1.5)
+        assert cell.unfairness == pytest.approx(2.0 / 1.5)
+
+    def test_violations_catch_bound_breaches(self):
+        study = TenancyStudyResult(cells=[TenancyCell(
+            mix=("NN", "HS"), policy="shared", unfairness=1.2,
+            makespan_cycles=100.0, slowdowns=(1.2, 1.0),
+            l1_hit_rates=(0.9, 0.3), bound_hit_rates=(0.8, 0.7),
+            l1_hit_deltas=(0.0, 0.0))])
+        problems = study.violations()
+        assert len(problems) == 1
+        assert "tenant 0" in problems[0]
+        assert study.violations(tolerance=1.0) == []
+
+    def test_isolation_regressions_compare_against_shared(self):
+        def cell(policy, unfairness):
+            return TenancyCell(
+                mix=("NN", "HS"), policy=policy, unfairness=unfairness,
+                makespan_cycles=100.0, slowdowns=(1.0, 1.0),
+                l1_hit_rates=(0.5, 0.5), bound_hit_rates=(0.8, 0.8),
+                l1_hit_deltas=(0.0, 0.0))
+
+        fair = TenancyStudyResult(cells=[cell("shared", 2.0),
+                                         cell("cluster-isolated", 1.5)])
+        assert fair.isolation_regressions() == []
+        unfair = TenancyStudyResult(cells=[cell("shared", 1.5),
+                                           cell("cluster-isolated", 2.0)])
+        assert len(unfair.isolation_regressions()) == 1
+
+    def test_missing_shared_cell_is_not_a_regression(self):
+        study = TenancyStudyResult(cells=[TenancyCell(
+            mix=("NN", "HS"), policy="cluster-isolated", unfairness=9.0,
+            makespan_cycles=100.0, slowdowns=(9.0, 1.0),
+            l1_hit_rates=(0.5, 0.5), bound_hit_rates=(0.8, 0.8),
+            l1_hit_deltas=(0.0, 0.0))])
+        assert study.isolation_regressions() == []
+
+
+class TestRendering:
+    def test_render_has_the_oracle_column_and_flags_violations(self):
+        good = _assemble([(("NN", "HS"), "shared")],
+                         [_fake_report((2.0, 1.5))], gpu="GTX980")
+        text = good.render()
+        assert "Oracle bound" in text
+        assert "Unfairness" in text
+        assert "VIOLATIONS" not in text
+        bad = _assemble([(("NN", "HS"), "shared")],
+                        [_fake_report((2.0, 1.5), l1=(0.9, 0.9),
+                                      bound=(0.1, 0.1))], gpu="GTX980")
+        assert "VIOLATIONS" in bad.render()

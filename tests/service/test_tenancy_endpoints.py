@@ -1,0 +1,108 @@
+"""``POST /v1/bound`` and ``POST /v1/cotenant``: envelopes, pool
+behaviour, caching, validation, sweep integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceError
+
+BOUND = {"workload": "NN", "gpu": "GTX980", "scale": 0.2}
+TENANTS = [{"workload": "NN", "scale": 0.2},
+           {"workload": "HS", "scale": 0.2}]
+
+
+class TestBoundEndpoint:
+    def test_envelope_and_result_shape(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        envelope = service.client().bound(**BOUND, full=True)
+        assert set(envelope) == {"key", "source", "result"}
+        assert envelope["source"] == "executed"
+        result = envelope["result"]
+        assert result["kernel_name"] == "NN"
+        assert result["gpu_name"] == "GTX980"
+        assert 0.0 <= result["bound_hit_rate"] <= 1.0
+        assert 0.0 <= result["bound_l2_hit_rate"] <= 1.0
+        assert result["l1_distinct_lines"] > 0
+
+    def test_pool_free_and_metered(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        client.bound(**BOUND)
+        client.bound(workload="HS", gpu="GTX980", scale=0.2)
+        snapshot = client.metrics()
+        assert snapshot["bounds"]["count"] == 2
+        assert snapshot["bounds"]["cache_hits"] == 0
+        assert snapshot["batches"]["count"] == 0  # never pooled
+
+    def test_repeat_hits_the_result_cache(self, service_factory,
+                                          tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bcache"))
+        service = service_factory(workers=0, cache=True)
+        client = service.client()
+        first = client.bound(**BOUND, full=True)
+        second = client.bound(**BOUND, full=True)
+        assert first["source"] == "executed"
+        assert second["source"] == "cache"
+        assert second["result"] == first["result"]
+        assert client.metrics()["bounds"]["cache_hits"] == 1
+
+    def test_validation_matches_estimate_shapes(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        for bad in ({**BOUND, "workload": "NOPE"},
+                    {**BOUND, "gpu": "NOPE"},
+                    {**BOUND, "scale": -1.0}):
+            with pytest.raises(ServiceError) as err:
+                client.bound(**bad)
+            assert err.value.status == 400
+
+
+class TestCotenantEndpoint:
+    def test_result_carries_tenants_and_oracle(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        result = service.client().cotenant(TENANTS, "GTX980",
+                                           warmups=0)
+        assert result["policy"] == "shared"
+        assert len(result["tenants"]) == 2
+        for tenant in result["tenants"]:
+            assert tenant["l1_hit_rate"] \
+                <= tenant["bound_hit_rate"] + 1e-9
+            assert tenant["slowdown"] > 0
+        assert result["unfairness"] >= 1.0
+        assert len(result["bounds"]) == 2
+
+    def test_validation_errors(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        cases = [
+            ({"tenants": [], "gpu": "GTX980"}, "non-empty"),
+            ({"tenants": TENANTS, "gpu": "GTX980",
+              "policy": "mystery"}, "policy"),
+            ({"tenants": [{"workload": "NN", "scheme": "PFH+TOT"}],
+              "gpu": "GTX980"}, "unknown tenant scheme"),
+            ({"tenants": [{"workload": "NOPE"}], "gpu": "GTX980"},
+             "workload"),
+        ]
+        for payload, needle in cases:
+            with pytest.raises(ServiceError) as err:
+                client.cotenant(payload["tenants"], payload["gpu"],
+                                policy=payload.get("policy", "shared"),
+                                warmups=0)
+            assert err.value.status == 400
+            assert needle in str(err.value).lower()
+
+
+class TestSweepIntegration:
+    def test_sweep_mixes_bound_and_cotenant_kinds(self, service_factory):
+        service = service_factory(workers=0, cache=False)
+        client = service.client()
+        entries = [
+            {"kind": "bound", **BOUND},
+            {"kind": "cotenant", "tenants": TENANTS, "gpu": "GTX980",
+             "warmups": 0},
+        ]
+        results = client.sweep(entries)
+        assert len(results) == 2
+        assert "bound_hit_rate" in results[0]["result"]
+        assert "tenants" in results[1]["result"]

@@ -1,0 +1,79 @@
+"""TenantSpec / TenantMix: validation and canonical descriptors."""
+
+import pytest
+
+from repro.tenancy import POLICIES, TENANT_SCHEMES, TenantMix, TenantSpec
+
+
+class TestTenantSpec:
+    def test_defaults(self):
+        spec = TenantSpec(workload="NN")
+        assert spec.scheme == "BSL"
+        assert spec.scale == 1.0
+        assert spec.active_agents is None
+        assert not spec.bypass
+
+    def test_every_demand_scheme_accepted(self):
+        for scheme in TENANT_SCHEMES:
+            TenantSpec(workload="NN", scheme=scheme)
+
+    def test_prefetch_scheme_rejected(self):
+        """PFH installs lines without counted demand misses, so the
+        oracle bound does not cover it; the spec refuses it up front
+        rather than letting a mix break the ``bound >= measured``
+        invariant at report time."""
+        with pytest.raises(ValueError, match="prefetching"):
+            TenantSpec(workload="NN", scheme="PFH+TOT")
+
+    @pytest.mark.parametrize("bad", [
+        {"scale": 0.0}, {"scale": -1.0}, {"seed": -1},
+        {"active_agents": 0},
+    ])
+    def test_bad_numbers_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TenantSpec(workload="NN", **bad)
+
+    def test_descriptor_round_trips(self):
+        spec = TenantSpec(workload="HS", scheme="CLU+TOT", scale=0.5,
+                          seed=3, active_agents=4, bypass=True)
+        assert TenantSpec.from_descriptor(spec.descriptor()) == spec
+
+    def test_from_descriptor_accepts_abbreviation(self):
+        assert TenantSpec.from_descriptor("NN") == TenantSpec(workload="NN")
+
+    def test_from_descriptor_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown tenant fields"):
+            TenantSpec.from_descriptor({"workload": "NN", "gpu": "K40"})
+
+    def test_from_descriptor_needs_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            TenantSpec.from_descriptor({"scheme": "CLU"})
+
+
+class TestTenantMix:
+    def test_of_mixes_descriptor_forms(self):
+        mix = TenantMix.of("NN", {"workload": "HS", "scheme": "CLU"},
+                           TenantSpec(workload="MM"), policy="sm-split")
+        assert [t.workload for t in mix.tenants] == ["NN", "HS", "MM"]
+        assert mix.policy == "sm-split"
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            TenantMix(tenants=())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            TenantMix.of("NN", policy="time-sliced")
+
+    def test_policies_registry(self):
+        assert POLICIES == ("shared", "sm-split", "cluster-isolated")
+
+    def test_label(self):
+        mix = TenantMix.of("NN", "HS", policy="cluster-isolated")
+        assert mix.label() == "NN+HS/cluster-isolated"
+
+    def test_descriptor_is_json_shaped(self):
+        import json
+        mix = TenantMix.of("NN", "HS")
+        document = mix.descriptor()
+        assert json.loads(json.dumps(document)) == document

@@ -11,7 +11,7 @@ class TestPublicSurface:
             assert getattr(repro, name) is not None, name
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_version_line_names_both_versions(self):
         from repro.engine.job import ENGINE_VERSION

@@ -41,11 +41,15 @@ class TestGridAdmission:
         assert result.best.score == brute.score
         assert result.best.point == brute.point
 
-    def test_admission_never_leaves_budget_idle(self):
-        """With budget >= the space, admission is a no-op: every point
-        still gets simulated (the `keep >= remaining` clause)."""
+    def test_admission_never_leaves_budget_idle(self, monkeypatch):
+        """With budget >= the space and the oracle floor disabled,
+        admission is a no-op: every point still gets simulated (the
+        `keep >= remaining` clause).  With the floor live, the only
+        points dropped are the ones it pruned."""
+        from repro.tuner.strategies import GridStrategy
         space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
         full_sweep = len(space.points())
+        monkeypatch.setattr(GridStrategy, "bound_slack", float("inf"))
         result = tune(WORKLOAD, GPU, strategy="grid", budget=full_sweep + 8,
                       scale=SCALE, seed=0)
         assert result.evaluations >= full_sweep - 1
@@ -63,8 +67,9 @@ class TestHillClimbAdmission:
         budget = 40
         admitted = tune(WORKLOAD, GPU, strategy="hillclimb", budget=budget,
                         scale=SCALE, seed=0)
-        monkeypatch.setattr(HillClimbStrategy, "_admit",
-                            lambda self, evaluator, pool, current: pool)
+        monkeypatch.setattr(
+            HillClimbStrategy, "_admit",
+            lambda self, evaluator, space, pool, current: pool)
         unfiltered = tune(WORKLOAD, GPU, strategy="hillclimb", budget=budget,
                           scale=SCALE, seed=0)
         assert admitted.evaluations < unfiltered.evaluations
@@ -81,6 +86,6 @@ class TestHillClimbAdmission:
         strategy = HillClimbStrategy()
         current = space.normalize(space.points()[0])
         pool = space.axis_variants(current, "active_agents")
-        admitted = strategy._admit(evaluator, pool, current)
+        admitted = strategy._admit(evaluator, space, pool, current)
         assert current in admitted
         assert len(admitted) <= len(pool)

@@ -1,0 +1,99 @@
+"""The oracle-bound admission filter: ``bound_admit`` semantics and
+its integration into the search strategies.
+
+The filter's contract is deliberately conservative: it may only ever
+*remove* candidates whose rung-0 estimate already exceeds a generous
+multiple of the schedule-free cycles floor, it must never empty the
+pool, and warm/incumbent points are exempt — so a strategy with the
+filter can never return a worse answer than the same strategy without
+it.
+"""
+
+from collections import namedtuple
+
+import pytest
+
+from repro.tuner.space import SearchSpace
+from repro.tuner.strategies import (BOUND_SLACK, bound_admit,
+                                    oracle_floor)
+from tests.tuner.conftest import GPU, SCALE, WORKLOAD
+
+FakeCandidate = namedtuple("FakeCandidate", "point cycles")
+
+
+def _ranked(*cycles):
+    return [FakeCandidate(point=f"p{i}", cycles=c)
+            for i, c in enumerate(cycles)]
+
+
+class TestBoundAdmit:
+    def test_keeps_everything_under_the_ceiling(self):
+        ranked = _ranked(100, 200, 700)
+        admitted, pruned = bound_admit(ranked, 100.0, slack=8.0)
+        assert admitted == ranked
+        assert pruned == []
+
+    def test_prunes_hopeless_tails(self):
+        ranked = _ranked(100, 900, 5000)
+        admitted, pruned = bound_admit(ranked, 100.0, slack=8.0)
+        assert [c.cycles for c in admitted] == [100]
+        assert [c.cycles for c in pruned] == [900, 5000]
+
+    def test_keep_points_are_exempt(self):
+        ranked = _ranked(100, 900)
+        admitted, pruned = bound_admit(ranked, 100.0, slack=8.0,
+                                       keep_points=("p1",))
+        assert admitted == ranked
+        assert pruned == []
+
+    def test_never_empties_the_pool(self):
+        """When every candidate exceeds the ceiling, the filter stands
+        down entirely rather than guessing which ones to keep."""
+        ranked = _ranked(900, 1000, 1100)
+        admitted, pruned = bound_admit(ranked, 1.0, slack=8.0)
+        assert admitted == ranked
+        assert pruned == []
+
+    def test_degenerate_floor_passes_through(self):
+        ranked = _ranked(100, 900)
+        for floor in (None, 0.0, -5.0):
+            admitted, pruned = bound_admit(ranked, floor)
+            assert admitted == ranked and pruned == []
+        assert bound_admit([], 100.0) == ([], [])
+
+    def test_default_slack_is_generous(self):
+        # Real winners land 2-4x above the perfect-hiding floor; the
+        # default must not threaten them.
+        assert BOUND_SLACK >= 4.0
+
+
+class TestOracleFloor:
+    def test_floor_is_positive_and_memoized(self):
+        space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        first = oracle_floor(space, SCALE)
+        assert first > 0
+        assert oracle_floor(space, SCALE) == first
+
+    def test_floor_varies_with_scale(self):
+        space = SearchSpace.for_workload(WORKLOAD, GPU, scale=SCALE)
+        assert oracle_floor(space, SCALE) != oracle_floor(space, 0.5)
+
+
+class TestStrategyIntegration:
+    @pytest.mark.parametrize("strategy_name",
+                             ["grid", "hillclimb", "halving"])
+    def test_forced_pruning_still_returns_an_answer(
+            self, strategy_name, monkeypatch):
+        """Even a pathological slack (which prunes every simulated
+        candidate except the exempt warm/incumbent point) leaves the
+        search with a valid best — the regression-free guarantee."""
+        from repro.tuner import STRATEGIES, tune
+
+        monkeypatch.setattr(STRATEGIES[strategy_name], "bound_slack",
+                            1e-6)
+        result = tune(WORKLOAD, GPU, strategy=strategy_name, budget=6,
+                      scale=SCALE)
+        assert result.best is not None
+        assert result.best.cycles > 0
+        # The warm baseline is exempt, so best can never be worse.
+        assert result.best.score <= result.baseline.score
